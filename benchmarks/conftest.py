@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+The experiment *matrices* (running all 12 techniques over the benchmark
+specifications) are built once per session — they are the expensive part and
+are disk-cached under ``.repro_cache``.  The per-table benchmarks then time
+the projection/rendering of each paper artifact and print the regenerated
+rows.
+
+``REPRO_BENCH_SCALE`` (default 0.02) controls the Alloy4Fun sample used by
+the benchmark harness; set it to 1.0 to regenerate the paper-sized run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import run_matrix
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def arepair_matrix():
+    """The full ARepair-benchmark matrix (38 specs × 12 techniques)."""
+    return run_matrix("arepair", scale=1.0, seed=BENCH_SEED, progress=True)
+
+
+@pytest.fixture(scope="session")
+def alloy4fun_matrix():
+    """A scaled Alloy4Fun matrix (``REPRO_BENCH_SCALE`` of 1,936 specs)."""
+    return run_matrix(
+        "alloy4fun", scale=BENCH_SCALE, seed=BENCH_SEED, progress=True
+    )
+
+
+@pytest.fixture(scope="session")
+def matrices(arepair_matrix, alloy4fun_matrix):
+    return [arepair_matrix, alloy4fun_matrix]

@@ -1,0 +1,110 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+- BeAFix with vs. without semantic pruning (search-cost impact),
+- ICEBAR refinement-budget sweep (success vs. iterations),
+- Multi-round round-budget sweep (success vs. rounds).
+"""
+
+import pytest
+
+from repro.analyzer.analyzer import Analyzer
+from repro.benchmarks.models import get_model
+from repro.llm.mock_gpt import GPT4_PROFILE, MockGPT
+from repro.llm.prompts import FeedbackLevel
+from repro.metrics.rep import rep
+from repro.repair.base import RepairTask
+from repro.repair.beafix import BeAFix, BeAFixConfig
+from repro.repair.icebar import Icebar, IcebarConfig
+from repro.repair.multi_round import MultiRoundConfig, MultiRoundLLM
+from repro.testing.generation import generate_suite
+
+TRUTH = get_model("graphs_a").source
+FAULTY = TRUTH.replace("n not in n.^adj", "n not in n.adj", 1)
+
+
+@pytest.fixture
+def task():
+    return RepairTask.from_source(FAULTY)
+
+
+class TestBeafixPruningAblation:
+    def test_pruning_on(self, benchmark, task):
+        result = benchmark.pedantic(
+            lambda: BeAFix(BeAFixConfig(prune=True)).repair(task),
+            rounds=3,
+            iterations=1,
+        )
+        print(f"\npruned search: {result.oracle_queries} oracle queries, "
+              f"{result.candidates_explored} candidates")
+        assert result.fixed
+
+    def test_pruning_off(self, benchmark, task):
+        result = benchmark.pedantic(
+            lambda: BeAFix(
+                BeAFixConfig(prune=False, max_oracle_queries=500)
+            ).repair(task),
+            rounds=3,
+            iterations=1,
+        )
+        print(f"\nunpruned search: {result.oracle_queries} oracle queries, "
+              f"{result.candidates_explored} candidates")
+        assert result.fixed
+
+    def test_pruning_cuts_oracle_queries(self, task):
+        pruned = BeAFix(BeAFixConfig(prune=True)).repair(task)
+        unpruned = BeAFix(
+            BeAFixConfig(prune=False, max_oracle_queries=500)
+        ).repair(task)
+        print(
+            f"\noracle queries pruned={pruned.oracle_queries} "
+            f"unpruned={unpruned.oracle_queries}"
+        )
+        assert pruned.oracle_queries <= unpruned.oracle_queries
+
+
+class TestIcebarBudgetAblation:
+    @pytest.mark.parametrize("refinements", [1, 2, 4])
+    def test_refinement_sweep(self, benchmark, task, refinements):
+        suite = generate_suite(Analyzer(TRUTH), positives=2, negatives=2, seed=9)
+        config = IcebarConfig(max_refinements=refinements)
+        result = benchmark.pedantic(
+            lambda: Icebar(suite, config).repair(task), rounds=1, iterations=1
+        )
+        fixed_text = result.final_source(task)
+        print(
+            f"\nrefinements={refinements}: status={result.status.value} "
+            f"REP={rep(fixed_text, TRUTH)}"
+        )
+
+
+class TestMultiRoundBudgetAblation:
+    @pytest.mark.parametrize("rounds", [1, 2, 3])
+    def test_round_sweep(self, benchmark, task, rounds):
+        def attempt():
+            wins = 0
+            for seed in range(4):
+                tool = MultiRoundLLM(
+                    MockGPT(seed=seed, profile=GPT4_PROFILE),
+                    FeedbackLevel.GENERIC,
+                    config=MultiRoundConfig(max_rounds=rounds),
+                )
+                result = tool.repair(task)
+                wins += rep(result.final_source(task), TRUTH)
+            return wins
+
+        wins = benchmark.pedantic(attempt, rounds=1, iterations=1)
+        print(f"\nrounds={rounds}: {wins}/4 repaired")
+
+    def test_more_rounds_do_not_hurt(self, task):
+        def wins_with(rounds):
+            total = 0
+            for seed in range(5):
+                tool = MultiRoundLLM(
+                    MockGPT(seed=seed, profile=GPT4_PROFILE),
+                    FeedbackLevel.GENERIC,
+                    config=MultiRoundConfig(max_rounds=rounds),
+                )
+                total += rep(tool.repair(task).final_source(task), TRUTH)
+            return total
+
+        assert wins_with(3) >= wins_with(1)

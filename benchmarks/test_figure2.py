@@ -1,0 +1,28 @@
+"""Regenerates Figure 2 (TM/SM similarity to ground truth per technique)."""
+
+from repro.experiments.figure2 import compute_figure2, render_figure2
+
+
+def test_figure2(benchmark, matrices):
+    figure = benchmark(compute_figure2, matrices)
+    print()
+    print(render_figure2(figure))
+
+    # All similarity means are valid proportions.
+    for technique, value in figure.tm.items():
+        assert 0.0 <= value <= 1.0, technique
+    for technique, value in figure.sm.items():
+        assert 0.0 <= value <= 1.0, technique
+
+    # Finding 2: traditional tools keep high structural fidelity; the best
+    # traditional SM is at least as high as the best single-round SM.
+    traditional = ["ARepair", "ICEBAR", "BeAFix", "ATR"]
+    single_round = [t for t in figure.sm if t.startswith("Single-Round")]
+    assert max(figure.sm[t] for t in traditional) >= max(
+        figure.sm[t] for t in single_round
+    )
+
+    # SM >= TM for most techniques (structure survives better than tokens,
+    # as reported in the paper).
+    sm_wins = sum(1 for t in figure.sm if figure.sm[t] >= figure.tm[t])
+    assert sm_wins >= len(figure.sm) // 2

@@ -1,0 +1,37 @@
+"""Regenerates Figure 3 (Pearson correlation heatmap between techniques)."""
+
+from repro.experiments.figure3 import compute_figure3, render_figure3
+
+
+def test_figure3(benchmark, matrices):
+    figure = benchmark(compute_figure3, matrices)
+    print()
+    print(render_figure3(figure))
+
+    traditional = ["ARepair", "ICEBAR", "BeAFix", "ATR"]
+    multi = ["Multi-Round_None", "Multi-Round_Generic", "Multi-Round_Auto"]
+    single = [
+        "Single-Round_Loc+Fix",
+        "Single-Round_Loc",
+        "Single-Round_Pass",
+        "Single-Round_None",
+        "Single-Round_Loc+Pass",
+    ]
+
+    # Self correlations are exactly 1.
+    for technique in traditional + multi + single:
+        assert figure.r(technique, technique) == 1.0
+
+    # Symmetry of the heatmap.
+    assert figure.r("ATR", "ICEBAR") == figure.r("ICEBAR", "ATR")
+
+    # Finding 3's structure: the traditional cluster is more tightly
+    # correlated than single-round techniques are with the traditional ones.
+    traditional_min = figure.cluster_min(traditional)
+    cross_min = figure.cross_cluster_min(single, traditional)
+    assert traditional_min >= cross_min
+
+    # Multi-round settings correlate with each other at least as strongly as
+    # they do with single-round settings.
+    multi_min = figure.cluster_min(multi)
+    assert multi_min >= figure.cross_cluster_min(multi, single)

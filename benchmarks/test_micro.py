@@ -1,0 +1,92 @@
+"""Microbenchmarks of the substrates: SAT solver, analyzer, metrics.
+
+These are not paper artifacts; they track the performance of the layers the
+study platform is built on.
+"""
+
+import random
+
+from repro.analyzer.analyzer import Analyzer
+from repro.benchmarks.models import get_model
+from repro.metrics.bleu import token_match
+from repro.metrics.syntax_match import syntax_match
+from repro.sat.solver import SatSolver
+
+
+def _random_3sat(num_vars: int, num_clauses: int, seed: int):
+    rng = random.Random(seed)
+    return [
+        [rng.choice([1, -1]) * rng.randint(1, num_vars) for _ in range(3)]
+        for _ in range(num_clauses)
+    ]
+
+
+def test_sat_random_3sat(benchmark):
+    clauses = _random_3sat(60, 240, seed=1)
+
+    def solve():
+        solver = SatSolver()
+        for _ in range(60):
+            solver.new_var()
+        for clause in clauses:
+            solver.add_clause(clause)
+        return solver.solve()
+
+    benchmark(solve)
+
+
+def test_sat_pigeonhole(benchmark):
+    holes, pigeons = 5, 6
+
+    def solve():
+        solver = SatSolver()
+
+        def var(p, h):
+            return p * holes + h + 1
+
+        for _ in range(pigeons * holes):
+            solver.new_var()
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        return solver.solve()
+
+    assert benchmark(solve) is False
+
+
+def test_analyzer_corpus_model(benchmark):
+    source = get_model("classroom_a").source
+
+    def analyze():
+        return [r.sat for r in Analyzer(source).execute_all()]
+
+    outcomes = benchmark(analyze)
+    assert outcomes == [True, True, False, False]
+
+
+def test_analyzer_enumeration(benchmark):
+    source = get_model("graphs_a").source
+
+    def enumerate_instances():
+        analyzer = Analyzer(source)
+        command = analyzer.info.commands[0]
+        return len(analyzer.run_command(command, max_instances=25).instances)
+
+    assert benchmark(enumerate_instances) > 0
+
+
+def test_metric_token_match(benchmark):
+    truth = get_model("farmer").source
+    candidate = truth.replace("Chicken", "Hen")
+    score = benchmark(token_match, candidate, truth)
+    assert 0.0 < score < 1.0
+
+
+def test_metric_syntax_match(benchmark):
+    truth = get_model("farmer").source
+    candidate = truth.replace("c.near", "c.far", 1)
+    score = benchmark(syntax_match, candidate, truth)
+    assert 0.0 < score < 1.0

@@ -1,0 +1,44 @@
+"""Regenerates Table II and Figure 4 (hybrid traditional + LLM combinations)."""
+
+from repro.experiments.hybrid import compute_hybrid, render_figure4, render_table2
+from repro.experiments.runner import MULTI_ROUND, SINGLE_ROUND, TRADITIONAL
+
+
+def test_table2_and_figure4(benchmark, matrices):
+    analysis = benchmark(compute_hybrid, matrices)
+    print()
+    print(render_table2(analysis))
+    print()
+    print(render_figure4(analysis))
+
+    # All 32 pairings are present (4 traditional × 8 LLM settings).
+    assert len(analysis.cells) == len(TRADITIONAL) * (
+        len(SINGLE_ROUND) + len(MULTI_ROUND)
+    )
+
+    # Hybrids never repair fewer than their stronger constituent.
+    for cell in analysis.cells.values():
+        assert cell.union >= max(cell.traditional_repairs, cell.llm_repairs)
+        assert cell.overlap <= min(cell.traditional_repairs, cell.llm_repairs)
+
+    # RQ3 headline shape: the best hybrid pairs a traditional tool with a
+    # multi-round setting, and beats the best single technique.
+    best = analysis.best()
+    assert best.llm in MULTI_ROUND
+
+    best_single_technique = max(
+        max(cell.traditional_repairs for cell in analysis.cells.values()),
+        max(cell.llm_repairs for cell in analysis.cells.values()),
+    )
+    assert best.union >= best_single_technique
+
+    # Multi-round hybrids beat the corresponding single-round hybrids for
+    # each traditional partner (on union size, averaged).
+    for traditional in TRADITIONAL:
+        multi_avg = sum(
+            analysis.cells[(traditional, llm)].union for llm in MULTI_ROUND
+        ) / len(MULTI_ROUND)
+        single_avg = sum(
+            analysis.cells[(traditional, llm)].union for llm in SINGLE_ROUND
+        ) / len(SINGLE_ROUND)
+        assert multi_avg >= single_avg

@@ -1,0 +1,94 @@
+"""The paper's Section II example: the hotel key-management specification.
+
+The specification models a front desk issuing room keys.  The seeded bug is
+the over-restrictive constraint the paper discusses (a guest must hold *no*
+keys at check-in); here we reproduce the scenario in the static fragment of
+the dialect and let every technique family attempt the repair.
+
+Run with::
+
+    python examples/hotel_locking.py
+"""
+
+from repro.analyzer import Analyzer
+from repro.llm import FeedbackLevel, MockGPT, PromptSetting, RepairHints
+from repro.llm.mock_gpt import GPT35_PROFILE, GPT4_PROFILE
+from repro.metrics import rep
+from repro.repair import (
+    Atr,
+    BeAFix,
+    MultiRoundLLM,
+    RepairTask,
+    SingleRoundLLM,
+)
+
+CORRECT = """
+abstract sig Key {}
+sig RoomKey extends Key {}
+sig Room { assignedKeys: some RoomKey }
+sig Guest { holding: set Key }
+one sig FrontDesk { issued: Room -> lone Guest }
+
+fact Policy {
+  all r: Room, g: r.(FrontDesk.issued) | r.assignedKeys & g.holding in r.assignedKeys
+  all g: Guest | g.holding in RoomKey
+  all disj r1, r2: Room | no r1.assignedKeys & r2.assignedKeys
+}
+
+pred checkedIn { some FrontDesk.issued }
+
+assert KeysPartitioned {
+  all disj r1, r2: Room | no r1.assignedKeys & r2.assignedKeys
+}
+assert OnlyRoomKeysHeld {
+  all g: Guest | g.holding in RoomKey
+}
+
+run checkedIn for 3 expect 1
+check KeysPartitioned for 3 expect 0
+check OnlyRoomKeysHeld for 3 expect 0
+"""
+
+# The seeded bug: key sets of distinct rooms are allowed to overlap
+# (the "no" became "some" — an over-permissive policy).  Only the *fact* is
+# weakened (count=1); the assertion stays intact as the oracle.
+FAULTY = CORRECT.replace(
+    "all disj r1, r2: Room | no r1.assignedKeys & r2.assignedKeys",
+    "all disj r1, r2: Room | some r1.assignedKeys & r2.assignedKeys",
+    1,
+)
+
+HINTS = RepairHints(
+    location="fact 'Policy', constraint 3",
+    fix_description="A multiplicity keyword appears incorrect.",
+    passing_assertion="KeysPartitioned",
+)
+
+
+def main() -> None:
+    print("Faulty hotel policy command outcomes:")
+    for result in Analyzer(FAULTY).execute_all():
+        marker = "" if result.meets_expectation else "  <-- violated"
+        print(f"  {result.kind} {result.name}: {'SAT' if result.sat else 'UNSAT'}{marker}")
+    print()
+
+    task = RepairTask.from_source(FAULTY)
+    attempts = [
+        BeAFix(),
+        Atr(),
+        SingleRoundLLM(
+            MockGPT(seed=1, profile=GPT35_PROFILE), PromptSetting.LOC_FIX, HINTS
+        ),
+        MultiRoundLLM(MockGPT(seed=1, profile=GPT4_PROFILE), FeedbackLevel.GENERIC),
+    ]
+    for tool in attempts:
+        result = tool.repair(task)
+        fixed_text = result.final_source(task)
+        print(
+            f"{tool.name:<24} status={result.status.value:<10} "
+            f"REP={rep(fixed_text, CORRECT)}  ({result.detail[:60]})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Inspect the multi-round dual-agent dialogue, message by message.
+
+Shows exactly what the Repair Agent sees at each feedback level, including
+the Prompt Agent's tailored guidance in the Auto setting — the conversation
+structure of Alhanahnah et al. (2024) that the study replicates.
+
+Run with::
+
+    python examples/llm_conversation.py
+"""
+
+from repro.llm import FeedbackLevel, MockGPT
+from repro.llm.mock_gpt import GPT4_PROFILE
+from repro.llm.client import Conversation, LLMClient
+from repro.repair import MultiRoundLLM, RepairTask
+
+FAULTY = """
+sig Task { dependsOn: set Task }
+
+fact Schedule {
+  all t: Task | t in t.^dependsOn
+}
+
+pred busy { some t: Task | some t.dependsOn }
+assert NoSelfDependency { no t: Task | t in t.^dependsOn }
+
+run busy for 3 expect 1
+check NoSelfDependency for 3 expect 0
+"""
+
+
+class TranscriptClient:
+    """Wraps a client, printing each exchange as it happens."""
+
+    def __init__(self, inner: LLMClient, label: str) -> None:
+        self._inner = inner
+        self._label = label
+
+    def complete(self, conversation: Conversation) -> str:
+        last_user = next(
+            (m for m in reversed(conversation.messages) if m.role == "user"),
+            None,
+        )
+        if last_user is not None:
+            print(f"--- prompt to {self._label} " + "-" * 30)
+            print(_clip(last_user.content))
+        response = self._inner.complete(conversation)
+        print(f"--- {self._label} replies " + "-" * 32)
+        print(_clip(response))
+        print()
+        return response
+
+
+def _clip(text: str, limit: int = 900) -> str:
+    return text if len(text) <= limit else text[:limit] + "\n[... clipped ...]"
+
+
+def main() -> None:
+    task = RepairTask.from_source(FAULTY)
+    for level in (FeedbackLevel.NONE, FeedbackLevel.AUTO):
+        print("=" * 70)
+        print(f"FEEDBACK LEVEL: {level.value}")
+        print("=" * 70)
+        tool = MultiRoundLLM(
+            TranscriptClient(MockGPT(seed=5, profile=GPT4_PROFILE), "Repair Agent"),
+            level,
+            prompt_client=TranscriptClient(
+                MockGPT(seed=9, profile=GPT4_PROFILE), "Prompt Agent"
+            ),
+        )
+        result = tool.repair(task)
+        print(f">>> outcome: {result.status.value} after {result.iterations} round(s)\n")
+
+
+if __name__ == "__main__":
+    main()

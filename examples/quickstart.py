@@ -1,0 +1,62 @@
+"""Quickstart: analyze a specification, break it, and repair it.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.analyzer import Analyzer
+from repro.metrics import rep, syntax_match, token_match
+from repro.repair import Atr, BeAFix, RepairTask
+
+CORRECT = """
+sig Node { next: lone Node }
+
+fact Acyclic {
+  all n: Node | n not in n.^next
+}
+
+pred nonEmpty { some Node }
+assert NoCycle { no n: Node | n in n.^next }
+
+run nonEmpty for 3 expect 1
+check NoCycle for 3 expect 0
+"""
+
+# A typical novice slip: `^next` (all reachable nodes) became `next`
+# (direct successor only), so longer cycles are no longer ruled out.
+FAULTY = CORRECT.replace("n not in n.^next", "n not in n.next")
+
+
+def show_analysis(title: str, source: str) -> None:
+    print(f"== {title} ==")
+    analyzer = Analyzer(source)
+    for result in analyzer.execute_all():
+        verdict = "SAT" if result.sat else "UNSAT"
+        note = "" if result.meets_expectation else "   <-- unexpected!"
+        print(f"  {result.kind} {result.name}: {verdict}{note}")
+        if result.kind == "check" and result.instance is not None:
+            print("  counterexample:")
+            for line in result.instance.describe(analyzer.info).splitlines():
+                print(f"    {line}")
+    print()
+
+
+def main() -> None:
+    show_analysis("correct specification", CORRECT)
+    show_analysis("faulty specification", FAULTY)
+
+    task = RepairTask.from_source(FAULTY)
+    for tool in (BeAFix(), Atr()):
+        result = tool.repair(task)
+        fixed_text = result.final_source(task)
+        print(f"== {tool.name} ==")
+        print(f"  status: {result.status.value} ({result.detail})")
+        print(f"  REP vs ground truth: {rep(fixed_text, CORRECT)}")
+        print(f"  Token Match:  {token_match(fixed_text, CORRECT):.3f}")
+        print(f"  Syntax Match: {syntax_match(fixed_text, CORRECT):.3f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+`pip install -e .` works via the legacy `setup.py develop` path when PEP 660
+editable builds are unavailable (no `wheel` distribution offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,10 @@
+"""repro: reproduction of "Towards More Dependable Specifications" (DSN 2025).
+
+A pure-Python study platform for Alloy specification repair: an Alloy
+dialect front end, a SAT-backed bounded analyzer, four traditional repair
+tools (ARepair, ICEBAR, BeAFix, ATR), single- and multi-round LLM repair
+with a calibrated simulated GPT-4, the study's metrics (REP/TM/SM), both
+benchmarks, and drivers regenerating every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,64 @@
+"""Front end for the Alloy specification dialect used throughout this repo.
+
+Public API::
+
+    from repro.alloy import parse_module, print_module, resolve_module
+
+    module = parse_module(source_text)
+    info = resolve_module(module)      # symbol tables + arity checking
+    text = print_module(module)        # canonical source text
+"""
+
+from repro.alloy.errors import (
+    AlloyError,
+    AlloyTypeError,
+    EvaluationError,
+    LexError,
+    ParseError,
+    ResolutionError,
+    ScopeError,
+    SourcePos,
+)
+from repro.alloy.lexer import tokenize
+from repro.alloy.parser import parse_expr, parse_formula, parse_module
+from repro.alloy.pretty import (
+    print_expr,
+    print_formula,
+    print_module,
+    print_paragraph,
+)
+from repro.alloy.resolver import (
+    INT_ARITY,
+    FieldInfo,
+    ModuleInfo,
+    SigInfo,
+    arity_of,
+    check_formula,
+    resolve_module,
+)
+
+__all__ = [
+    "AlloyError",
+    "AlloyTypeError",
+    "EvaluationError",
+    "FieldInfo",
+    "INT_ARITY",
+    "LexError",
+    "ModuleInfo",
+    "ParseError",
+    "ResolutionError",
+    "ScopeError",
+    "SigInfo",
+    "SourcePos",
+    "arity_of",
+    "check_formula",
+    "parse_expr",
+    "parse_formula",
+    "parse_module",
+    "print_expr",
+    "print_formula",
+    "print_module",
+    "print_paragraph",
+    "resolve_module",
+    "tokenize",
+]

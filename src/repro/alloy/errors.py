@@ -1,0 +1,67 @@
+"""Error types raised by the Alloy dialect front end.
+
+Every error carries a source position (line, column) so that repair tools
+and the response parsers can report precise locations, mirroring the error
+reporting of the real Alloy Analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourcePos:
+    """A position in a specification source text (1-based line/column)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+class AlloyError(Exception):
+    """Base class for all errors produced by the Alloy front end."""
+
+    def __init__(self, message: str, pos: SourcePos | None = None) -> None:
+        self.message = message
+        self.pos = pos
+        if pos is not None:
+            super().__init__(f"{message} ({pos})")
+        else:
+            super().__init__(message)
+
+
+class LexError(AlloyError):
+    """Raised when the lexer encounters an unrecognized character."""
+
+
+class ParseError(AlloyError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class ResolutionError(AlloyError):
+    """Raised when a name cannot be resolved or is declared twice."""
+
+
+class AlloyTypeError(AlloyError):
+    """Raised when an expression is used at an incompatible arity/type."""
+
+
+class EvaluationError(AlloyError):
+    """Raised when an expression cannot be evaluated against an instance."""
+
+
+class ScopeError(AlloyError):
+    """Raised when command bounds are inconsistent or unsatisfiable."""
+
+
+class AnalysisBudgetError(AlloyError):
+    """Raised when a solver call exceeds its conflict budget.
+
+    The real Alloy Analyzer enforces wall-clock timeouts; this repository
+    uses a deterministic conflict limit instead so runs are reproducible.
+    Repair tools treat a budget overrun like any other analysis failure for
+    the candidate at hand.
+    """

@@ -1,0 +1,169 @@
+"""Hand-written lexer for the Alloy dialect.
+
+Supports line comments (``//`` and ``--``) and block comments (``/* ... */``),
+multi-character operators, decimal integer literals, and identifiers that may
+contain primes (``'``) — matching the surface syntax used by the benchmark
+specifications in this repository.
+"""
+
+from __future__ import annotations
+
+from repro.alloy.errors import LexError, SourcePos
+from repro.alloy.tokens import KEYWORDS, Token, TokenKind
+
+# Multi-character operators, longest first so maximal munch works.
+_MULTI_OPERATORS: list[tuple[str, TokenKind]] = [
+    ("<=>", TokenKind.IFF_OP),
+    ("!in", TokenKind.NOT_IN),
+    ("++", TokenKind.PLUSPLUS),
+    ("->", TokenKind.ARROW),
+    ("=>", TokenKind.IMPLIES_OP),
+    ("&&", TokenKind.AMPAMP),
+    ("||", TokenKind.BARBAR),
+    ("!=", TokenKind.NEQ),
+    ("<:", TokenKind.DOM_RESTRICT),
+    (":>", TokenKind.RAN_RESTRICT),
+    ("<=", TokenKind.LTE),
+    (">=", TokenKind.GTE),
+    ("=<", TokenKind.LTE),
+]
+
+_SINGLE_OPERATORS: dict[str, TokenKind] = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    ":": TokenKind.COLON,
+    ".": TokenKind.DOT,
+    "@": TokenKind.AT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "&": TokenKind.AMP,
+    "~": TokenKind.TILDE,
+    "^": TokenKind.CARET,
+    "*": TokenKind.STAR,
+    "#": TokenKind.HASH,
+    "|": TokenKind.BAR,
+    "=": TokenKind.EQ,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.BANG,
+}
+
+
+class Lexer:
+    """Converts a source string into a token stream."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._index = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole input, returning tokens terminated by an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    def _pos(self) -> SourcePos:
+        return SourcePos(self._line, self._column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._index + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._index >= len(self._source):
+                return
+            if self._source[self._index] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._index += 1
+
+    def _skip_trivia(self) -> None:
+        while self._index < len(self._source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                self._skip_line_comment()
+            elif char == "-" and self._peek(1) == "-":
+                self._skip_line_comment()
+            elif char == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_line_comment(self) -> None:
+        while self._index < len(self._source) and self._peek() != "\n":
+            self._advance()
+
+    def _skip_block_comment(self) -> None:
+        start = self._pos()
+        self._advance(2)
+        while self._index < len(self._source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+
+            self._advance()
+        raise LexError("unterminated block comment", start)
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        pos = self._pos()
+        if self._index >= len(self._source):
+            return Token(TokenKind.EOF, "", pos)
+
+        char = self._peek()
+        if char.isalpha() or char == "_":
+            return self._lex_word(pos)
+        if char.isdigit():
+            return self._lex_number(pos)
+
+        for text, kind in _MULTI_OPERATORS:
+            if self._source.startswith(text, self._index):
+                self._advance(len(text))
+                return Token(kind, text, pos)
+
+        kind = _SINGLE_OPERATORS.get(char)
+        if kind is not None:
+            self._advance()
+            return Token(kind, char, pos)
+
+        raise LexError(f"unexpected character {char!r}", pos)
+
+    def _lex_word(self, pos: SourcePos) -> Token:
+        start = self._index
+        while self._index < len(self._source):
+            char = self._peek()
+            if char.isalnum() or char in "_'":
+                self._advance()
+            else:
+                break
+        text = self._source[start : self._index]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, pos)
+
+    def _lex_number(self, pos: SourcePos) -> Token:
+        start = self._index
+        while self._index < len(self._source) and self._peek().isdigit():
+            self._advance()
+        return Token(TokenKind.NUMBER, self._source[start : self._index], pos)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,439 @@
+"""AST node definitions for the Alloy dialect.
+
+All nodes derive from :class:`Node` and carry a source position.  Child
+traversal is generic: any field whose value is a ``Node`` (or a list of
+``Node``) is a child, which lets the repair machinery walk, locate, and
+rewrite arbitrary subtrees without per-class visitors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.alloy.errors import SourcePos
+
+_DEFAULT_POS = SourcePos(0, 0)
+
+
+@dataclass
+class Node:
+    """Base class for every AST node."""
+
+    pos: SourcePos = field(default=_DEFAULT_POS, compare=False, kw_only=True)
+
+    def children(self) -> Iterator["Node"]:
+        """Yield every direct child node, in field order."""
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# ---------------------------------------------------------------------------
+# Operators and multiplicities
+# ---------------------------------------------------------------------------
+
+
+class Mult(enum.Enum):
+    """Multiplicity keywords used in declarations and formulas."""
+
+    SET = "set"
+    ONE = "one"
+    LONE = "lone"
+    SOME = "some"
+    NO = "no"
+
+
+class UnOp(enum.Enum):
+    """Unary relational operators."""
+
+    TRANSPOSE = "~"
+    CLOSURE = "^"
+    RCLOSURE = "*"
+
+
+class BinOp(enum.Enum):
+    """Binary relational (and integer) operators."""
+
+    UNION = "+"
+    DIFF = "-"
+    INTERSECT = "&"
+    JOIN = "."
+    PRODUCT = "->"
+    OVERRIDE = "++"
+    DOM_RESTRICT = "<:"
+    RAN_RESTRICT = ":>"
+
+
+class CmpOp(enum.Enum):
+    """Comparison operators that form atomic formulas."""
+
+    IN = "in"
+    NOT_IN = "!in"
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+
+
+class LogicOp(enum.Enum):
+    """Binary logical connectives."""
+
+    AND = "and"
+    OR = "or"
+    IMPLIES = "implies"
+    IFF = "iff"
+
+
+class Quant(enum.Enum):
+    """Quantifiers."""
+
+    ALL = "all"
+    SOME = "some"
+    NO = "no"
+    LONE = "lone"
+    ONE = "one"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for relational and integer expressions."""
+
+
+@dataclass
+class NameExpr(Expr):
+    """A reference to a signature, field, variable, or zero-arg function.
+
+    ``raw`` marks an ``@name`` reference: inside an appended signature fact
+    it suppresses the implicit ``this.`` receiver join (Alloy's escape)."""
+
+    name: str = ""
+    raw: bool = False
+
+
+@dataclass
+class NoneExpr(Expr):
+    """The empty unary relation ``none``."""
+
+
+@dataclass
+class UnivExpr(Expr):
+    """The universal unary relation ``univ``."""
+
+
+@dataclass
+class IdenExpr(Expr):
+    """The binary identity relation ``iden``."""
+
+
+@dataclass
+class IntLit(Expr):
+    """An integer literal."""
+
+    value: int = 0
+
+
+@dataclass
+class UnaryExpr(Expr):
+    """``~e``, ``^e``, or ``*e``."""
+
+    op: UnOp = UnOp.TRANSPOSE
+    operand: Expr = field(default_factory=NoneExpr)
+
+
+@dataclass
+class BinaryExpr(Expr):
+    """A binary relational expression such as ``a + b`` or ``a.b``."""
+
+    op: BinOp = BinOp.UNION
+    left: Expr = field(default_factory=NoneExpr)
+    right: Expr = field(default_factory=NoneExpr)
+
+
+@dataclass
+class CardExpr(Expr):
+    """The integer-valued cardinality expression ``#e``."""
+
+    operand: Expr = field(default_factory=NoneExpr)
+
+
+@dataclass
+class FunCall(Expr):
+    """An application of a user-defined function, ``f[a, b]``."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Decl(Node):
+    """A declaration ``x, y: mult expr`` used by quantifiers and params."""
+
+    names: list[str] = field(default_factory=list)
+    bound: Expr = field(default_factory=NoneExpr)
+    mult: Mult | None = None
+    disj: bool = False
+
+
+@dataclass
+class Comprehension(Expr):
+    """A set comprehension ``{ x: e | f }``."""
+
+    decls: list[Decl] = field(default_factory=list)
+    body: "Formula" = None  # type: ignore[assignment]
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Formula(Node):
+    """Base class for formulas."""
+
+
+@dataclass
+class Compare(Formula):
+    """An atomic comparison formula such as ``a in b`` or ``#x < 3``."""
+
+    op: CmpOp = CmpOp.IN
+    left: Expr = field(default_factory=NoneExpr)
+    right: Expr = field(default_factory=NoneExpr)
+
+
+@dataclass
+class MultTest(Formula):
+    """A multiplicity formula such as ``some e`` or ``no e``."""
+
+    mult: Mult = Mult.SOME
+    operand: Expr = field(default_factory=NoneExpr)
+
+
+@dataclass
+class Not(Formula):
+    """Logical negation."""
+
+    operand: Formula = None  # type: ignore[assignment]
+
+
+@dataclass
+class BoolBin(Formula):
+    """A binary logical connective."""
+
+    op: LogicOp = LogicOp.AND
+    left: Formula = None  # type: ignore[assignment]
+    right: Formula = None  # type: ignore[assignment]
+
+
+@dataclass
+class ImpliesElse(Formula):
+    """``cond implies then else other``."""
+
+    cond: Formula = None  # type: ignore[assignment]
+    then: Formula = None  # type: ignore[assignment]
+    other: Formula = None  # type: ignore[assignment]
+
+
+@dataclass
+class Quantified(Formula):
+    """A quantified formula ``all x: e | f``."""
+
+    quant: Quant = Quant.ALL
+    decls: list[Decl] = field(default_factory=list)
+    body: Formula = None  # type: ignore[assignment]
+
+
+@dataclass
+class Let(Formula):
+    """``let x = e | f`` (formula-valued)."""
+
+    name: str = ""
+    value: Expr = field(default_factory=NoneExpr)
+    body: Formula = None  # type: ignore[assignment]
+
+
+@dataclass
+class PredCall(Formula):
+    """An application of a named predicate, ``p[a, b]`` or bare ``p``."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Block(Formula):
+    """A brace-delimited conjunction of formulas."""
+
+    formulas: list[Formula] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Declared field types (right-hand sides of field declarations)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DeclType(Node):
+    """Base class for declared field types."""
+
+
+@dataclass
+class UnaryType(DeclType):
+    """A unary field type with a multiplicity, e.g. ``set Key``."""
+
+    mult: Mult = Mult.ONE
+    expr: Expr = field(default_factory=NoneExpr)
+
+
+@dataclass
+class ArrowType(DeclType):
+    """A (possibly nested) arrow field type, e.g. ``Room -> lone RoomKey``."""
+
+    left: DeclType = None  # type: ignore[assignment]
+    right: DeclType = None  # type: ignore[assignment]
+    left_mult: Mult = Mult.SET
+    right_mult: Mult = Mult.SET
+
+
+@dataclass
+class FieldDecl(Node):
+    """A field declaration inside a signature body."""
+
+    name: str = ""
+    type: DeclType = None  # type: ignore[assignment]
+
+
+# ---------------------------------------------------------------------------
+# Paragraphs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Paragraph(Node):
+    """Base class for top-level module paragraphs."""
+
+
+@dataclass
+class SigDecl(Paragraph):
+    """A signature declaration."""
+
+    names: list[str] = field(default_factory=list)
+    fields: list[FieldDecl] = field(default_factory=list)
+    parent: str | None = None
+    abstract: bool = False
+    mult: Mult | None = None
+    appended: Block | None = None
+    """An appended signature fact: ``sig S { ... } { constraints }``.
+
+    Inside it, ``this`` denotes the implicit receiver and bare references to
+    the signature's own fields mean ``this.field`` (Alloy's desugaring)."""
+
+
+@dataclass
+class FactDecl(Paragraph):
+    """A fact paragraph."""
+
+    name: str | None = None
+    body: Block = field(default_factory=Block)
+
+
+@dataclass
+class PredDecl(Paragraph):
+    """A predicate paragraph."""
+
+    name: str = ""
+    params: list[Decl] = field(default_factory=list)
+    body: Block = field(default_factory=Block)
+
+
+@dataclass
+class FunDecl(Paragraph):
+    """A function paragraph."""
+
+    name: str = ""
+    params: list[Decl] = field(default_factory=list)
+    result: DeclType = None  # type: ignore[assignment]
+    body: Expr = field(default_factory=NoneExpr)
+
+
+@dataclass
+class AssertDecl(Paragraph):
+    """An assertion paragraph."""
+
+    name: str = ""
+    body: Block = field(default_factory=Block)
+
+
+@dataclass
+class SigScope(Node):
+    """A per-signature scope bound in a command, e.g. ``exactly 3 Room``."""
+
+    sig: str = ""
+    bound: int = 0
+    exact: bool = False
+
+
+@dataclass
+class Command(Paragraph):
+    """A ``run`` or ``check`` command."""
+
+    kind: str = "run"  # "run" or "check"
+    target: str | None = None
+    block: Block | None = None
+    default_scope: int = 3
+    sig_scopes: list[SigScope] = field(default_factory=list)
+    expect: int | None = None
+    label: str | None = None
+
+
+@dataclass
+class Module(Node):
+    """A complete specification: an optional module name plus paragraphs."""
+
+    name: str | None = None
+    paragraphs: list[Paragraph] = field(default_factory=list)
+
+    @property
+    def sigs(self) -> list[SigDecl]:
+        return [p for p in self.paragraphs if isinstance(p, SigDecl)]
+
+    @property
+    def facts(self) -> list[FactDecl]:
+        return [p for p in self.paragraphs if isinstance(p, FactDecl)]
+
+    @property
+    def preds(self) -> list[PredDecl]:
+        return [p for p in self.paragraphs if isinstance(p, PredDecl)]
+
+    @property
+    def funs(self) -> list[FunDecl]:
+        return [p for p in self.paragraphs if isinstance(p, FunDecl)]
+
+    @property
+    def asserts(self) -> list[AssertDecl]:
+        return [p for p in self.paragraphs if isinstance(p, AssertDecl)]
+
+    @property
+    def commands(self) -> list[Command]:
+        return [p for p in self.paragraphs if isinstance(p, Command)]

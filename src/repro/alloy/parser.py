@@ -1,0 +1,684 @@
+"""Recursive-descent parser for the Alloy dialect.
+
+The grammar follows Alloy 4.2 operator precedence.  The classic
+formula-vs-expression ambiguity at ``(`` is handled with bounded
+backtracking: the parser first attempts a comparison (expression) parse and
+falls back to a parenthesized formula on failure.
+"""
+
+from __future__ import annotations
+
+from repro.alloy.errors import ParseError, SourcePos
+from repro.alloy.nodes import (
+    ArrowType,
+    AssertDecl,
+    BinaryExpr,
+    BinOp,
+    Block,
+    BoolBin,
+    CardExpr,
+    Command,
+    Compare,
+    CmpOp,
+    Comprehension,
+    Decl,
+    DeclType,
+    Expr,
+    FactDecl,
+    FieldDecl,
+    Formula,
+    FunCall,
+    FunDecl,
+    IdenExpr,
+    ImpliesElse,
+    IntLit,
+    Let,
+    LogicOp,
+    Module,
+    Mult,
+    MultTest,
+    NameExpr,
+    NoneExpr,
+    Not,
+    Paragraph,
+    PredCall,
+    PredDecl,
+    Quant,
+    Quantified,
+    SigDecl,
+    SigScope,
+    UnaryExpr,
+    UnaryType,
+    UnivExpr,
+    UnOp,
+)
+from repro.alloy.lexer import tokenize
+from repro.alloy.tokens import Token, TokenKind
+
+_MULT_KINDS = {
+    TokenKind.SET: Mult.SET,
+    TokenKind.ONE: Mult.ONE,
+    TokenKind.LONE: Mult.LONE,
+    TokenKind.SOME: Mult.SOME,
+}
+
+_QUANT_KINDS = {
+    TokenKind.ALL: Quant.ALL,
+    TokenKind.SOME: Quant.SOME,
+    TokenKind.NO: Quant.NO,
+    TokenKind.LONE: Quant.LONE,
+    TokenKind.ONE: Quant.ONE,
+}
+
+_MULT_TEST_KINDS = {
+    TokenKind.NO: Mult.NO,
+    TokenKind.SOME: Mult.SOME,
+    TokenKind.LONE: Mult.LONE,
+    TokenKind.ONE: Mult.ONE,
+}
+
+_CMP_KINDS = {
+    TokenKind.IN: CmpOp.IN,
+    TokenKind.NOT_IN: CmpOp.NOT_IN,
+    TokenKind.EQ: CmpOp.EQ,
+    TokenKind.NEQ: CmpOp.NEQ,
+    TokenKind.LT: CmpOp.LT,
+    TokenKind.LTE: CmpOp.LTE,
+    TokenKind.GT: CmpOp.GT,
+    TokenKind.GTE: CmpOp.GTE,
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`Module`."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _at(self, *kinds: TokenKind) -> bool:
+        return self._peek().kind in kinds
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _accept(self, kind: TokenKind) -> Token | None:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, context: str) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value!r} {context}, found {token.text!r}", token.pos
+            )
+        return self._advance()
+
+    def _pos(self) -> SourcePos:
+        return self._peek().pos
+
+    # -- entry point --------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        pos = self._pos()
+        name: str | None = None
+        if self._accept(TokenKind.MODULE):
+            name = self._expect(TokenKind.IDENT, "after 'module'").text
+        paragraphs: list[Paragraph] = []
+        while not self._at(TokenKind.EOF):
+            paragraphs.append(self._parse_paragraph())
+        return Module(name=name, paragraphs=paragraphs, pos=pos)
+
+    # -- paragraphs ---------------------------------------------------------
+
+    def _parse_paragraph(self) -> Paragraph:
+        token = self._peek()
+        if token.kind is TokenKind.ABSTRACT or token.kind is TokenKind.SIG:
+            return self._parse_sig()
+        if token.kind in _MULT_KINDS and self._peek(1).kind is TokenKind.SIG:
+            return self._parse_sig()
+        if token.kind is TokenKind.FACT:
+            return self._parse_fact()
+        if token.kind is TokenKind.PRED:
+            return self._parse_pred()
+        if token.kind is TokenKind.FUN:
+            return self._parse_fun()
+        if token.kind is TokenKind.ASSERT:
+            return self._parse_assert()
+        if token.kind in (TokenKind.RUN, TokenKind.CHECK):
+            return self._parse_command()
+        raise ParseError(f"unexpected token {token.text!r} at top level", token.pos)
+
+    def _parse_sig(self) -> SigDecl:
+        pos = self._pos()
+        abstract = bool(self._accept(TokenKind.ABSTRACT))
+        mult: Mult | None = None
+        if self._peek().kind in _MULT_KINDS and self._peek(1).kind is TokenKind.SIG:
+            mult = _MULT_KINDS[self._advance().kind]
+        self._expect(TokenKind.SIG, "to begin signature")
+        names = [self._expect(TokenKind.IDENT, "signature name").text]
+        while self._accept(TokenKind.COMMA):
+            names.append(self._expect(TokenKind.IDENT, "signature name").text)
+        parent: str | None = None
+        if self._accept(TokenKind.EXTENDS):
+            parent = self._expect(TokenKind.IDENT, "after 'extends'").text
+        self._expect(TokenKind.LBRACE, "to open signature body")
+        fields: list[FieldDecl] = []
+        while not self._at(TokenKind.RBRACE):
+            fields.append(self._parse_field_decl())
+            if not self._accept(TokenKind.COMMA):
+                break
+        self._expect(TokenKind.RBRACE, "to close signature body")
+        appended = None
+        if self._at(TokenKind.LBRACE):
+            appended = self._parse_block()
+        return SigDecl(
+            names=names,
+            fields=fields,
+            parent=parent,
+            abstract=abstract,
+            mult=mult,
+            appended=appended,
+            pos=pos,
+        )
+
+    def _parse_field_decl(self) -> FieldDecl:
+        pos = self._pos()
+        name = self._expect(TokenKind.IDENT, "field name").text
+        self._expect(TokenKind.COLON, "after field name")
+        decl_type = self._parse_decl_type()
+        return FieldDecl(name=name, type=decl_type, pos=pos)
+
+    def _parse_decl_type(self) -> DeclType:
+        """Parse a declared field type: ``mult? expr (mult? -> mult? expr)*``."""
+        pos = self._pos()
+        leading: Mult | None = None
+        if self._peek().kind in _MULT_KINDS:
+            leading = _MULT_KINDS[self._advance().kind]
+        left_expr = self._parse_expr_no_arrow()
+        left: DeclType = UnaryType(
+            mult=leading if leading is not None else Mult.SET, expr=left_expr, pos=pos
+        )
+        if not self._at(TokenKind.ARROW) and self._peek().kind not in _MULT_KINDS:
+            # Simple unary field; the Alloy default multiplicity is `one`.
+            if leading is None:
+                left = UnaryType(mult=Mult.ONE, expr=left_expr, pos=pos)
+            return left
+        # Arrow type (right-associative).
+        return self._parse_arrow_tail(left)
+
+    def _parse_arrow_tail(self, left: DeclType) -> DeclType:
+        left_mult = Mult.SET
+        if self._peek().kind in _MULT_KINDS:
+            left_mult = _MULT_KINDS[self._advance().kind]
+        self._expect(TokenKind.ARROW, "in arrow field type")
+        right_mult = Mult.SET
+        if self._peek().kind in _MULT_KINDS:
+            right_mult = _MULT_KINDS[self._advance().kind]
+        right_pos = self._pos()
+        right_expr = self._parse_expr_no_arrow()
+        right: DeclType = UnaryType(mult=Mult.SET, expr=right_expr, pos=right_pos)
+        if self._at(TokenKind.ARROW) or (
+            self._peek().kind in _MULT_KINDS and self._peek(1).kind is TokenKind.ARROW
+        ):
+            right = self._parse_arrow_tail(right)
+        return ArrowType(
+            left=left,
+            right=right,
+            left_mult=left_mult,
+            right_mult=right_mult,
+            pos=left.pos,
+        )
+
+    def _parse_fact(self) -> FactDecl:
+        pos = self._pos()
+        self._expect(TokenKind.FACT, "to begin fact")
+        name: str | None = None
+        if self._at(TokenKind.IDENT):
+            name = self._advance().text
+        body = self._parse_block()
+        return FactDecl(name=name, body=body, pos=pos)
+
+    def _parse_pred(self) -> PredDecl:
+        pos = self._pos()
+        self._expect(TokenKind.PRED, "to begin predicate")
+        name = self._expect(TokenKind.IDENT, "predicate name").text
+        params = self._parse_params()
+        body = self._parse_block()
+        return PredDecl(name=name, params=params, body=body, pos=pos)
+
+    def _parse_fun(self) -> FunDecl:
+        pos = self._pos()
+        self._expect(TokenKind.FUN, "to begin function")
+        name = self._expect(TokenKind.IDENT, "function name").text
+        params = self._parse_params()
+        self._expect(TokenKind.COLON, "before function result type")
+        result = self._parse_decl_type()
+        self._expect(TokenKind.LBRACE, "to open function body")
+        body = self._parse_expr()
+        self._expect(TokenKind.RBRACE, "to close function body")
+        return FunDecl(name=name, params=params, result=result, body=body, pos=pos)
+
+    def _parse_params(self) -> list[Decl]:
+        params: list[Decl] = []
+        if self._accept(TokenKind.LBRACKET):
+            while not self._at(TokenKind.RBRACKET):
+                params.append(self._parse_decl())
+                if not self._accept(TokenKind.COMMA):
+                    break
+            self._expect(TokenKind.RBRACKET, "to close parameter list")
+        return params
+
+    def _parse_decl(self) -> Decl:
+        pos = self._pos()
+        disj = bool(self._accept(TokenKind.DISJ))
+        names = [self._expect(TokenKind.IDENT, "declared name").text]
+        while self._peek().kind is TokenKind.COMMA and self._peek(1).kind is TokenKind.IDENT:
+            self._advance()
+            names.append(self._advance().text)
+        self._expect(TokenKind.COLON, "in declaration")
+        mult: Mult | None = None
+        if self._peek().kind in _MULT_KINDS:
+            mult = _MULT_KINDS[self._advance().kind]
+        bound = self._parse_expr()
+        return Decl(names=names, bound=bound, mult=mult, disj=disj, pos=pos)
+
+    def _parse_assert(self) -> AssertDecl:
+        pos = self._pos()
+        self._expect(TokenKind.ASSERT, "to begin assertion")
+        name = self._expect(TokenKind.IDENT, "assertion name").text
+        body = self._parse_block()
+        return AssertDecl(name=name, body=body, pos=pos)
+
+    def _parse_command(self) -> Command:
+        pos = self._pos()
+        kind = "run" if self._advance().kind is TokenKind.RUN else "check"
+        target: str | None = None
+        block: Block | None = None
+        label: str | None = None
+        if self._at(TokenKind.IDENT):
+            target = self._advance().text
+        elif self._at(TokenKind.LBRACE):
+            block = self._parse_block()
+        else:
+            raise ParseError(
+                f"expected a name or block after '{kind}'", self._pos()
+            )
+        default_scope = 3
+        sig_scopes: list[SigScope] = []
+        if self._accept(TokenKind.FOR):
+            if self._at(TokenKind.NUMBER):
+                default_scope = int(self._advance().text)
+                if self._accept(TokenKind.BUT):
+                    sig_scopes = self._parse_sig_scopes()
+            else:
+                sig_scopes = self._parse_sig_scopes()
+        expect: int | None = None
+        if self._accept(TokenKind.EXPECT):
+            expect = int(self._expect(TokenKind.NUMBER, "after 'expect'").text)
+        return Command(
+            kind=kind,
+            target=target,
+            block=block,
+            default_scope=default_scope,
+            sig_scopes=sig_scopes,
+            expect=expect,
+            label=label,
+            pos=pos,
+        )
+
+    def _parse_sig_scopes(self) -> list[SigScope]:
+        scopes: list[SigScope] = []
+        while True:
+            pos = self._pos()
+            exact = bool(self._accept(TokenKind.EXACTLY))
+            bound = int(self._expect(TokenKind.NUMBER, "in scope bound").text)
+            sig = self._expect(TokenKind.IDENT, "signature in scope").text
+            scopes.append(SigScope(sig=sig, bound=bound, exact=exact, pos=pos))
+            if not self._accept(TokenKind.COMMA):
+                return scopes
+
+    # -- formulas -----------------------------------------------------------
+
+    def _parse_block(self) -> Block:
+        pos = self._pos()
+        self._expect(TokenKind.LBRACE, "to open block")
+        formulas: list[Formula] = []
+        while not self._at(TokenKind.RBRACE):
+            formulas.append(self._parse_formula())
+        self._expect(TokenKind.RBRACE, "to close block")
+        return Block(formulas=formulas, pos=pos)
+
+    def _parse_formula(self) -> Formula:
+        return self._parse_or()
+
+    def _parse_or(self) -> Formula:
+        left = self._parse_iff()
+        while self._at(TokenKind.OR, TokenKind.BARBAR):
+            pos = self._advance().pos
+            right = self._parse_iff()
+            left = BoolBin(op=LogicOp.OR, left=left, right=right, pos=pos)
+        return left
+
+    def _parse_iff(self) -> Formula:
+        left = self._parse_implies()
+        while self._at(TokenKind.IFF, TokenKind.IFF_OP):
+            pos = self._advance().pos
+            right = self._parse_implies()
+            left = BoolBin(op=LogicOp.IFF, left=left, right=right, pos=pos)
+        return left
+
+    def _parse_implies(self) -> Formula:
+        left = self._parse_and()
+        if self._at(TokenKind.IMPLIES, TokenKind.IMPLIES_OP):
+            pos = self._advance().pos
+            then = self._parse_implies()
+            if self._accept(TokenKind.ELSE):
+                other = self._parse_implies()
+                return ImpliesElse(cond=left, then=then, other=other, pos=pos)
+            return BoolBin(op=LogicOp.IMPLIES, left=left, right=then, pos=pos)
+        return left
+
+    def _parse_and(self) -> Formula:
+        left = self._parse_unary_formula()
+        while self._at(TokenKind.AND, TokenKind.AMPAMP):
+            pos = self._advance().pos
+            right = self._parse_unary_formula()
+            left = BoolBin(op=LogicOp.AND, left=left, right=right, pos=pos)
+        return left
+
+    def _parse_unary_formula(self) -> Formula:
+        token = self._peek()
+        if token.kind in (TokenKind.NOT, TokenKind.BANG):
+            self._advance()
+            operand = self._parse_unary_formula()
+            return Not(operand=operand, pos=token.pos)
+        if token.kind is TokenKind.LET:
+            return self._parse_let()
+        if token.kind in _QUANT_KINDS and self._is_quantifier_ahead():
+            return self._parse_quantified()
+        return self._parse_atomic_formula()
+
+    def _is_quantifier_ahead(self) -> bool:
+        """After a quantifier keyword: ``disj? IDENT (, IDENT)* :`` means binder."""
+        offset = 1
+        if self._peek(offset).kind is TokenKind.DISJ:
+            offset += 1
+        if self._peek(offset).kind is not TokenKind.IDENT:
+            return False
+        offset += 1
+        while (
+            self._peek(offset).kind is TokenKind.COMMA
+            and self._peek(offset + 1).kind is TokenKind.IDENT
+        ):
+            offset += 2
+        return self._peek(offset).kind is TokenKind.COLON
+
+    def _parse_quantified(self) -> Quantified:
+        token = self._advance()
+        quant = _QUANT_KINDS[token.kind]
+        decls = [self._parse_decl()]
+        while self._accept(TokenKind.COMMA):
+            decls.append(self._parse_decl())
+        self._expect(TokenKind.BAR, "before quantified body")
+        body = self._parse_formula()
+        return Quantified(quant=quant, decls=decls, body=body, pos=token.pos)
+
+    def _parse_let(self) -> Let:
+        token = self._expect(TokenKind.LET, "to begin let")
+        name = self._expect(TokenKind.IDENT, "let-bound name").text
+        self._expect(TokenKind.EQ, "in let binding")
+        value = self._parse_expr()
+        self._expect(TokenKind.BAR, "before let body")
+        body = self._parse_formula()
+        return Let(name=name, value=value, body=body, pos=token.pos)
+
+    def _parse_atomic_formula(self) -> Formula:
+        token = self._peek()
+        if token.kind in _MULT_TEST_KINDS and token.kind in (
+            TokenKind.NO,
+            TokenKind.SOME,
+            TokenKind.LONE,
+            TokenKind.ONE,
+        ):
+            # Multiplicity test: `some expr`, `no expr`, etc.
+            self._advance()
+            operand = self._parse_expr()
+            return MultTest(
+                mult=_MULT_TEST_KINDS[token.kind], operand=operand, pos=token.pos
+            )
+        if token.kind is TokenKind.LBRACE:
+            return self._parse_block()
+        if token.kind is TokenKind.LPAREN:
+            # Ambiguous: could be `(expr) op expr` or `(formula)`.
+            saved = self._index
+            try:
+                return self._parse_comparison()
+            except ParseError:
+                self._index = saved
+            self._advance()
+            inner = self._parse_formula()
+            self._expect(TokenKind.RPAREN, "to close parenthesized formula")
+            return inner
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Formula:
+        pos = self._pos()
+        left = self._parse_expr()
+        token = self._peek()
+        negated = False
+        if token.kind is TokenKind.NOT:
+            # `a not in b` / `a not = b`
+            negated = True
+            self._advance()
+            token = self._peek()
+        if token.kind in _CMP_KINDS:
+            op = _CMP_KINDS[token.kind]
+            self._advance()
+            right = self._parse_expr()
+            formula: Formula = Compare(op=op, left=left, right=right, pos=token.pos)
+            if negated:
+                formula = Not(operand=formula, pos=token.pos)
+            return formula
+        if negated:
+            raise ParseError("expected comparison operator after 'not'", token.pos)
+        # Bare name or call in formula position is a predicate invocation.
+        if isinstance(left, NameExpr):
+            return PredCall(name=left.name, args=[], pos=left.pos)
+        if isinstance(left, FunCall):
+            return PredCall(name=left.name, args=left.args, pos=left.pos)
+        raise ParseError("expected a formula", pos)
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_union()
+
+    def _parse_union(self) -> Expr:
+        left = self._parse_card()
+        while self._at(TokenKind.PLUS, TokenKind.MINUS):
+            token = self._advance()
+            op = BinOp.UNION if token.kind is TokenKind.PLUS else BinOp.DIFF
+            right = self._parse_card()
+            left = BinaryExpr(op=op, left=left, right=right, pos=token.pos)
+        return left
+
+    def _parse_card(self) -> Expr:
+        if self._at(TokenKind.HASH):
+            token = self._advance()
+            operand = self._parse_card()
+            return CardExpr(operand=operand, pos=token.pos)
+        return self._parse_override()
+
+    def _parse_override(self) -> Expr:
+        left = self._parse_intersect()
+        while self._at(TokenKind.PLUSPLUS):
+            token = self._advance()
+            right = self._parse_intersect()
+            left = BinaryExpr(op=BinOp.OVERRIDE, left=left, right=right, pos=token.pos)
+        return left
+
+    def _parse_intersect(self) -> Expr:
+        left = self._parse_product()
+        while self._at(TokenKind.AMP):
+            token = self._advance()
+            right = self._parse_product()
+            left = BinaryExpr(op=BinOp.INTERSECT, left=left, right=right, pos=token.pos)
+        return left
+
+    def _parse_product(self) -> Expr:
+        left = self._parse_restrict()
+        if self._at(TokenKind.ARROW):
+            token = self._advance()
+            right = self._parse_product()
+            return BinaryExpr(op=BinOp.PRODUCT, left=left, right=right, pos=token.pos)
+        return left
+
+    def _parse_restrict(self) -> Expr:
+        left = self._parse_postfix()
+        while self._at(TokenKind.DOM_RESTRICT, TokenKind.RAN_RESTRICT):
+            token = self._advance()
+            op = (
+                BinOp.DOM_RESTRICT
+                if token.kind is TokenKind.DOM_RESTRICT
+                else BinOp.RAN_RESTRICT
+            )
+            right = self._parse_postfix()
+            left = BinaryExpr(op=op, left=left, right=right, pos=token.pos)
+        return left
+
+    def _parse_postfix(self) -> Expr:
+        """Handles `.` join and `[...]` box join, both left-associative."""
+        left = self._parse_unary_expr()
+        while True:
+            if self._at(TokenKind.DOT):
+                token = self._advance()
+                right = self._parse_unary_expr()
+                left = BinaryExpr(op=BinOp.JOIN, left=left, right=right, pos=token.pos)
+            elif self._at(TokenKind.LBRACKET):
+                token = self._advance()
+                args = [self._parse_expr()]
+                while self._accept(TokenKind.COMMA):
+                    args.append(self._parse_expr())
+                self._expect(TokenKind.RBRACKET, "to close box join")
+                if isinstance(left, NameExpr):
+                    # Might be a predicate/function call; resolver decides.
+                    left = FunCall(name=left.name, args=args, pos=left.pos)
+                else:
+                    # e1[e2, e3] desugars to e3.(e2.e1)
+                    result = left
+                    for arg in args:
+                        result = BinaryExpr(
+                            op=BinOp.JOIN, left=arg, right=result, pos=token.pos
+                        )
+                    left = result
+            else:
+                return left
+
+    def _parse_unary_expr(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.TILDE:
+            self._advance()
+            return UnaryExpr(
+                op=UnOp.TRANSPOSE, operand=self._parse_unary_expr(), pos=token.pos
+            )
+        if token.kind is TokenKind.CARET:
+            self._advance()
+            return UnaryExpr(
+                op=UnOp.CLOSURE, operand=self._parse_unary_expr(), pos=token.pos
+            )
+        if token.kind is TokenKind.STAR:
+            self._advance()
+            return UnaryExpr(
+                op=UnOp.RCLOSURE, operand=self._parse_unary_expr(), pos=token.pos
+            )
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return NameExpr(name=token.text, pos=token.pos)
+        if token.kind is TokenKind.AT:
+            self._advance()
+            name = self._expect(TokenKind.IDENT, "after '@'")
+            return NameExpr(name=name.text, raw=True, pos=token.pos)
+        if token.kind is TokenKind.NONE:
+            self._advance()
+            return NoneExpr(pos=token.pos)
+        if token.kind is TokenKind.UNIV:
+            self._advance()
+            return UnivExpr(pos=token.pos)
+        if token.kind is TokenKind.IDEN:
+            self._advance()
+            return IdenExpr(pos=token.pos)
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return IntLit(value=int(token.text), pos=token.pos)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self._parse_expr()
+            self._expect(TokenKind.RPAREN, "to close parenthesized expression")
+            return inner
+        if token.kind is TokenKind.LBRACE:
+            return self._parse_comprehension()
+        raise ParseError(f"expected an expression, found {token.text!r}", token.pos)
+
+    def _parse_expr_no_arrow(self) -> Expr:
+        """Parse an expression that stops before `->` (used in decl types)."""
+        left = self._parse_restrict()
+        while self._at(TokenKind.PLUS, TokenKind.MINUS, TokenKind.AMP):
+            token = self._advance()
+            op = {
+                TokenKind.PLUS: BinOp.UNION,
+                TokenKind.MINUS: BinOp.DIFF,
+                TokenKind.AMP: BinOp.INTERSECT,
+            }[token.kind]
+            right = self._parse_restrict()
+            left = BinaryExpr(op=op, left=left, right=right, pos=token.pos)
+        return left
+
+    def _parse_comprehension(self) -> Comprehension:
+        token = self._expect(TokenKind.LBRACE, "to open comprehension")
+        decls = [self._parse_decl()]
+        while self._accept(TokenKind.COMMA):
+            decls.append(self._parse_decl())
+        self._expect(TokenKind.BAR, "before comprehension body")
+        body = self._parse_formula()
+        self._expect(TokenKind.RBRACE, "to close comprehension")
+        return Comprehension(decls=decls, body=body, pos=token.pos)
+
+
+def parse_module(source: str) -> Module:
+    """Parse a complete specification from source text."""
+    return Parser(tokenize(source)).parse_module()
+
+
+def parse_formula(source: str) -> Formula:
+    """Parse a standalone formula (used by tests and repair tools)."""
+    parser = Parser(tokenize(source))
+    formula = parser._parse_formula()
+    token = parser._peek()
+    if token.kind is not TokenKind.EOF:
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.pos)
+    return formula
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a standalone expression (used by tests and repair tools)."""
+    parser = Parser(tokenize(source))
+    expr = parser._parse_expr()
+    token = parser._peek()
+    if token.kind is not TokenKind.EOF:
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.pos)
+    return expr

@@ -1,0 +1,137 @@
+"""Token definitions for the Alloy dialect lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.alloy.errors import SourcePos
+
+
+class TokenKind(enum.Enum):
+    """The lexical categories recognized by the lexer."""
+
+    IDENT = "identifier"
+    NUMBER = "number"
+
+    # Keywords.
+    ABSTRACT = "abstract"
+    ALL = "all"
+    AND = "and"
+    ASSERT = "assert"
+    BUT = "but"
+    CHECK = "check"
+    DISJ = "disj"
+    ELSE = "else"
+    EXACTLY = "exactly"
+    EXTENDS = "extends"
+    FACT = "fact"
+    FOR = "for"
+    FUN = "fun"
+    IDEN = "iden"
+    IFF = "iff"
+    IMPLIES = "implies"
+    IN = "in"
+    INT = "Int"
+    LET = "let"
+    LONE = "lone"
+    MODULE = "module"
+    NO = "no"
+    NONE = "none"
+    NOT = "not"
+    ONE = "one"
+    OR = "or"
+    PRED = "pred"
+    RUN = "run"
+    SET = "set"
+    SIG = "sig"
+    SOME = "some"
+    UNIV = "univ"
+    EXPECT = "expect"
+
+    # Punctuation and operators.
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    COLON = ":"
+    DOT = "."
+    AT = "@"
+    PLUS = "+"
+    MINUS = "-"
+    AMP = "&"
+    ARROW = "->"
+    PLUSPLUS = "++"
+    TILDE = "~"
+    CARET = "^"
+    STAR = "*"
+    HASH = "#"
+    BAR = "|"
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    GT = ">"
+    LTE = "<="
+    GTE = ">="
+    NOT_IN = "!in"
+    NOT_EQ_ALT = "not="
+    BANG = "!"
+    AMPAMP = "&&"
+    BARBAR = "||"
+    IMPLIES_OP = "=>"
+    IFF_OP = "<=>"
+    DOM_RESTRICT = "<:"
+    RAN_RESTRICT = ":>"
+    EOF = "<eof>"
+
+
+KEYWORDS: dict[str, TokenKind] = {
+    "abstract": TokenKind.ABSTRACT,
+    "all": TokenKind.ALL,
+    "and": TokenKind.AND,
+    "assert": TokenKind.ASSERT,
+    "but": TokenKind.BUT,
+    "check": TokenKind.CHECK,
+    "disj": TokenKind.DISJ,
+    "else": TokenKind.ELSE,
+    "exactly": TokenKind.EXACTLY,
+    "extends": TokenKind.EXTENDS,
+    "fact": TokenKind.FACT,
+    "for": TokenKind.FOR,
+    "fun": TokenKind.FUN,
+    "iden": TokenKind.IDEN,
+    "iff": TokenKind.IFF,
+    "implies": TokenKind.IMPLIES,
+    "in": TokenKind.IN,
+    "Int": TokenKind.INT,
+    "let": TokenKind.LET,
+    "lone": TokenKind.LONE,
+    "module": TokenKind.MODULE,
+    "no": TokenKind.NO,
+    "none": TokenKind.NONE,
+    "not": TokenKind.NOT,
+    "one": TokenKind.ONE,
+    "or": TokenKind.OR,
+    "pred": TokenKind.PRED,
+    "run": TokenKind.RUN,
+    "set": TokenKind.SET,
+    "sig": TokenKind.SIG,
+    "some": TokenKind.SOME,
+    "univ": TokenKind.UNIV,
+    "expect": TokenKind.EXPECT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    pos: SourcePos
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.pos}"

@@ -1,0 +1,97 @@
+"""Generic AST traversal and rewriting utilities.
+
+Nodes are addressed by *paths*: tuples of ``(field_name, index)`` steps from a
+root node, where ``index`` is ``None`` for scalar fields and an integer for
+list fields.  Paths survive pretty-print/re-parse round trips of an unchanged
+tree, which lets fault localization, mutation, and repair tools name and
+rewrite arbitrary subtrees without bespoke visitors.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Callable, Iterator
+
+from repro.alloy.nodes import Node
+
+Path = tuple[tuple[str, int | None], ...]
+"""A structural address of a node below some root."""
+
+
+def iter_paths(root: Node) -> Iterator[tuple[Path, Node]]:
+    """Yield ``(path, node)`` for the root and every descendant, pre-order."""
+    yield (), root
+    for step, child in _child_steps(root):
+        for sub_path, node in iter_paths(child):
+            yield (step,) + sub_path, node
+
+
+def _child_steps(node: Node) -> Iterator[tuple[tuple[str, int | None], Node]]:
+    for f in dataclasses.fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, Node):
+            yield (f.name, None), value
+        elif isinstance(value, list):
+            for index, item in enumerate(value):
+                if isinstance(item, Node):
+                    yield (f.name, index), item
+
+
+def get_at(root: Node, path: Path) -> Node:
+    """Return the node addressed by ``path`` below ``root``."""
+    node: Node = root
+    for field_name, index in path:
+        value = getattr(node, field_name)
+        node = value if index is None else value[index]
+    return node
+
+
+def replace_at(root: Node, path: Path, replacement: Node) -> Node:
+    """Return a deep copy of ``root`` with the node at ``path`` replaced."""
+    new_root = copy.deepcopy(root)
+    if not path:
+        return copy.deepcopy(replacement)
+    parent = get_at(new_root, path[:-1])
+    field_name, index = path[-1]
+    if index is None:
+        setattr(parent, field_name, copy.deepcopy(replacement))
+    else:
+        getattr(parent, field_name)[index] = copy.deepcopy(replacement)
+    return new_root
+
+
+def remove_at(root: Node, path: Path) -> Node:
+    """Return a deep copy of ``root`` with the list element at ``path`` removed.
+
+    The addressed node must live in a list field (e.g. a formula inside a
+    block); removing a scalar child would leave the parent malformed.
+    """
+    if not path:
+        raise ValueError("cannot remove the root node")
+    field_name, index = path[-1]
+    if index is None:
+        raise ValueError(f"node at field {field_name!r} is not a list element")
+    new_root = copy.deepcopy(root)
+    parent = get_at(new_root, path[:-1])
+    del getattr(parent, field_name)[index]
+    return new_root
+
+
+def insert_at(root: Node, path: Path, index: int, new_node: Node, field_name: str) -> Node:
+    """Return a deep copy of ``root`` with ``new_node`` inserted into the list
+    field ``field_name`` of the node at ``path``, at position ``index``."""
+    new_root = copy.deepcopy(root)
+    parent = get_at(new_root, path)
+    getattr(parent, field_name).insert(index, copy.deepcopy(new_node))
+    return new_root
+
+
+def count_nodes(root: Node) -> int:
+    """Total number of nodes in the tree rooted at ``root``."""
+    return sum(1 for _ in root.walk())
+
+
+def find_paths(root: Node, predicate: Callable[[Node], bool]) -> list[Path]:
+    """All paths whose node satisfies ``predicate``, pre-order."""
+    return [path for path, node in iter_paths(root) if predicate(node)]

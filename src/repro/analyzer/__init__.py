@@ -1,0 +1,37 @@
+"""Bounded model finder for the Alloy dialect (the Alloy Analyzer stand-in)."""
+
+from repro.analyzer.analyzer import (
+    Analyzer,
+    CommandResult,
+    analyze_source,
+    try_analyze,
+)
+from repro.analyzer.evaluator import Evaluator
+from repro.analyzer.instance import Instance, make_instance
+from repro.analyzer.minimize import (
+    minimize_counterexample,
+    minimize_fact_violation,
+    minimize_instance,
+)
+from repro.analyzer.semantics import field_constraints
+from repro.analyzer.translate import Translator
+from repro.analyzer.universe import Bounds, SigBound, Universe, resolve_scopes
+
+__all__ = [
+    "Analyzer",
+    "Bounds",
+    "CommandResult",
+    "Evaluator",
+    "Instance",
+    "SigBound",
+    "Translator",
+    "Universe",
+    "analyze_source",
+    "field_constraints",
+    "make_instance",
+    "minimize_counterexample",
+    "minimize_fact_violation",
+    "minimize_instance",
+    "resolve_scopes",
+    "try_analyze",
+]

@@ -1,0 +1,397 @@
+"""Evaluation of expressions and formulas against a concrete instance.
+
+This mirrors the Alloy Analyzer's evaluator: given an :class:`Instance`, it
+computes relational values (as frozensets of atom tuples), integer values,
+and truth values.  It is used to validate AUnit tests (ARepair), prune repair
+candidates against known instances/counterexamples (ATR), and to cross-check
+the SAT translation in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.alloy.errors import EvaluationError
+from repro.alloy.nodes import (
+    BinaryExpr,
+    BinOp,
+    Block,
+    BoolBin,
+    CardExpr,
+    Compare,
+    CmpOp,
+    Comprehension,
+    Decl,
+    Expr,
+    Formula,
+    FunCall,
+    IdenExpr,
+    ImpliesElse,
+    IntLit,
+    Let,
+    LogicOp,
+    Mult,
+    MultTest,
+    NameExpr,
+    NoneExpr,
+    Not,
+    PredCall,
+    Quant,
+    Quantified,
+    UnaryExpr,
+    UnivExpr,
+    UnOp,
+)
+from repro.alloy.resolver import ModuleInfo
+from repro.analyzer.instance import Instance, Relation
+
+Env = dict[str, Relation]
+Value = Relation | int
+
+
+class Evaluator:
+    """Evaluates ASTs against one instance of one module."""
+
+    def __init__(self, info: ModuleInfo, instance: Instance) -> None:
+        self._info = info
+        self._instance = instance
+
+    # -- public API -----------------------------------------------------------
+
+    def expr(self, expr: Expr, env: Env | None = None) -> Value:
+        """Evaluate an expression to a relation or an integer."""
+        return self._expr(expr, env or {})
+
+    def formula(self, formula: Formula, env: Env | None = None) -> bool:
+        """Evaluate a formula to a truth value."""
+        return self._formula(formula, env or {})
+
+    def facts_hold(self) -> bool:
+        """Whether every fact of the module holds in the instance."""
+        return all(self._formula(fact.body, {}) for fact in self._info.facts)
+
+    def pred_holds(self, name: str, args: list[Relation] | None = None) -> bool:
+        """Whether predicate ``name`` holds for the given argument values."""
+        pred = self._info.preds.get(name)
+        if pred is None:
+            raise EvaluationError(f"unknown predicate {name!r}")
+        env = _bind_params(pred.params, args or [])
+        return self._formula(pred.body, env)
+
+    def assertion_holds(self, name: str) -> bool:
+        """Whether assertion ``name`` holds in the instance."""
+        assertion = self._info.asserts.get(name)
+        if assertion is None:
+            raise EvaluationError(f"unknown assertion {name!r}")
+        return self._formula(assertion.body, {})
+
+    # -- universe helpers -------------------------------------------------------
+
+    def _univ(self) -> Relation:
+        atoms: set[tuple[str, ...]] = set()
+        for sig in self._info.sigs.values():
+            if sig.is_top_level:
+                atoms |= self._instance.relation(sig.name)
+        return frozenset(atoms)
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _expr(self, expr: Expr, env: Env) -> Value:
+        if isinstance(expr, NameExpr):
+            return self._name(expr, env)
+        if isinstance(expr, NoneExpr):
+            return frozenset()
+        if isinstance(expr, UnivExpr):
+            return self._univ()
+        if isinstance(expr, IdenExpr):
+            return frozenset((t[0], t[0]) for t in self._univ())
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, CardExpr):
+            value = self._rel(expr.operand, env)
+            return len(value)
+        if isinstance(expr, UnaryExpr):
+            return self._unary(expr, env)
+        if isinstance(expr, BinaryExpr):
+            return self._binary(expr, env)
+        if isinstance(expr, FunCall):
+            return self._call(expr, env)
+        if isinstance(expr, Comprehension):
+            return self._comprehension(expr, env)
+        raise EvaluationError(f"cannot evaluate expression {expr!r}", expr.pos)
+
+    def _rel(self, expr: Expr, env: Env) -> Relation:
+        value = self._expr(expr, env)
+        if isinstance(value, int):
+            raise EvaluationError("expected a relation, got an integer", expr.pos)
+        return value
+
+    def _int(self, expr: Expr, env: Env) -> int:
+        value = self._expr(expr, env)
+        if not isinstance(value, int):
+            raise EvaluationError("expected an integer, got a relation", expr.pos)
+        return value
+
+    def _name(self, expr: NameExpr, env: Env) -> Relation:
+        if expr.name in env:
+            return env[expr.name]
+        if expr.name in self._info.sigs or expr.name in self._info.fields:
+            return self._instance.relation(expr.name)
+        fun = self._info.funs.get(expr.name)
+        if fun is not None and not fun.params:
+            return self._rel(fun.body, {})
+        raise EvaluationError(f"unknown name {expr.name!r}", expr.pos)
+
+    def _unary(self, expr: UnaryExpr, env: Env) -> Relation:
+        operand = self._rel(expr.operand, env)
+        if expr.op is UnOp.TRANSPOSE:
+            return frozenset((b, a) for a, b in operand)
+        closure = _transitive_closure(operand)
+        if expr.op is UnOp.CLOSURE:
+            return closure
+        # Reflexive-transitive closure adds iden over the whole universe.
+        iden = frozenset((t[0], t[0]) for t in self._univ())
+        return closure | iden
+
+    def _binary(self, expr: BinaryExpr, env: Env) -> Value:
+        if expr.op in (BinOp.UNION, BinOp.DIFF):
+            left = self._expr(expr.left, env)
+            right = self._expr(expr.right, env)
+            if isinstance(left, int) and isinstance(right, int):
+                return left + right if expr.op is BinOp.UNION else left - right
+            if isinstance(left, int) or isinstance(right, int):
+                raise EvaluationError(
+                    "cannot mix integers and relations", expr.pos
+                )
+            return left | right if expr.op is BinOp.UNION else left - right
+        left = self._rel(expr.left, env)
+        right = self._rel(expr.right, env)
+        if expr.op is BinOp.INTERSECT:
+            return left & right
+        if expr.op is BinOp.JOIN:
+            return _join(left, right, expr)
+        if expr.op is BinOp.PRODUCT:
+            return frozenset(a + b for a in left for b in right)
+        if expr.op is BinOp.OVERRIDE:
+            overridden_domain = {t[0] for t in right}
+            kept = frozenset(t for t in left if t[0] not in overridden_domain)
+            return kept | right
+        if expr.op is BinOp.DOM_RESTRICT:
+            domain = {t[0] for t in left}
+            return frozenset(t for t in right if t[0] in domain)
+        if expr.op is BinOp.RAN_RESTRICT:
+            rng = {t[0] for t in right}
+            return frozenset(t for t in left if t[-1] in rng)
+        raise EvaluationError(f"unsupported operator {expr.op!r}", expr.pos)
+
+    def _call(self, expr: FunCall, env: Env) -> Value:
+        fun = self._info.funs.get(expr.name)
+        if fun is not None:
+            args = [self._rel(arg, env) for arg in expr.args]
+            inner = _bind_params(fun.params, args)
+            return self._expr(fun.body, inner)
+        # Sugar: name[a, b] == b.(a.name)
+        result = self._rel(NameExpr(name=expr.name, pos=expr.pos), env)
+        for arg in expr.args:
+            arg_value = self._rel(arg, env)
+            result = _join(arg_value, result, expr)
+        return result
+
+    def _comprehension(self, expr: Comprehension, env: Env) -> Relation:
+        tuples: set[tuple[str, ...]] = set()
+        for binding, inner in self._bindings(expr.decls, env):
+            if self._formula(expr.body, inner):
+                tuples.add(tuple(atom for atoms in binding for atom in atoms))
+        return frozenset(tuples)
+
+    # -- formula evaluation ----------------------------------------------------
+
+    def _formula(self, formula: Formula, env: Env) -> bool:
+        if isinstance(formula, Compare):
+            return self._compare(formula, env)
+        if isinstance(formula, MultTest):
+            size = len(self._rel(formula.operand, env))
+            return _mult_holds(formula.mult, size)
+        if isinstance(formula, Not):
+            return not self._formula(formula.operand, env)
+        if isinstance(formula, BoolBin):
+            return self._bool_bin(formula, env)
+        if isinstance(formula, ImpliesElse):
+            if self._formula(formula.cond, env):
+                return self._formula(formula.then, env)
+            return self._formula(formula.other, env)
+        if isinstance(formula, Quantified):
+            return self._quantified(formula, env)
+        if isinstance(formula, Let):
+            value = self._expr(formula.value, env)
+            if isinstance(value, int):
+                raise EvaluationError("let cannot bind integers", formula.pos)
+            inner = dict(env)
+            inner[formula.name] = value
+            return self._formula(formula.body, inner)
+        if isinstance(formula, PredCall):
+            pred = self._info.preds.get(formula.name)
+            if pred is None:
+                raise EvaluationError(
+                    f"unknown predicate {formula.name!r}", formula.pos
+                )
+            args = [self._rel(arg, env) for arg in formula.args]
+            inner = _bind_params(pred.params, args)
+            return self._formula(pred.body, inner)
+        if isinstance(formula, Block):
+            return all(self._formula(f, env) for f in formula.formulas)
+        raise EvaluationError(f"cannot evaluate formula {formula!r}", formula.pos)
+
+    def _compare(self, formula: Compare, env: Env) -> bool:
+        left = self._expr(formula.left, env)
+        right = self._expr(formula.right, env)
+        if isinstance(left, int) or isinstance(right, int):
+            if not (isinstance(left, int) and isinstance(right, int)):
+                raise EvaluationError(
+                    "cannot compare integers with relations", formula.pos
+                )
+            return _int_compare(formula.op, left, right, formula)
+        if formula.op is CmpOp.IN:
+            return left <= right
+        if formula.op is CmpOp.NOT_IN:
+            return not left <= right
+        if formula.op is CmpOp.EQ:
+            return left == right
+        if formula.op is CmpOp.NEQ:
+            return left != right
+        raise EvaluationError(
+            f"operator {formula.op.value!r} requires integers", formula.pos
+        )
+
+    def _bool_bin(self, formula: BoolBin, env: Env) -> bool:
+        if formula.op is LogicOp.AND:
+            return self._formula(formula.left, env) and self._formula(
+                formula.right, env
+            )
+        if formula.op is LogicOp.OR:
+            return self._formula(formula.left, env) or self._formula(
+                formula.right, env
+            )
+        if formula.op is LogicOp.IMPLIES:
+            return (not self._formula(formula.left, env)) or self._formula(
+                formula.right, env
+            )
+        return self._formula(formula.left, env) == self._formula(formula.right, env)
+
+    def _quantified(self, formula: Quantified, env: Env) -> bool:
+        matches = 0
+        total = 0
+        for _, inner in self._bindings(formula.decls, env):
+            total += 1
+            if self._formula(formula.body, inner):
+                matches += 1
+        if formula.quant is Quant.ALL:
+            return matches == total
+        if formula.quant is Quant.SOME:
+            return matches >= 1
+        if formula.quant is Quant.NO:
+            return matches == 0
+        if formula.quant is Quant.LONE:
+            return matches <= 1
+        return matches == 1
+
+    def _bindings(self, decls: list[Decl], env: Env):
+        """Yield (per-name atom tuples, extended env) for every valuation of
+        the declared scalar variables."""
+        names: list[str] = []
+        pools: list[list[tuple[str, ...]]] = []
+        disj_groups: list[tuple[int, int]] = []
+        inner = dict(env)
+        # Bounds may reference earlier binders only through env at expansion
+        # time; evaluate each decl's bound under the *outer* env extended with
+        # nothing (Alloy allows dependent bounds, which we expand iteratively).
+        start = 0
+        for decl in decls:
+            bound = self._rel(decl.bound, inner)
+            atom_tuples = sorted(bound)
+            for name in decl.names:
+                names.append(name)
+                pools.append(atom_tuples)
+            if decl.disj and len(decl.names) > 1:
+                disj_groups.append((start, start + len(decl.names)))
+            start += len(decl.names)
+        for combo in itertools.product(*pools):
+            if any(
+                len({combo[i] for i in range(lo, hi)}) != hi - lo
+                for lo, hi in disj_groups
+            ):
+                continue
+            extended = dict(inner)
+            for name, atoms in zip(names, combo):
+                extended[name] = frozenset({atoms})
+            yield combo, extended
+
+
+def _join(left: Relation, right: Relation, site) -> Relation:
+    if any(len(t) == 1 for t in left) and any(len(t) == 1 for t in right):
+        raise EvaluationError("join of two unary relations", site.pos)
+    result: set[tuple[str, ...]] = set()
+    by_first: dict[str, list[tuple[str, ...]]] = {}
+    for t in right:
+        by_first.setdefault(t[0], []).append(t)
+    for a in left:
+        for b in by_first.get(a[-1], []):
+            result.add(a[:-1] + b[1:])
+    return frozenset(result)
+
+
+def _transitive_closure(relation: Relation) -> Relation:
+    closure = set(relation)
+    changed = True
+    while changed:
+        changed = False
+        additions = set()
+        by_first: dict[str, list[tuple[str, ...]]] = {}
+        for t in closure:
+            by_first.setdefault(t[0], []).append(t)
+        for a, b in list(closure):
+            for t in by_first.get(b, []):
+                pair = (a, t[1])
+                if pair not in closure:
+                    additions.add(pair)
+        if additions:
+            closure |= additions
+            changed = True
+    return frozenset(closure)
+
+
+def _mult_holds(mult: Mult, size: int) -> bool:
+    if mult is Mult.NO:
+        return size == 0
+    if mult is Mult.SOME:
+        return size >= 1
+    if mult is Mult.LONE:
+        return size <= 1
+    if mult is Mult.ONE:
+        return size == 1
+    return True  # SET
+
+
+def _int_compare(op: CmpOp, left: int, right: int, site) -> bool:
+    if op is CmpOp.EQ:
+        return left == right
+    if op is CmpOp.NEQ:
+        return left != right
+    if op is CmpOp.LT:
+        return left < right
+    if op is CmpOp.LTE:
+        return left <= right
+    if op is CmpOp.GT:
+        return left > right
+    if op is CmpOp.GTE:
+        return left >= right
+    raise EvaluationError(f"cannot apply {op.value!r} to integers", site.pos)
+
+
+def _bind_params(params: list[Decl], args: list[Relation]) -> Env:
+    names = [name for decl in params for name in decl.names]
+    if len(names) != len(args):
+        raise EvaluationError(
+            f"expected {len(names)} arguments, got {len(args)}"
+        )
+    return dict(zip(names, args))

@@ -1,0 +1,103 @@
+"""Counterexample minimization.
+
+The Alloy Analyzer ships a "minimize" action that shrinks an instance while
+preserving the property that made it interesting.  This module reproduces it
+with a greedy delta-debugging pass: tuples (and then atoms) are removed one
+at a time as long as a caller-supplied predicate still holds.
+
+Smaller counterexamples make sharper feedback: the multi-round repair loop
+can enable minimization so the Generic/Auto prompts quote the smallest
+violating valuation instead of an arbitrary solver model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.alloy.errors import AlloyError
+from repro.alloy.resolver import ModuleInfo
+from repro.analyzer.evaluator import Evaluator
+from repro.analyzer.instance import Instance
+
+Predicate = Callable[[Instance], bool]
+
+
+def minimize_instance(instance: Instance, interesting: Predicate) -> Instance:
+    """Greedy minimization: drop tuples, then atoms, while ``interesting``.
+
+    ``interesting`` must hold for the input instance; the result is a local
+    minimum (removing any single remaining tuple or atom breaks it).
+    """
+    if not interesting(instance):
+        raise ValueError("the initial instance is not interesting")
+    current = instance
+    changed = True
+    while changed:
+        changed = False
+        # Pass 1: drop individual tuples from n-ary relations.
+        for name in sorted(current.relations):
+            for tup in sorted(current.relation(name)):
+                if len(tup) == 1 and _is_sig_tuple(current, name):
+                    continue  # atoms handled below (with their incident tuples)
+                candidate = current.with_relation(
+                    name, current.relation(name) - {tup}
+                )
+                if interesting(candidate):
+                    current = candidate
+                    changed = True
+        # Pass 2: drop atoms together with every tuple mentioning them.
+        for atom in sorted(current.atoms()):
+            candidate = _without_atom(current, atom)
+            if interesting(candidate):
+                current = candidate
+                changed = True
+    return current
+
+
+def _is_sig_tuple(instance: Instance, name: str) -> bool:
+    """Heuristic: unary relations whose atoms carry the relation's own name
+    prefix are signature rows (``Node`` holding ``Node$0``)."""
+    return any(tup[0].split("$", 1)[0] == name for tup in instance.relation(name))
+
+
+def _without_atom(instance: Instance, atom: str) -> Instance:
+    relations = {
+        name: frozenset(tup for tup in tuples if atom not in tup)
+        for name, tuples in instance.relations.items()
+    }
+    return Instance(relations=relations)
+
+
+def minimize_counterexample(
+    info: ModuleInfo, instance: Instance, assertion: str
+) -> Instance:
+    """Shrink a counterexample of ``check <assertion>``.
+
+    The interesting-ness predicate is "facts hold and the assertion is
+    violated" — the exact condition that made the analyzer report it.
+    """
+
+    def interesting(candidate: Instance) -> bool:
+        evaluator = Evaluator(info, candidate)
+        try:
+            return evaluator.facts_hold() and not evaluator.assertion_holds(
+                assertion
+            )
+        except AlloyError:
+            return False
+
+    return minimize_instance(instance, interesting)
+
+
+def minimize_fact_violation(info: ModuleInfo, instance: Instance) -> Instance:
+    """Shrink a valuation that violates the facts (an ICEBAR-style negative
+    test), keeping it violating."""
+
+    def interesting(candidate: Instance) -> bool:
+        evaluator = Evaluator(info, candidate)
+        try:
+            return not evaluator.facts_hold()
+        except AlloyError:
+            return False
+
+    return minimize_instance(instance, interesting)

@@ -1,0 +1,117 @@
+"""Implicit constraints derived from declarations.
+
+Field declarations in Alloy carry multiplicity obligations (``f: one T``,
+``r: A -> lone B``), which the real Analyzer conjoins with the model's facts.
+This module desugars those obligations into ordinary :class:`Formula` ASTs so
+the translator and the evaluator need only one formula semantics.
+"""
+
+from __future__ import annotations
+
+from repro.alloy.errors import EvaluationError
+from repro.alloy.nodes import (
+    ArrowType,
+    BinaryExpr,
+    BinOp,
+    Decl,
+    Expr,
+    FieldDecl,
+    Formula,
+    Mult,
+    MultTest,
+    NameExpr,
+    Quant,
+    Quantified,
+    UnaryType,
+)
+from repro.alloy.resolver import ModuleInfo
+
+_OWNER_VAR = "this_"
+_LEFT_VAR = "left_"
+_RIGHT_VAR = "right_"
+
+
+def field_constraints(info: ModuleInfo) -> list[Formula]:
+    """All implicit multiplicity formulas for the module's fields."""
+    formulas: list[Formula] = []
+    for field_info in info.fields.values():
+        formulas.extend(_constraints_for(field_info.owner, field_info.decl))
+    return formulas
+
+
+def _constraints_for(owner: str, decl: FieldDecl) -> list[Formula]:
+    owner_decl = Decl(names=[_OWNER_VAR], bound=NameExpr(name=owner))
+    joined = BinaryExpr(
+        op=BinOp.JOIN, left=NameExpr(name=_OWNER_VAR), right=NameExpr(name=decl.name)
+    )
+    if isinstance(decl.type, UnaryType):
+        if decl.type.mult is Mult.SET:
+            return []
+        body = MultTest(mult=decl.type.mult, operand=joined)
+        return [Quantified(quant=Quant.ALL, decls=[owner_decl], body=body)]
+    if isinstance(decl.type, ArrowType):
+        return _arrow_constraints(owner_decl, joined, decl.type, decl)
+    raise EvaluationError(f"unsupported field type in {decl.name!r}", decl.pos)
+
+
+def _arrow_constraints(
+    owner_decl: Decl, value: Expr, arrow: ArrowType, decl: FieldDecl
+) -> list[Formula]:
+    if not isinstance(arrow.left, UnaryType) or not isinstance(
+        arrow.right, UnaryType
+    ):
+        if arrow.left_mult is Mult.SET and arrow.right_mult is Mult.SET:
+            return _nested_set_constraints(arrow, decl)
+        raise EvaluationError(
+            "multiplicities on nested arrow types deeper than A -> B are "
+            f"not supported (field {decl.name!r})",
+            decl.pos,
+        )
+    formulas: list[Formula] = []
+    left_sig = arrow.left.expr
+    right_sig = arrow.right.expr
+    if arrow.right_mult is not Mult.SET:
+        # all this: Owner, l: Left | <rm> l.(this.f)
+        body = MultTest(
+            mult=arrow.right_mult,
+            operand=BinaryExpr(
+                op=BinOp.JOIN, left=NameExpr(name=_LEFT_VAR), right=value
+            ),
+        )
+        formulas.append(
+            Quantified(
+                quant=Quant.ALL,
+                decls=[owner_decl, Decl(names=[_LEFT_VAR], bound=left_sig)],
+                body=body,
+            )
+        )
+    if arrow.left_mult is not Mult.SET:
+        # all this: Owner, r: Right | <lm> (this.f).r
+        body = MultTest(
+            mult=arrow.left_mult,
+            operand=BinaryExpr(
+                op=BinOp.JOIN, left=value, right=NameExpr(name=_RIGHT_VAR)
+            ),
+        )
+        formulas.append(
+            Quantified(
+                quant=Quant.ALL,
+                decls=[owner_decl, Decl(names=[_RIGHT_VAR], bound=right_sig)],
+                body=body,
+            )
+        )
+    return formulas
+
+
+def _nested_set_constraints(arrow: ArrowType, decl: FieldDecl) -> list[Formula]:
+    """A nested all-`set` arrow type imposes no multiplicity obligations."""
+    for side in (arrow.left, arrow.right):
+        if isinstance(side, ArrowType):
+            if side.left_mult is not Mult.SET or side.right_mult is not Mult.SET:
+                raise EvaluationError(
+                    "multiplicities on nested arrow types are not supported "
+                    f"(field {decl.name!r})",
+                    decl.pos,
+                )
+            _nested_set_constraints(side, decl)
+    return []

@@ -1,0 +1,448 @@
+"""Grounding of relational formulas into boolean circuits.
+
+This is the analogue of Kodkod inside the real Alloy Analyzer: every
+expression is represented as a *matrix* mapping potential atom tuples to
+circuit handles, and every formula becomes a single circuit handle.  The
+resulting circuits are asserted into the CDCL solver via Tseitin encoding.
+"""
+
+from __future__ import annotations
+
+from repro.alloy.errors import EvaluationError
+from repro.alloy.nodes import (
+    BinaryExpr,
+    BinOp,
+    Block,
+    BoolBin,
+    CardExpr,
+    Compare,
+    CmpOp,
+    Comprehension,
+    Decl,
+    Expr,
+    Formula,
+    FunCall,
+    IdenExpr,
+    ImpliesElse,
+    IntLit,
+    Let,
+    LogicOp,
+    Mult,
+    MultTest,
+    NameExpr,
+    NoneExpr,
+    Not,
+    PredCall,
+    Quant,
+    Quantified,
+    UnaryExpr,
+    UnivExpr,
+    UnOp,
+)
+from repro.alloy.resolver import ModuleInfo
+from repro.analyzer.universe import Bounds
+from repro.sat.circuit import FALSE, TRUE, CircuitBuilder
+
+Matrix = dict[tuple[str, ...], int]
+"""Maps potential tuples to the circuit handle of their membership."""
+
+Env = dict[str, Matrix]
+
+
+class Translator:
+    """Grounds formulas of one module under fixed bounds."""
+
+    def __init__(self, info: ModuleInfo, bounds: Bounds) -> None:
+        self._info = info
+        self._bounds = bounds
+        self._builder: CircuitBuilder = bounds.builder
+        self._call_stack: list[str] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def formula(self, formula: Formula, env: Env | None = None) -> int:
+        """Ground a formula to a circuit handle."""
+        return self._formula(formula, env or {})
+
+    def matrix(self, expr: Expr, env: Env | None = None) -> Matrix:
+        """Ground an expression to its membership matrix."""
+        return self._matrix(expr, env or {})
+
+    # -- expressions ----------------------------------------------------------
+
+    def _matrix(self, expr: Expr, env: Env) -> Matrix:
+        builder = self._builder
+        if isinstance(expr, NameExpr):
+            return self._name(expr, env)
+        if isinstance(expr, NoneExpr):
+            return {}
+        if isinstance(expr, UnivExpr):
+            return {
+                (atom,): self._bounds.atom_exists(atom)
+                for atom in self._bounds.universe.atoms
+            }
+        if isinstance(expr, IdenExpr):
+            return {
+                (atom, atom): self._bounds.atom_exists(atom)
+                for atom in self._bounds.universe.atoms
+            }
+        if isinstance(expr, UnaryExpr):
+            operand = self._matrix(expr.operand, env)
+            if expr.op is UnOp.TRANSPOSE:
+                return {(t[1], t[0]): h for t, h in operand.items()}
+            closure = self._closure(operand)
+            if expr.op is UnOp.CLOSURE:
+                return closure
+            result = dict(closure)
+            for atom in self._bounds.universe.atoms:
+                exists = self._bounds.atom_exists(atom)
+                key = (atom, atom)
+                result[key] = builder.or_([result.get(key, FALSE), exists])
+            return result
+        if isinstance(expr, BinaryExpr):
+            return self._binary(expr, env)
+        if isinstance(expr, FunCall):
+            return self._call(expr, env)
+        if isinstance(expr, Comprehension):
+            return self._comprehension(expr, env)
+        if isinstance(expr, (IntLit, CardExpr)):
+            raise EvaluationError(
+                "integer expression used where a relation is required", expr.pos
+            )
+        raise EvaluationError(f"cannot translate expression {expr!r}", expr.pos)
+
+    def _name(self, expr: NameExpr, env: Env) -> Matrix:
+        if expr.name in env:
+            return env[expr.name]
+        if expr.name in self._info.sigs:
+            return {
+                (atom,): handle
+                for atom, handle in self._bounds.sig_vars[expr.name].items()
+            }
+        if expr.name in self._info.fields:
+            return dict(self._bounds.field_vars[expr.name])
+        fun = self._info.funs.get(expr.name)
+        if fun is not None and not fun.params:
+            return self._apply_fun(fun.name, [], expr)
+        raise EvaluationError(f"unknown name {expr.name!r}", expr.pos)
+
+    def _binary(self, expr: BinaryExpr, env: Env) -> Matrix:
+        builder = self._builder
+        left = self._matrix(expr.left, env)
+        right = self._matrix(expr.right, env)
+        if expr.op is BinOp.UNION:
+            result = dict(left)
+            for t, h in right.items():
+                result[t] = builder.or_([result.get(t, FALSE), h])
+            return result
+        if expr.op is BinOp.DIFF:
+            return {
+                t: builder.and_([h, -right.get(t, FALSE)]) for t, h in left.items()
+            }
+        if expr.op is BinOp.INTERSECT:
+            return {
+                t: builder.and_([h, right[t]])
+                for t, h in left.items()
+                if t in right
+            }
+        if expr.op is BinOp.JOIN:
+            return self._join(left, right)
+        if expr.op is BinOp.PRODUCT:
+            return {
+                a + b: builder.and_([ha, hb])
+                for a, ha in left.items()
+                for b, hb in right.items()
+            }
+        if expr.op is BinOp.OVERRIDE:
+            # Tuples of `right` win; tuples of `left` survive only when no
+            # right tuple shares their first atom.
+            domain_cond: dict[str, list[int]] = {}
+            for t, h in right.items():
+                domain_cond.setdefault(t[0], []).append(h)
+            result: Matrix = {}
+            for t, h in left.items():
+                blocked = builder.or_(domain_cond.get(t[0], []))
+                result[t] = builder.and_([h, -blocked])
+            for t, h in right.items():
+                result[t] = builder.or_([result.get(t, FALSE), h])
+            return result
+        if expr.op is BinOp.DOM_RESTRICT:
+            return {
+                t: builder.and_([left.get((t[0],), FALSE), h])
+                for t, h in right.items()
+            }
+        if expr.op is BinOp.RAN_RESTRICT:
+            return {
+                t: builder.and_([h, right.get((t[-1],), FALSE)])
+                for t, h in left.items()
+            }
+        raise EvaluationError(f"unsupported operator {expr.op!r}", expr.pos)
+
+    def _join(self, left: Matrix, right: Matrix) -> Matrix:
+        builder = self._builder
+        by_first: dict[str, list[tuple[tuple[str, ...], int]]] = {}
+        for t, h in right.items():
+            by_first.setdefault(t[0], []).append((t, h))
+        combined: dict[tuple[str, ...], list[int]] = {}
+        for a, ha in left.items():
+            for b, hb in by_first.get(a[-1], []):
+                key = a[:-1] + b[1:]
+                if not key:
+                    raise EvaluationError("join produced a zero-arity relation")
+                combined.setdefault(key, []).append(builder.and_([ha, hb]))
+        return {t: builder.or_(hs) for t, hs in combined.items()}
+
+    def _closure(self, matrix: Matrix) -> Matrix:
+        """Transitive closure by iterated squaring within the bounds."""
+        size = len({a for t in matrix for a in t})
+        result = dict(matrix)
+        steps = 1
+        while steps < max(size, 1):
+            squared = self._join(result, result)
+            merged = dict(result)
+            for t, h in squared.items():
+                merged[t] = self._builder.or_([merged.get(t, FALSE), h])
+            result = merged
+            steps *= 2
+        return result
+
+    def _call(self, expr: FunCall, env: Env) -> Matrix:
+        fun = self._info.funs.get(expr.name)
+        if fun is not None:
+            args = [self._matrix(arg, env) for arg in expr.args]
+            return self._apply_fun(expr.name, args, expr)
+        result = self._name(NameExpr(name=expr.name, pos=expr.pos), env)
+        for arg in expr.args:
+            result = self._join(self._matrix(arg, env), result)
+        return result
+
+    def _apply_fun(self, name: str, args: list[Matrix], site: Expr) -> Matrix:
+        if name in self._call_stack:
+            raise EvaluationError(
+                f"recursive function {name!r} is not supported", site.pos
+            )
+        fun = self._info.funs[name]
+        names = [n for decl in fun.params for n in decl.names]
+        if len(names) != len(args):
+            raise EvaluationError(
+                f"function {name!r} expects {len(names)} arguments", site.pos
+            )
+        self._call_stack.append(name)
+        try:
+            return self._matrix(fun.body, dict(zip(names, args)))
+        finally:
+            self._call_stack.pop()
+
+    def _comprehension(self, expr: Comprehension, env: Env) -> Matrix:
+        result: Matrix = {}
+        for atoms, cond, inner in self._bindings(expr.decls, env):
+            body = self._formula(expr.body, inner)
+            key = tuple(a for tup in atoms for a in tup)
+            handle = self._builder.and_([cond, body])
+            result[key] = self._builder.or_([result.get(key, FALSE), handle])
+        return result
+
+    # -- integer expressions ----------------------------------------------------
+
+    def _int_parts(self, expr: Expr, env: Env) -> tuple[list[int], int]:
+        """Represent an integer expression as (indicator handles, constant):
+        its value is |true indicators| + constant."""
+        if isinstance(expr, IntLit):
+            return [], expr.value
+        if isinstance(expr, CardExpr):
+            matrix = self._matrix(expr.operand, env)
+            return list(matrix.values()), 0
+        if isinstance(expr, BinaryExpr) and expr.op is BinOp.UNION:
+            left_handles, left_const = self._int_parts(expr.left, env)
+            right_handles, right_const = self._int_parts(expr.right, env)
+            return left_handles + right_handles, left_const + right_const
+        raise EvaluationError(
+            "only cardinalities, literals, and their sums are supported "
+            "in integer positions",
+            expr.pos,
+        )
+
+    def _int_compare(self, op: CmpOp, left: Expr, right: Expr, env: Env) -> int:
+        builder = self._builder
+        left_handles, left_const = self._int_parts(left, env)
+        right_handles, right_const = self._int_parts(right, env)
+        delta = left_const - right_const
+        if not right_handles:
+            return builder.count_compare(left_handles, op.value, -delta)
+        # count(L) + delta  op  count(R):  case-split on count(R).
+        cases: list[int] = []
+        for value in range(len(right_handles) + 1):
+            right_exact = builder.exactly(right_handles, value)
+            left_check = builder.count_compare(left_handles, op.value, value - delta)
+            cases.append(builder.implies(right_exact, left_check))
+        return builder.and_(cases)
+
+    # -- formulas ---------------------------------------------------------------
+
+    def _formula(self, formula: Formula, env: Env) -> int:
+        builder = self._builder
+        if isinstance(formula, Compare):
+            return self._compare(formula, env)
+        if isinstance(formula, MultTest):
+            matrix = self._matrix(formula.operand, env)
+            return self._mult_handle(formula.mult, list(matrix.values()))
+        if isinstance(formula, Not):
+            return -self._formula(formula.operand, env)
+        if isinstance(formula, BoolBin):
+            left = self._formula(formula.left, env)
+            right = self._formula(formula.right, env)
+            if formula.op is LogicOp.AND:
+                return builder.and_([left, right])
+            if formula.op is LogicOp.OR:
+                return builder.or_([left, right])
+            if formula.op is LogicOp.IMPLIES:
+                return builder.implies(left, right)
+            return builder.iff(left, right)
+        if isinstance(formula, ImpliesElse):
+            cond = self._formula(formula.cond, env)
+            then = self._formula(formula.then, env)
+            other = self._formula(formula.other, env)
+            return builder.ite(cond, then, other)
+        if isinstance(formula, Quantified):
+            return self._quantified(formula, env)
+        if isinstance(formula, Let):
+            value = self._matrix(formula.value, env)
+            inner = dict(env)
+            inner[formula.name] = value
+            return self._formula(formula.body, inner)
+        if isinstance(formula, PredCall):
+            return self._pred_call(formula, env)
+        if isinstance(formula, Block):
+            return builder.and_([self._formula(f, env) for f in formula.formulas])
+        raise EvaluationError(f"cannot translate formula {formula!r}", formula.pos)
+
+    def _compare(self, formula: Compare, env: Env) -> int:
+        builder = self._builder
+        if formula.op in (CmpOp.LT, CmpOp.LTE, CmpOp.GT, CmpOp.GTE):
+            return self._int_compare(formula.op, formula.left, formula.right, env)
+        if formula.op in (CmpOp.EQ, CmpOp.NEQ) and self._is_int_expr(formula.left):
+            handle = self._int_compare(
+                CmpOp.EQ, formula.left, formula.right, env
+            )
+            return handle if formula.op is CmpOp.EQ else -handle
+        left = self._matrix(formula.left, env)
+        right = self._matrix(formula.right, env)
+        subset = builder.and_(
+            [builder.implies(h, right.get(t, FALSE)) for t, h in left.items()]
+        )
+        if formula.op is CmpOp.IN:
+            return subset
+        if formula.op is CmpOp.NOT_IN:
+            return -subset
+        superset = builder.and_(
+            [builder.implies(h, left.get(t, FALSE)) for t, h in right.items()]
+        )
+        equal = builder.and_([subset, superset])
+        return equal if formula.op is CmpOp.EQ else -equal
+
+    def _is_int_expr(self, expr: Expr) -> bool:
+        if isinstance(expr, (IntLit, CardExpr)):
+            return True
+        if isinstance(expr, BinaryExpr) and expr.op in (BinOp.UNION, BinOp.DIFF):
+            return self._is_int_expr(expr.left) or self._is_int_expr(expr.right)
+        return False
+
+    def _mult_handle(self, mult: Mult, handles: list[int]) -> int:
+        builder = self._builder
+        if mult is Mult.NO:
+            return -builder.or_(handles)
+        if mult is Mult.SOME:
+            return builder.or_(handles)
+        if mult is Mult.LONE:
+            return builder.at_most(handles, 1)
+        if mult is Mult.ONE:
+            return builder.exactly(handles, 1)
+        return TRUE
+
+    def _quantified(self, formula: Quantified, env: Env) -> int:
+        builder = self._builder
+        quant = formula.quant
+        if quant is Quant.ALL:
+            parts = [
+                builder.implies(cond, self._formula(formula.body, inner))
+                for _, cond, inner in self._bindings(formula.decls, env)
+            ]
+            return builder.and_(parts)
+        witness = [
+            builder.and_([cond, self._formula(formula.body, inner)])
+            for _, cond, inner in self._bindings(formula.decls, env)
+        ]
+        if quant is Quant.SOME:
+            return builder.or_(witness)
+        if quant is Quant.NO:
+            return -builder.or_(witness)
+        if quant is Quant.LONE:
+            return builder.at_most(witness, 1)
+        return builder.exactly(witness, 1)
+
+    def _pred_call(self, formula: PredCall, env: Env) -> int:
+        pred = self._info.preds.get(formula.name)
+        if pred is None:
+            raise EvaluationError(
+                f"unknown predicate {formula.name!r}", formula.pos
+            )
+        if formula.name in self._call_stack:
+            raise EvaluationError(
+                f"recursive predicate {formula.name!r} is not supported",
+                formula.pos,
+            )
+        names = [n for decl in pred.params for n in decl.names]
+        if len(names) != len(formula.args):
+            raise EvaluationError(
+                f"predicate {formula.name!r} expects {len(names)} arguments",
+                formula.pos,
+            )
+        args = [self._matrix(arg, env) for arg in formula.args]
+        self._call_stack.append(formula.name)
+        try:
+            return self._formula(pred.body, dict(zip(names, args)))
+        finally:
+            self._call_stack.pop()
+
+    # -- binder expansion ---------------------------------------------------------
+
+    def _bindings(self, decls: list[Decl], env: Env):
+        """Yield (atom tuples, membership condition, extended env) for every
+        valuation of the declared scalar binders.
+
+        Bounds may depend on earlier binders (the bound expression is
+        re-grounded under the extended environment at each step).
+        """
+        yield from self._expand(decls, 0, 0, [], TRUE, env)
+
+    def _expand(
+        self,
+        decls: list[Decl],
+        decl_index: int,
+        name_index: int,
+        chosen: list[tuple[str, ...]],
+        cond: int,
+        env: Env,
+    ):
+        if decl_index == len(decls):
+            yield list(chosen), cond, env
+            return
+        decl = decls[decl_index]
+        if name_index == len(decl.names):
+            yield from self._expand(decls, decl_index + 1, 0, chosen, cond, env)
+            return
+        bound = self._matrix(decl.bound, env)
+        start = len(chosen) - name_index  # index of this decl's first binder
+        for tup, handle in sorted(bound.items()):
+            if decl.disj and tup in chosen[start:]:
+                continue
+            inner = dict(env)
+            inner[decl.names[name_index]] = {tup: TRUE}
+            new_cond = self._builder.and_([cond, handle])
+            if new_cond == FALSE:
+                continue
+            chosen.append(tup)
+            yield from self._expand(
+                decls, decl_index, name_index + 1, chosen, new_cond, inner
+            )
+            chosen.pop()

@@ -1,0 +1,44 @@
+"""Benchmark suites: ARepair-38 and Alloy4Fun-1936 with seeded faults."""
+
+from repro.benchmarks.cache import cache_dir, load_benchmark
+from repro.benchmarks.faults import (
+    FaultInjector,
+    FaultySpec,
+    InjectionConfig,
+    describe_fix,
+    describe_location,
+)
+from repro.benchmarks.models import all_models, domains, get_model, models_for_domain
+from repro.benchmarks.stats import SuiteStats, classify_fault, render_stats, summarize
+from repro.benchmarks.suite import (
+    ALLOY4FUN_COUNTS,
+    AREPAIR_COUNTS,
+    build_alloy4fun,
+    build_arepair,
+    scaled_counts,
+    validate_corpus,
+)
+
+__all__ = [
+    "ALLOY4FUN_COUNTS",
+    "AREPAIR_COUNTS",
+    "FaultInjector",
+    "FaultySpec",
+    "InjectionConfig",
+    "SuiteStats",
+    "all_models",
+    "build_alloy4fun",
+    "build_arepair",
+    "cache_dir",
+    "describe_fix",
+    "describe_location",
+    "domains",
+    "get_model",
+    "load_benchmark",
+    "models_for_domain",
+    "classify_fault",
+    "render_stats",
+    "scaled_counts",
+    "summarize",
+    "validate_corpus",
+]

@@ -1,0 +1,111 @@
+"""Disk caching of generated benchmark suites.
+
+Generating the Alloy4Fun-scale benchmark involves tens of thousands of
+solver calls, so generated suites are cached as JSON.  The cache key encodes
+the benchmark name, the seed, and the requested counts, so differently
+scaled suites coexist.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.benchmarks.faults import FaultySpec
+from repro.benchmarks.suite import (
+    ALLOY4FUN_COUNTS,
+    AREPAIR_COUNTS,
+    build_alloy4fun,
+    build_arepair,
+    scaled_counts,
+)
+from repro.llm.prompts import RepairHints
+
+_CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+def cache_dir() -> Path:
+    """The benchmark cache directory (override with ``REPRO_CACHE_DIR``)."""
+    override = os.environ.get(_CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.cwd() / ".repro_cache"
+
+
+def _cache_key(benchmark: str, seed: int, counts: dict[str, int]) -> str:
+    digest = hashlib.sha256(
+        json.dumps({"b": benchmark, "s": seed, "c": counts}, sort_keys=True).encode()
+    ).hexdigest()[:16]
+    return f"{benchmark}-{seed}-{digest}.json"
+
+
+def _to_json(spec: FaultySpec) -> dict:
+    return {
+        "spec_id": spec.spec_id,
+        "benchmark": spec.benchmark,
+        "domain": spec.domain,
+        "model_name": spec.model_name,
+        "faulty_source": spec.faulty_source,
+        "truth_source": spec.truth_source,
+        "fault_description": spec.fault_description,
+        "depth": spec.depth,
+        "hints": {
+            "location": spec.hints.location,
+            "fix_description": spec.hints.fix_description,
+            "passing_assertion": spec.hints.passing_assertion,
+        },
+    }
+
+
+def _from_json(data: dict) -> FaultySpec:
+    hints = data["hints"]
+    return FaultySpec(
+        spec_id=data["spec_id"],
+        benchmark=data["benchmark"],
+        domain=data["domain"],
+        model_name=data["model_name"],
+        faulty_source=data["faulty_source"],
+        truth_source=data["truth_source"],
+        fault_description=data["fault_description"],
+        depth=data["depth"],
+        hints=RepairHints(
+            location=hints["location"],
+            fix_description=hints["fix_description"],
+            passing_assertion=hints["passing_assertion"],
+        ),
+    )
+
+
+def load_benchmark(
+    benchmark: str,
+    seed: int = 0,
+    scale: float = 1.0,
+    use_cache: bool = True,
+) -> list[FaultySpec]:
+    """Load (or generate and cache) a benchmark suite.
+
+    ``scale`` proportionally shrinks the per-domain counts, which the quick
+    experiment paths use; ``scale=1.0`` is the paper-sized benchmark.
+    """
+    if benchmark == "alloy4fun":
+        counts = scaled_counts(ALLOY4FUN_COUNTS, scale)
+        builder = build_alloy4fun
+    elif benchmark == "arepair":
+        counts = scaled_counts(AREPAIR_COUNTS, scale)
+        builder = build_arepair
+    else:
+        raise ValueError(f"unknown benchmark {benchmark!r}")
+
+    path = cache_dir() / _cache_key(benchmark, seed, counts)
+    if use_cache and path.exists():
+        with path.open() as handle:
+            return [_from_json(item) for item in json.load(handle)]
+
+    specs = builder(seed=seed, counts=counts)
+    if use_cache:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            json.dump([_to_json(spec) for spec in specs], handle)
+    return specs

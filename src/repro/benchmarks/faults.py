@@ -1,0 +1,280 @@
+"""Seeded fault injection into ground-truth models.
+
+A *fault* is one or more mutations applied to a correct model such that the
+result still compiles but is no longer equisatisfiable with the ground truth
+(REP = 0) — exactly the property the study's benchmark specifications have.
+Each injected fault also records the hints the single-round prompt settings
+need: the fault's location, a (possibly vague or misleading) fix
+description, and an assertion the repair must make pass.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.alloy.errors import AlloyError
+from repro.alloy.nodes import Block, FactDecl, Module, PredDecl, SigDecl
+from repro.alloy.parser import parse_module
+from repro.alloy.pretty import print_module
+from repro.alloy.resolver import resolve_module
+from repro.alloy.walk import Path, get_at
+from repro.analyzer.analyzer import Analyzer
+from repro.llm.prompts import RepairHints
+from repro.metrics.rep import truth_command_outcomes
+from repro.repair.mutation import Mutant, Mutator, mutation_points
+
+
+@dataclass(frozen=True)
+class FaultySpec:
+    """One benchmark entry: a faulty specification plus its ground truth."""
+
+    spec_id: str
+    benchmark: str
+    domain: str
+    model_name: str
+    faulty_source: str
+    truth_source: str
+    fault_description: str
+    depth: int
+    hints: RepairHints
+
+
+# Natural-language fix descriptions per mutation-description prefix.  The
+# keyword vocabulary matches what the simulated LLM knows how to read.
+_FIX_TEMPLATES: list[tuple[str, str]] = [
+    ("quantifier", "The quantifier of this constraint seems wrong."),
+    ("compare", "The comparison operator looks too strong or too weak."),
+    ("swap operands", "The comparison operands appear to be reversed."),
+    ("logic", "The logical connective joining the conditions seems wrong."),
+    ("multiplicity", "A multiplicity keyword appears incorrect."),
+    ("field", "A field's declared multiplicity appears incorrect."),
+    ("negate", "A negation seems to have crept into the constraint."),
+    ("drop negation", "A negation seems to be missing from the constraint."),
+    ("closure", "A transitive closure seems to be misused here."),
+    ("^ ->", "A transitive closure seems to be misused here."),
+    ("* ->", "A transitive closure seems to be misused here."),
+    ("transpose", "A relation seems to be used in the wrong direction (transpose)."),
+    ("drop conjunct", "A whole condition seems to be missing from this constraint."),
+    ("name ", "A wrong relation or set seems to be referenced."),
+    ("keep ", "Part of an expression seems to have been dropped."),
+    ("operator", "A set operator in the expression seems wrong."),
+]
+
+_VAGUE_HINTS = [
+    "Something may be off somewhere in this constraint.",
+    "The constraint may not capture the intended behaviour.",
+    "There may be an issue somewhere in the highlighted part.",
+]
+
+_MISLEADING_CLASSES = [
+    "The quantifier of this constraint seems wrong.",
+    "A negation seems to be missing from the constraint.",
+    "A transitive closure seems to be misused here.",
+    "A wrong relation or set seems to be referenced.",
+]
+
+
+@dataclass
+class InjectionConfig:
+    """Controls the fault mix of one benchmark family."""
+
+    depth_weights: dict[int, float] = field(
+        default_factory=lambda: {1: 0.8, 2: 0.2}
+    )
+    vague_hint_rate: float = 0.15
+    misleading_hint_rate: float = 0.0
+    removal_bias: float = 0.0
+    """Probability of preferring constraint-removal mutations (synthesis-class
+    faults that replacement-based search cannot reach)."""
+    max_attempts_factor: int = 60
+
+
+def describe_location(module: Module, path: Path) -> str:
+    """A human-readable location hint for a mutation path."""
+    if not path:
+        return "somewhere in the specification"
+    paragraph = get_at(module, (path[0],))
+    if isinstance(paragraph, FactDecl):
+        kind, name = "fact", paragraph.name or "unnamed"
+    elif isinstance(paragraph, PredDecl):
+        kind, name = "pred", paragraph.name
+    elif isinstance(paragraph, SigDecl):
+        field_index = next(
+            (step[1] for step in path[1:] if step[0] == "fields"), None
+        )
+        if field_index is not None:
+            field_name = paragraph.fields[field_index].name
+            return f"sig '{paragraph.names[0]}', field '{field_name}'"
+        return f"sig '{paragraph.names[0]}'"
+    else:
+        kind, name = "paragraph", getattr(paragraph, "name", "unnamed") or "unnamed"
+    conjunct = next(
+        (step[1] for step in path[1:] if step[0] == "formulas"), None
+    )
+    if conjunct is not None:
+        return f"{kind} '{name}', constraint {conjunct + 1}"
+    return f"{kind} '{name}'"
+
+
+def describe_fix(description: str, rng: random.Random, config: InjectionConfig) -> str:
+    """Turn a mutation description into the Fix hint, with realistic noise."""
+    roll = rng.random()
+    if roll < config.misleading_hint_rate:
+        return rng.choice(_MISLEADING_CLASSES)
+    if roll < config.misleading_hint_rate + config.vague_hint_rate:
+        return rng.choice(_VAGUE_HINTS)
+    first = description.split(";")[0]
+    for needle, text in _FIX_TEMPLATES:
+        if needle in first:
+            return text
+    return rng.choice(_VAGUE_HINTS)
+
+
+class FaultInjector:
+    """Generates faulty variants of one ground-truth model."""
+
+    def __init__(
+        self,
+        model_name: str,
+        benchmark: str,
+        domain: str,
+        truth_source: str,
+        config: InjectionConfig,
+        seed: int,
+    ) -> None:
+        self._model_name = model_name
+        self._benchmark = benchmark
+        self._domain = domain
+        self._truth_source = truth_source
+        self._config = config
+        self._rng = random.Random(seed)
+        self._truth_module = parse_module(truth_source)
+        self._truth_info = resolve_module(self._truth_module)
+        self._truth_outcomes = truth_command_outcomes(truth_source)
+        self._commands = Analyzer(self._truth_module).info.commands
+
+    def generate(self, count: int) -> list[FaultySpec]:
+        """Produce ``count`` distinct, genuinely-faulty variants."""
+        results: list[FaultySpec] = []
+        seen: set[str] = set([print_module(self._truth_module)])
+        attempts = 0
+        max_attempts = max(count, 1) * self._config.max_attempts_factor
+        while len(results) < count and attempts < max_attempts:
+            attempts += 1
+            depth = self._pick_depth()
+            mutant = self._random_mutant(depth)
+            if mutant is None:
+                continue
+            text = print_module(mutant.module)
+            if text in seen:
+                continue
+            seen.add(text)
+            if not self._is_faulty(mutant.module):
+                continue
+            results.append(self._to_spec(mutant, depth, len(results)))
+        if len(results) < count:
+            raise RuntimeError(
+                f"model {self._model_name!r} yielded only {len(results)} of "
+                f"{count} requested faults after {attempts} attempts"
+            )
+        return results
+
+    def _pick_depth(self) -> int:
+        weights = self._config.depth_weights
+        total = sum(weights.values())
+        roll = self._rng.random() * total
+        cumulative = 0.0
+        for depth, weight in sorted(weights.items()):
+            cumulative += weight
+            if roll <= cumulative:
+                return depth
+        return max(weights)
+
+    def _random_mutant(self, depth: int) -> Mutant | None:
+        module = self._truth_module
+        descriptions: list[str] = []
+        first_path: Path | None = None
+        for _ in range(depth):
+            try:
+                info = resolve_module(module)
+            except (AlloyError, RecursionError):
+                return None
+            points = mutation_points(module)
+            if not points:
+                return None
+            mutator = Mutator(module, info)
+            path = self._rng.choice(points)
+            options = list(mutator.mutants_at(path))
+            if not options:
+                return None
+            removals = [
+                o
+                for o in options
+                if "drop conjunct" in o.description or "keep " in o.description
+            ]
+            if removals and self._rng.random() < self._config.removal_bias:
+                chosen = self._rng.choice(removals)
+            else:
+                chosen = self._rng.choice(options)
+            module = chosen.module
+            descriptions.append(chosen.description)
+            if first_path is None:
+                first_path = chosen.path
+        if first_path is None:
+            return None
+        return Mutant(
+            module=module, description="; ".join(descriptions), path=first_path
+        )
+
+    def _is_faulty(self, module: Module) -> bool:
+        """True when at least one ground-truth command outcome flips."""
+        try:
+            analyzer = Analyzer(module)
+        except (AlloyError, RecursionError):
+            return False
+        for command, expected in zip(self._commands, self._truth_outcomes):
+            try:
+                result = analyzer.run_command(command)
+            except (AlloyError, RecursionError):
+                return False
+            if result.sat != expected:
+                return True
+        return False
+
+    def _to_spec(self, mutant: Mutant, depth: int, index: int) -> FaultySpec:
+        location = describe_location(self._truth_module, mutant.path)
+        fix = describe_fix(mutant.description, self._rng, self._config)
+        passing = self._first_failing_check(mutant.module)
+        spec_id = f"{self._model_name}#{index:04d}"
+        return FaultySpec(
+            spec_id=spec_id,
+            benchmark=self._benchmark,
+            domain=self._domain,
+            model_name=self._model_name,
+            faulty_source=print_module(mutant.module),
+            truth_source=self._truth_source,
+            fault_description=mutant.description,
+            depth=depth,
+            hints=RepairHints(
+                location=location,
+                fix_description=fix,
+                passing_assertion=passing,
+            ),
+        )
+
+    def _first_failing_check(self, module: Module) -> str | None:
+        try:
+            analyzer = Analyzer(module)
+        except (AlloyError, RecursionError):
+            return None
+        for command, expected in zip(self._commands, self._truth_outcomes):
+            if command.kind != "check" or command.target is None:
+                continue
+            try:
+                result = analyzer.run_command(command)
+            except (AlloyError, RecursionError):
+                continue
+            if result.sat != expected:
+                return command.target
+        return None

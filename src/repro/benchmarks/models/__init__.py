@@ -1,0 +1,17 @@
+"""Ground-truth model corpus for both benchmarks."""
+
+from repro.benchmarks.models.registry import (
+    ModelDef,
+    all_models,
+    domains,
+    get_model,
+    models_for_domain,
+)
+
+__all__ = [
+    "ModelDef",
+    "all_models",
+    "domains",
+    "get_model",
+    "models_for_domain",
+]

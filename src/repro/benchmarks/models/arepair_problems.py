@@ -1,0 +1,294 @@
+"""The twelve ARepair-benchmark problems.
+
+Six problems mirror Alloy Analyzer distribution models (addr, cd, ctree,
+farmer, bempl, other) and six mirror graduate-assignment models (arr,
+balancedBST, dll, fsm, grade, student), matching the published benchmark's
+problem mix.  Each registered model is the *correct* version; faults are
+injected per the published per-problem counts.
+"""
+
+from repro.benchmarks.models.registry import register
+
+ADDR = """
+sig Name {}
+sig Addr {}
+one sig Book { entries: Name -> lone Addr }
+
+fact NonEmpty {
+  some Book.entries
+}
+
+pred lookupWorks { some n: Name | some n.(Book.entries) }
+
+assert LoneTargets {
+  all n: Name | lone n.(Book.entries)
+}
+
+run lookupWorks for 3 expect 1
+check LoneTargets for 3 expect 0
+"""
+
+ARR = """
+sig Slot { succ: lone Slot, holds: lone Value }
+sig Value { lte: set Value }
+
+fact Ordering {
+  all v: Value | v in v.lte
+  all u: Value, v: Value | (v in u.lte and u in v.lte) implies u = v
+  all u: Value, v: Value | v in u.lte or u in v.lte
+}
+
+fact Sorted {
+  all s: Slot | s.succ != s
+  all s: Slot, t: s.succ | some s.holds and some t.holds implies t.holds in s.holds.lte
+}
+
+pred filled { some s: Slot | some s.holds }
+
+assert SortedPairs {
+  all s: Slot, t: s.succ | (some s.holds and some t.holds) implies t.holds in s.holds.lte
+}
+
+run filled for 3 expect 1
+check SortedPairs for 3 expect 0
+"""
+
+BALANCED_BST = """
+sig Node { left: lone Node, right: lone Node }
+one sig RootHolder { root: lone Node }
+
+fact TreeShape {
+  all n: Node | n not in n.^(left + right)
+  all n: Node | no n.left & n.right
+  all n: Node | lone (left + right).n
+}
+
+pred nonTrivialTree { some n: Node | some n.left and some n.right }
+
+assert Acyclic {
+  no n: Node | n in n.^(left + right)
+}
+assert DisjointChildren {
+  all n: Node | no n.left & n.right
+}
+
+run nonTrivialTree for 3 expect 1
+check Acyclic for 3 expect 0
+check DisjointChildren for 3 expect 0
+"""
+
+BEMPL = """
+sig Employee { worksIn: one Department, manages: set Employee }
+sig Department { head: lone Employee }
+
+fact Management {
+  all e: Employee | e not in e.^manages
+  all d: Department | d.head.worksIn in d
+}
+
+pred structured { some e: Employee | some e.manages }
+
+assert NoSelfManagement {
+  no e: Employee | e in e.^manages
+}
+assert HeadsInHouse {
+  all d: Department, h: d.head | h.worksIn = d
+}
+
+run structured for 3 expect 1
+check NoSelfManagement for 3 expect 0
+check HeadsInHouse for 3 expect 0
+"""
+
+CD = """
+abstract sig Type {}
+sig Class extends Type { ext: lone Class, implements: set Interface }
+sig Interface extends Type {}
+
+fact Inheritance {
+  all c: Class | c not in c.^ext
+}
+
+pred hierarchy { some c: Class | some c.ext }
+
+assert AcyclicInheritance {
+  no c: Class | c in c.^ext
+}
+
+run hierarchy for 3 expect 1
+check AcyclicInheritance for 3 expect 0
+"""
+
+CTREE = """
+abstract sig Color {}
+one sig Red extends Color {}
+one sig Black extends Color {}
+sig CNode { child: set CNode, color: one Color }
+
+fact ColoredTree {
+  all n: CNode | n not in n.^child
+  all n: CNode | lone child.n
+  all n: CNode | n.color = Red implies n.child.color in Black
+}
+
+pred colored { some n: CNode | n.color = Red and some n.child }
+
+assert NoRedRed {
+  all n: CNode | n.color = Red implies no c: n.child | c.color = Red
+}
+
+run colored for 3 expect 1
+check NoRedRed for 3 expect 0
+"""
+
+DLL = """
+sig DNode { nxt: lone DNode, prv: lone DNode }
+
+fact DoublyLinked {
+  all n: DNode, m: n.nxt | m.prv = n
+  all n: DNode, m: n.prv | m.nxt = n
+  all n: DNode | n not in n.^nxt
+}
+
+pred linkedUp { some n: DNode | some n.nxt }
+
+assert Inverse {
+  nxt = ~prv
+}
+assert ForwardAcyclic {
+  no n: DNode | n in n.^nxt
+}
+
+run linkedUp for 3 expect 1
+check Inverse for 3 expect 0
+check ForwardAcyclic for 3 expect 0
+"""
+
+FARMER = """
+abstract sig Object {}
+one sig Farmer extends Object {}
+one sig Fox extends Object {}
+one sig Chicken extends Object {}
+one sig Grain extends Object {}
+sig Crossing { near: set Object, far: set Object }
+
+fact RiverRules {
+  all c: Crossing | c.near + c.far = Object
+  all c: Crossing | no c.near & c.far
+  all c: Crossing | (Fox + Chicken in c.near and Farmer not in c.near) implies Chicken not in c.near
+  all c: Crossing | (Chicken + Grain in c.far and Farmer not in c.far) implies Grain not in c.far
+}
+
+pred midCrossing { some c: Crossing | Farmer in c.far and Chicken in c.far }
+
+assert Partition {
+  all c: Crossing | Object = c.near + c.far and no c.near & c.far
+}
+assert ChickenSafe {
+  no c: Crossing | Fox + Chicken in c.near and Farmer not in c.near
+}
+
+run midCrossing for 3 but exactly 4 Object expect 1
+check Partition for 3 but exactly 4 Object expect 0
+check ChickenSafe for 3 but exactly 4 Object expect 0
+"""
+
+FSM = """
+sig FsmState { next: set FsmState }
+one sig Start extends FsmState {}
+one sig Final extends FsmState {}
+
+fact Machine {
+  no Final.next
+  no next.Start
+  FsmState in Start.*next
+}
+
+pred progresses { some Start.next }
+
+assert FinalTerminal {
+  no Final.next
+}
+assert AllReachable {
+  FsmState in Start.*next
+}
+
+run progresses for 3 expect 1
+check FinalTerminal for 3 expect 0
+check AllReachable for 3 expect 0
+"""
+
+GRADE = """
+sig Submission { gradedBy: lone Grader, score: lone Mark }
+sig Grader {}
+sig Mark {}
+
+fact GradingRules {
+  all s: Submission | some s.score implies some s.gradedBy
+}
+
+pred graded { some s: Submission | some s.score }
+
+assert ScoredMeansGraded {
+  all s: Submission | some s.score implies some s.gradedBy
+}
+
+run graded for 3 expect 1
+check ScoredMeansGraded for 3 expect 0
+"""
+
+OTHER = """
+sig Resource { heldBy: lone Agent }
+sig Agent { requests: set Resource }
+
+fact Allocation {
+  all a: Agent | no a.requests & heldBy.a
+  all r: Resource | some r.heldBy implies r not in r.heldBy.requests
+}
+
+pred busy { some a: Agent | some a.requests }
+
+assert NoHoldAndRequest {
+  all a: Agent, r: a.requests | a != r.heldBy
+}
+
+run busy for 3 expect 1
+check NoHoldAndRequest for 3 expect 0
+"""
+
+STUDENT = """
+sig Course { prereq: set Course }
+sig Pupil { passed: set Course, taking: set Course }
+
+fact Study {
+  all c: Course | c not in c.^prereq
+  all p: Pupil | no p.passed & p.taking
+  all p: Pupil, c: p.taking | c.prereq in p.passed
+}
+
+pred activeStudy { some p: Pupil | some p.taking }
+
+assert PrereqsMet {
+  all p: Pupil, c: p.taking | c.prereq in p.passed
+}
+assert NoRetakeWhilePassing {
+  all p: Pupil | no c: Course | c in p.passed and c in p.taking
+}
+
+run activeStudy for 3 expect 1
+check PrereqsMet for 3 expect 0
+check NoRetakeWhilePassing for 3 expect 0
+"""
+
+register("addr", "addr", "arepair", ADDR)
+register("arr", "arr", "arepair", ARR)
+register("balancedBSt", "balancedBSt", "arepair", BALANCED_BST)
+register("bempl", "bempl", "arepair", BEMPL)
+register("cd", "cd", "arepair", CD)
+register("ctree", "ctree", "arepair", CTREE)
+register("dll", "dll", "arepair", DLL)
+register("farmer", "farmer", "arepair", FARMER)
+register("fsm", "fsm", "arepair", FSM)
+register("grade", "grade", "arepair", GRADE)
+register("other", "other", "arepair", OTHER)
+register("Student", "Student", "arepair", STUDENT)

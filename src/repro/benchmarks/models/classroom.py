@@ -1,0 +1,110 @@
+"""Classroom domain: class registration models (Alloy4Fun's largest domain).
+
+Three sub-models cover teaching assignment, tutoring hierarchies, and
+group-based grading — the themes of the original Alloy4Fun "classroom"
+exercises.
+"""
+
+from repro.benchmarks.models.registry import register
+
+CLASSROOM_A = """
+abstract sig Person {}
+sig Student extends Person { enrolled: set Class }
+sig Teacher extends Person { teaches: set Class }
+sig Class {}
+
+fact Registration {
+  all c: Class | some t: Teacher | c in t.teaches
+  all s: Student | some s.enrolled
+  all t: Teacher | no t.enrolled
+  Person = Student + Teacher
+}
+
+fact Workload {
+  all t: Teacher | lone t.teaches
+  some Class implies some Teacher
+}
+
+sig Enrollment {}
+
+pred someClass { some Class and some Student }
+pred overlappingEnrollment {
+  some disj s1, s2: Student | some s1.enrolled & s2.enrolled
+}
+
+fun taughtBy[t: Teacher]: set Class { t.teaches }
+
+assert EveryClassTaught {
+  all c: Class | some t: Teacher | c in t.teaches
+}
+assert StudentsBusy {
+  no s: Student | no s.enrolled
+}
+
+run someClass for 3 expect 1
+run overlappingEnrollment for 3 expect 1
+check EveryClassTaught for 3 expect 0
+check StudentsBusy for 3 expect 0
+"""
+
+CLASSROOM_B = """
+abstract sig Person { tutors: set Person }
+sig Student extends Person {}
+sig Teacher extends Person {}
+
+fact Tutoring {
+  all p: Person | p not in p.^tutors
+  all t: Teacher | t.tutors in Student
+  all s: Student | no s.tutors
+}
+
+fact Capacity {
+  all t: Teacher | lone t.tutors
+  some Student implies some Teacher
+}
+
+pred hasTutoring { some p: Person | some p.tutors }
+pred everyStudentTutored { all s: Student | some tutors.s }
+
+assert NoSelfTutoring {
+  all p: Person | p not in p.tutors
+}
+assert OnlyTeachersTutor {
+  all p: Person, q: p.tutors | p in Teacher
+}
+
+run hasTutoring for 3 expect 1
+check NoSelfTutoring for 3 expect 0
+check OnlyTeachersTutor for 3 expect 0
+"""
+
+CLASSROOM_C = """
+sig Student { assigned: lone Group }
+sig Group { grade: lone Grade }
+sig Grade {}
+
+fact Grading {
+  all g: Group | some s: Student | g = s.assigned
+  all s: Student | some s.assigned
+  all g: Group | lone g.grade
+}
+
+pred gradedGroups { some g: Group | some g.grade }
+pred sharedGroup { some disj s1, s2: Student | s1.assigned = s2.assigned }
+fun members[g: Group]: set Student { assigned.g }
+
+assert GroupsPopulated {
+  no g: Group | no assigned.g
+}
+assert EveryoneGrouped {
+  all s: Student | one s.assigned
+}
+
+run gradedGroups for 3 expect 1
+check GroupsPopulated for 3 expect 0
+check EveryoneGrouped for 3 expect 0
+"""
+
+register("classroom_a", "classroom", "alloy4fun", CLASSROOM_A)
+register("classroom_b", "classroom", "alloy4fun", CLASSROOM_B)
+register("classroom_c", "classroom", "alloy4fun", CLASSROOM_C)

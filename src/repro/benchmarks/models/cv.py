@@ -1,0 +1,63 @@
+"""CV domain: curriculum-vitae / job application models."""
+
+from repro.benchmarks.models.registry import register
+
+CV_A = """
+sig Person { works: lone Company, skills: set Skill }
+sig Company { requires: set Skill }
+sig Skill {}
+
+fact Employment {
+  all p: Person | all c: p.works | c.requires in p.skills
+  all c: Company | some c.requires
+}
+
+fact Market {
+  all s: Skill | some requires.s or some skills.s
+  some Company implies some Skill
+}
+
+pred employed { some p: Person | some p.works }
+pred skillShortage { some c: Company | no worksFor[c] }
+fun worksFor[c: Company]: set Person { works.c }
+
+assert QualifiedWorkers {
+  all p: Person, c: p.works | c.requires in p.skills
+}
+assert DemandExists {
+  no c: Company | no c.requires
+}
+
+run employed for 3 expect 1
+check QualifiedWorkers for 3 expect 0
+check DemandExists for 3 expect 0
+"""
+
+CV_B = """
+sig Applicant { applied: set Position, hired: lone Position }
+sig Position { offeredBy: one Employer }
+sig Employer {}
+
+fact Hiring {
+  all a: Applicant | a.hired in a.applied
+  all p: Position | lone hired.p
+  all a: Applicant | some a.applied implies some a.applied.offeredBy
+}
+
+pred someHire { some a: Applicant | some a.hired }
+pred competition { some p: Position | some disj a1, a2: Applicant | p in a1.applied & a2.applied }
+
+assert HiredApplied {
+  all a: Applicant | a.hired in a.applied
+}
+assert NoDoubleFill {
+  all p: Position | lone a: Applicant | p in a.hired
+}
+
+run someHire for 3 expect 1
+check HiredApplied for 3 expect 0
+check NoDoubleFill for 3 expect 0
+"""
+
+register("cv_a", "cv", "alloy4fun", CV_A)
+register("cv_b", "cv", "alloy4fun", CV_B)

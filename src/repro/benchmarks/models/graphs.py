@@ -1,0 +1,87 @@
+"""Graphs domain: directed-graph property models (acyclicity, completeness,
+undirectedness) from the Alloy4Fun graph exercises."""
+
+from repro.benchmarks.models.registry import register
+
+GRAPHS_A = """
+sig Node { adj: set Node }
+
+fact Acyclic {
+  all n: Node | n not in n.^adj
+}
+
+fact Sparse {
+  all n: Node | lone n.adj
+  #adj <= 3
+}
+
+pred connectedPair { some disj a, b: Node | b in a.adj }
+pred pathOfTwo { some a: Node | some a.adj.adj }
+fun reachable[n: Node]: set Node { n.^adj }
+
+assert NoSelfLoop {
+  all n: Node | n not in n.adj
+}
+assert NoCycle {
+  no n: Node | n in n.^adj
+}
+
+run connectedPair for 3 expect 1
+check NoSelfLoop for 3 expect 0
+check NoCycle for 3 expect 0
+"""
+
+GRAPHS_B = """
+sig Vertex { edges: set Vertex }
+
+fact Undirected {
+  all u: Vertex, v: Vertex | v in u.edges implies u in v.edges
+  all v: Vertex | v not in v.edges
+}
+
+fact Degree {
+  all v: Vertex | #v.edges <= 2
+}
+
+pred nonTrivial { some u: Vertex | some u.edges }
+pred triangleFree { no u: Vertex | some u.edges.edges & u.edges }
+
+assert Symmetric {
+  edges = ~edges
+}
+assert Irreflexive {
+  no edges & iden
+}
+
+run nonTrivial for 3 expect 1
+check Symmetric for 3 expect 0
+check Irreflexive for 3 expect 0
+"""
+
+GRAPHS_C = """
+sig Elem { covers: set Elem }
+one sig Top {}
+
+fact PartialOrder {
+  all e: Elem | e not in e.^covers
+  all e: Elem, f: Elem, g: Elem | (f in e.covers and g in f.covers) implies g not in e.covers
+}
+
+fact Grounded {
+  some Elem implies some e: Elem | no covers.e
+}
+
+pred chain { some e: Elem | some e.covers }
+pred deepChain { some e: Elem | some e.covers.covers }
+
+assert CoverAcyclic {
+  no e: Elem | e in e.^covers
+}
+
+run chain for 3 expect 1
+check CoverAcyclic for 3 expect 0
+"""
+
+register("graphs_a", "graphs", "alloy4fun", GRAPHS_A)
+register("graphs_b", "graphs", "alloy4fun", GRAPHS_B)
+register("graphs_c", "graphs", "alloy4fun", GRAPHS_C)

@@ -1,0 +1,63 @@
+"""LTS domain: labeled transition system models."""
+
+from repro.benchmarks.models.registry import register
+
+LTS_A = """
+sig State { trans: Event -> State }
+sig Event {}
+one sig Init extends State {}
+
+fact Deterministic {
+  all s: State, e: Event | lone e.(s.trans)
+}
+
+fact Reachable {
+  State in Init.*{ s: State, t: State | some e: Event | t in e.(s.trans) }
+}
+
+fact NonBlocking {
+  all s: State | some s.trans or s in Init
+}
+
+pred hasStep { some s: State | some s.trans }
+pred branching { some s: State | some disj e1, e2: Event | some e1.(s.trans) and some e2.(s.trans) }
+
+assert DeterministicSteps {
+  all s: State, e: Event | lone e.(s.trans)
+}
+
+run hasStep for 3 expect 1
+check DeterministicSteps for 3 expect 0
+"""
+
+LTS_B = """
+sig Proc { waits: set Proc, active: lone Flag }
+sig Flag {}
+
+fact NoDeadlock {
+  all p: Proc | p not in p.^waits
+  all p: Proc | some p.waits implies no p.active
+}
+
+fact FlagDiscipline {
+  all f: Flag | lone active.f
+}
+
+pred contention { some p: Proc | some p.waits }
+pred chainOfTwo { some p: Proc | some p.waits.waits }
+fun blockers[p: Proc]: set Proc { p.^waits }
+
+assert WaitFree {
+  no p: Proc | p in p.^waits
+}
+assert WaitersIdle {
+  all p: Proc | some p.waits implies no p.active
+}
+
+run contention for 3 expect 1
+check WaitFree for 3 expect 0
+check WaitersIdle for 3 expect 0
+"""
+
+register("lts_a", "lts", "alloy4fun", LTS_A)
+register("lts_b", "lts", "alloy4fun", LTS_B)

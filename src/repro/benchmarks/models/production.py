@@ -1,0 +1,65 @@
+"""Production domain: automated production line models."""
+
+from repro.benchmarks.models.registry import register
+
+PRODUCTION_A = """
+sig Product { parts: set Component }
+sig Component { madeBy: one Machine }
+sig Machine {}
+
+fact Line {
+  all p: Product | some p.parts
+  all m: Machine | some madeBy.m
+}
+
+fact Sharing {
+  all c: Component | some parts.c
+  all p: Product | #p.parts <= 3
+}
+
+pred running { some Product and some Machine }
+pred sharedComponent { some c: Component | some disj p1, p2: Product | c in p1.parts & p2.parts }
+fun producedBy[m: Machine]: set Component { madeBy.m }
+
+assert ProductsAssembled {
+  no p: Product | no p.parts
+}
+assert MachinesBusy {
+  all m: Machine | some c: Component | m = c.madeBy
+}
+
+run running for 3 expect 1
+check ProductsAssembled for 3 expect 0
+check MachinesBusy for 3 expect 0
+"""
+
+PRODUCTION_B = """
+sig Robot { operates: set Conveyor }
+sig Conveyor { feeds: lone Conveyor }
+
+fact Layout {
+  all c: Conveyor | c not in c.^feeds
+  all c: Conveyor | some operates.c
+}
+
+fact Staffing {
+  all r: Robot | lone r.operates
+}
+
+pred flowing { some c: Conveyor | some c.feeds }
+pred pipeline { some c: Conveyor | some c.feeds.feeds }
+
+assert NoFeedbackLoop {
+  no c: Conveyor | c in c.^feeds
+}
+assert AllOperated {
+  all c: Conveyor | some r: Robot | c in r.operates
+}
+
+run flowing for 3 expect 1
+check NoFeedbackLoop for 3 expect 0
+check AllOperated for 3 expect 0
+"""
+
+register("production_a", "production", "alloy4fun", PRODUCTION_A)
+register("production_b", "production", "alloy4fun", PRODUCTION_B)

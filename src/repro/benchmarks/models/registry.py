@@ -1,0 +1,82 @@
+"""Registry of base (correct) specification models.
+
+Every benchmark variant is derived from one of these ground-truth models by
+seeded fault injection.  Each model's commands carry explicit ``expect``
+annotations that the model itself satisfies — the property oracle the
+traditional tools consume.  A generation-time validation asserts this
+invariant for every registered model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelDef:
+    """One registered ground-truth model."""
+
+    name: str
+    domain: str
+    benchmark: str  # "alloy4fun" or "arepair"
+    source: str
+
+
+_REGISTRY: dict[str, ModelDef] = {}
+
+
+def register(name: str, domain: str, benchmark: str, source: str) -> ModelDef:
+    if name in _REGISTRY:
+        raise ValueError(f"model {name!r} already registered")
+    model = ModelDef(name=name, domain=domain, benchmark=benchmark, source=source)
+    _REGISTRY[name] = model
+    return model
+
+
+def all_models() -> list[ModelDef]:
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def models_for_domain(benchmark: str, domain: str) -> list[ModelDef]:
+    _ensure_loaded()
+    return [
+        m
+        for m in _REGISTRY.values()
+        if m.benchmark == benchmark and m.domain == domain
+    ]
+
+
+def domains(benchmark: str) -> list[str]:
+    _ensure_loaded()
+    seen: list[str] = []
+    for model in _REGISTRY.values():
+        if model.benchmark == benchmark and model.domain not in seen:
+            seen.append(model.domain)
+    return seen
+
+
+def get_model(name: str) -> ModelDef:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    """Import every model module exactly once (they register on import)."""
+    global _LOADED
+    if _LOADED:
+        return
+    from repro.benchmarks.models import (  # noqa: F401
+        arepair_problems,
+        classroom,
+        cv,
+        graphs,
+        lts,
+        production,
+        trash,
+    )
+
+    _LOADED = True

@@ -1,0 +1,60 @@
+"""Trash domain: the file-system trash-can models."""
+
+from repro.benchmarks.models.registry import register
+
+TRASH_A = """
+sig File { link: lone File }
+one sig Trash { files: set File }
+
+fact TrashInvariant {
+  all f: File | f.link in Trash.files implies f in Trash.files
+  no f: Trash.files | some link.f - Trash.files
+}
+
+fact LinkShape {
+  all f: File | f.link != f
+}
+
+pred somethingDeleted { some Trash.files }
+pred chainedLinks { some f: File | some f.link.link }
+fun trashed: set File { Trash.files }
+
+assert LinksFollow {
+  all f: File | f.link in Trash.files implies f in Trash.files
+}
+
+run somethingDeleted for 3 expect 1
+check LinksFollow for 3 expect 0
+"""
+
+TRASH_B = """
+sig Document { parent: lone Folder }
+sig Folder { contains: set Document }
+one sig Recycled { docs: set Document }
+
+fact Consistency {
+  all d: Document, f: Folder | d.parent = f iff d in f.contains
+  all d: Recycled.docs | no d.parent
+}
+
+fact FolderShape {
+  all f: Folder | #f.contains <= 3
+}
+
+pred organized { some d: Document | some d.parent }
+pred crowdedFolder { some f: Folder | some disj d1, d2: Document | d1 + d2 in f.contains }
+
+assert ParentMatches {
+  all f: Folder, d: f.contains | d.parent = f
+}
+assert RecycledDetached {
+  no d: Recycled.docs | some d.parent
+}
+
+run organized for 3 expect 1
+check ParentMatches for 3 expect 0
+check RecycledDetached for 3 expect 0
+"""
+
+register("trash_a", "trash", "alloy4fun", TRASH_A)
+register("trash_b", "trash", "alloy4fun", TRASH_B)

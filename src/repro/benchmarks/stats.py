@@ -1,0 +1,90 @@
+"""Descriptive statistics over generated benchmark suites.
+
+Used by the documentation and the test suite to validate that the fault mix
+matches the configured taxonomy (and to render the corpus summary table in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.benchmarks.faults import FaultySpec
+
+# Fault taxonomy: mutation-description needle -> class label.
+_FAULT_CLASSES: list[tuple[str, str]] = [
+    ("quantifier", "quantifier swap"),
+    ("compare", "comparison operator"),
+    ("swap operands", "operand swap"),
+    ("logic", "logical connective"),
+    ("multiplicity", "multiplicity"),
+    ("field", "field multiplicity"),
+    ("negate", "negation"),
+    ("drop negation", "negation"),
+    ("closure", "closure misuse"),
+    ("^ ->", "closure misuse"),
+    ("* ->", "closure misuse"),
+    ("transpose", "transpose"),
+    ("drop conjunct", "missing constraint"),
+    ("name ", "wrong relation"),
+    ("keep ", "dropped subexpression"),
+    ("operator", "set operator"),
+]
+
+
+def classify_fault(description: str) -> str:
+    """The taxonomy class of (the first mutation of) a fault description."""
+    first = description.split(";")[0]
+    for needle, label in _FAULT_CLASSES:
+        if needle in first:
+            return label
+    return "other"
+
+
+@dataclass
+class SuiteStats:
+    """Aggregate statistics of one benchmark suite."""
+
+    total: int
+    by_domain: Counter = field(default_factory=Counter)
+    by_depth: Counter = field(default_factory=Counter)
+    by_class: Counter = field(default_factory=Counter)
+    spec_lines_min: int = 0
+    spec_lines_max: int = 0
+    spec_lines_mean: float = 0.0
+
+
+def summarize(specs: list[FaultySpec]) -> SuiteStats:
+    """Compute the statistics of a generated suite."""
+    stats = SuiteStats(total=len(specs))
+    line_counts: list[int] = []
+    for spec in specs:
+        stats.by_domain[spec.domain] += 1
+        stats.by_depth[spec.depth] += 1
+        stats.by_class[classify_fault(spec.fault_description)] += 1
+        line_counts.append(len(spec.faulty_source.splitlines()))
+    if line_counts:
+        stats.spec_lines_min = min(line_counts)
+        stats.spec_lines_max = max(line_counts)
+        stats.spec_lines_mean = sum(line_counts) / len(line_counts)
+    return stats
+
+
+def render_stats(stats: SuiteStats, title: str) -> str:
+    """A text table of suite statistics."""
+    lines = [f"== {title} ({stats.total} specifications) =="]
+    lines.append("per domain:")
+    for domain, count in sorted(stats.by_domain.items()):
+        lines.append(f"  {domain:<14}{count:>6}")
+    lines.append("per fault depth:")
+    for depth, count in sorted(stats.by_depth.items()):
+        lines.append(f"  {depth} edit(s){'':<5}{count:>6}")
+    lines.append("per fault class:")
+    for label, count in stats.by_class.most_common():
+        lines.append(f"  {label:<22}{count:>6}")
+    lines.append(
+        f"spec size (lines): min={stats.spec_lines_min} "
+        f"mean={stats.spec_lines_mean:.1f} max={stats.spec_lines_max}"
+    )
+    return "\n".join(lines)

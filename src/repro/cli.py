@@ -1,0 +1,248 @@
+"""Command-line interface: ``repro <command>`` or ``python -m repro``.
+
+Commands:
+
+- ``repro analyze <file.als>`` — run every command of a specification.
+- ``repro repair <file.als> --technique ATR`` — repair one specification.
+- ``repro table1 | figure2 | figure3 | hybrid`` — regenerate a paper artifact.
+- ``repro all`` — regenerate everything and write EXPERIMENTS-report.txt.
+- ``repro validate-corpus`` — check the ground-truth model corpus.
+
+Experiment commands accept ``--scale`` (fraction of the Alloy4Fun benchmark,
+default 0.05 for laptop-friendly runs; 1.0 is the paper-sized benchmark) and
+``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="fraction of the Alloy4Fun benchmark to run (1.0 = full)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-cache", action="store_true", help="ignore cached results"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Towards More Dependable Specifications' "
+        "(DSN 2025): traditional vs. LLM-based Alloy repair.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="run a specification's commands")
+    analyze.add_argument("file")
+
+    repair = sub.add_parser("repair", help="repair one faulty specification")
+    repair.add_argument("file")
+    repair.add_argument(
+        "--technique",
+        default="ATR",
+        help="ATR, BeAFix, ARepair, ICEBAR, Single-Round_<setting>, "
+        "Multi-Round_<feedback>",
+    )
+    repair.add_argument("--seed", type=int, default=0)
+
+    for name in ("table1", "figure2", "figure3", "hybrid", "all"):
+        command = sub.add_parser(name, help=f"regenerate {name}")
+        _add_experiment_args(command)
+
+    stats = sub.add_parser("stats", help="describe a generated benchmark")
+    stats.add_argument("benchmark", choices=["arepair", "alloy4fun"])
+    stats.add_argument("--scale", type=float, default=0.05)
+    stats.add_argument("--seed", type=int, default=0)
+
+    ablations = sub.add_parser("ablations", help="run the ablation sweeps")
+    ablations.add_argument("--samples", type=int, default=5)
+    ablations.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("validate-corpus", help="check the ground-truth models")
+    return parser
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analyzer import Analyzer
+
+    with open(args.file) as handle:
+        source = handle.read()
+    analyzer = Analyzer(source)
+    for result in analyzer.execute_all():
+        marker = "" if result.meets_expectation else "  (UNEXPECTED)"
+        print(f"{result.kind} {result.name}: {'SAT' if result.sat else 'UNSAT'}{marker}")
+        if result.instance is not None:
+            print(result.instance.describe(analyzer.info))
+    return 0
+
+
+def _cmd_repair(args) -> int:
+    from repro.llm.mock_gpt import GPT35_PROFILE, GPT4_PROFILE, MockGPT
+    from repro.llm.prompts import FeedbackLevel, PromptSetting, RepairHints
+    from repro.repair import (
+        ARepair,
+        Atr,
+        BeAFix,
+        Icebar,
+        MultiRoundLLM,
+        RepairTask,
+        SingleRoundLLM,
+    )
+    from repro.analyzer import Analyzer
+    from repro.testing import generate_suite
+
+    with open(args.file) as handle:
+        source = handle.read()
+    task = RepairTask.from_source(source)
+    technique = args.technique
+    if technique == "ATR":
+        tool = Atr()
+    elif technique == "BeAFix":
+        tool = BeAFix()
+    elif technique in ("ARepair", "ICEBAR"):
+        suite = generate_suite(Analyzer(source), seed=args.seed)
+        tool = ARepair(suite) if technique == "ARepair" else Icebar(suite)
+    elif technique.startswith("Single-Round_"):
+        setting = PromptSetting(technique.removeprefix("Single-Round_"))
+        tool = SingleRoundLLM(
+            MockGPT(seed=args.seed, profile=GPT35_PROFILE), setting, RepairHints()
+        )
+    elif technique.startswith("Multi-Round_"):
+        feedback = FeedbackLevel(technique.removeprefix("Multi-Round_"))
+        tool = MultiRoundLLM(MockGPT(seed=args.seed, profile=GPT4_PROFILE), feedback)
+    else:
+        print(f"unknown technique {technique!r}", file=sys.stderr)
+        return 2
+    result = tool.repair(task)
+    print(f"status: {result.status.value} ({result.detail})")
+    if result.candidate_source:
+        print(result.candidate_source)
+    return 0
+
+
+def _matrices(args):
+    from repro.experiments import run_matrix
+
+    arepair = run_matrix(
+        "arepair", scale=1.0, seed=args.seed,
+        use_cache=not args.no_cache, progress=True,
+    )
+    alloy4fun = run_matrix(
+        "alloy4fun", scale=args.scale, seed=args.seed,
+        use_cache=not args.no_cache, progress=True,
+    )
+    return arepair, alloy4fun
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import (
+        compute_figure2,
+        compute_figure3,
+        compute_hybrid,
+        compute_table1,
+        generate_report,
+        render_figure2,
+        render_figure3,
+        render_figure4,
+        render_table1,
+        render_table2,
+    )
+
+    if args.command == "all":
+        report = generate_report(
+            scale=args.scale,
+            seed=args.seed,
+            use_cache=not args.no_cache,
+            progress=True,
+        )
+        print(report.text)
+        with open("EXPERIMENTS-report.txt", "w") as handle:
+            handle.write(report.text + "\n")
+        print("\n(written to EXPERIMENTS-report.txt)")
+        return 0
+
+    arepair, alloy4fun = _matrices(args)
+    sections: list[str] = []
+    if args.command in ("table1", "all"):
+        sections.append(render_table1(compute_table1(arepair, alloy4fun)))
+    if args.command in ("figure2", "all"):
+        sections.append(render_figure2(compute_figure2([arepair, alloy4fun])))
+    if args.command in ("figure3", "all"):
+        sections.append(render_figure3(compute_figure3([arepair, alloy4fun])))
+    if args.command in ("hybrid", "all"):
+        analysis = compute_hybrid([arepair, alloy4fun])
+        sections.append(render_table2(analysis))
+        sections.append(render_figure4(analysis))
+    report = "\n\n".join(sections)
+    print(report)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.benchmarks import load_benchmark, render_stats, summarize
+
+    scale = args.scale if args.benchmark == "alloy4fun" else 1.0
+    specs = load_benchmark(args.benchmark, seed=args.seed, scale=scale)
+    print(render_stats(summarize(specs), f"{args.benchmark} benchmark"))
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from repro.benchmarks import load_benchmark
+    from repro.experiments.ablations import (
+        beafix_pruning_ablation,
+        icebar_budget_ablation,
+        multi_round_budget_ablation,
+        suite_size_ablation,
+    )
+
+    specs = load_benchmark("alloy4fun", seed=args.seed, scale=0.02)
+    sample = specs[: args.samples]
+    for sweep in (
+        beafix_pruning_ablation(sample),
+        icebar_budget_ablation(sample),
+        multi_round_budget_ablation(sample, seed=args.seed),
+        suite_size_ablation(sample),
+    ):
+        print(sweep.render())
+        print()
+    return 0
+
+
+def _cmd_validate_corpus() -> int:
+    from repro.benchmarks import validate_corpus
+
+    problems = validate_corpus()
+    if problems:
+        for problem in problems:
+            print(problem)
+        return 1
+    print("corpus OK: every model meets its command expectations")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "repair":
+        return _cmd_repair(args)
+    if args.command == "validate-corpus":
+        return _cmd_validate_corpus()
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "ablations":
+        return _cmd_ablations(args)
+    return _cmd_experiment(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

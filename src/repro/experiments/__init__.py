@@ -1,0 +1,54 @@
+"""Experiment drivers reproducing every table and figure of the paper."""
+
+from repro.experiments.figure2 import Figure2, compute_figure2, render_figure2
+from repro.experiments.figure3 import Figure3, compute_figure3, render_figure3
+from repro.experiments.hybrid import (
+    HybridAnalysis,
+    HybridCell,
+    compute_hybrid,
+    render_figure4,
+    render_table2,
+    sequential_hybrid,
+)
+from repro.experiments.report import StudyReport, generate_report
+from repro.experiments.runner import (
+    ALL_TECHNIQUES,
+    MULTI_ROUND,
+    SINGLE_ROUND,
+    TRADITIONAL,
+    ResultMatrix,
+    SpecOutcome,
+    combined_matrices,
+    run_matrix,
+    run_spec,
+)
+from repro.experiments.table1 import Table1, compute_table1, render_table1
+
+__all__ = [
+    "ALL_TECHNIQUES",
+    "Figure2",
+    "Figure3",
+    "HybridAnalysis",
+    "HybridCell",
+    "MULTI_ROUND",
+    "ResultMatrix",
+    "SINGLE_ROUND",
+    "SpecOutcome",
+    "StudyReport",
+    "TRADITIONAL",
+    "Table1",
+    "combined_matrices",
+    "compute_figure2",
+    "compute_figure3",
+    "compute_hybrid",
+    "compute_table1",
+    "generate_report",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_table1",
+    "render_table2",
+    "run_matrix",
+    "run_spec",
+    "sequential_hybrid",
+]

@@ -1,0 +1,172 @@
+"""Programmatic ablation studies over the design choices DESIGN.md lists.
+
+Each ablation runs a controlled sweep on a sample of benchmark
+specifications and reports success/cost trade-offs:
+
+- :func:`beafix_pruning_ablation` — semantic pruning on/off;
+- :func:`icebar_budget_ablation` — refinement-budget sweep;
+- :func:`multi_round_budget_ablation` — dialogue round-budget sweep;
+- :func:`suite_size_ablation` — AUnit suite size vs. ARepair overfitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyzer.analyzer import Analyzer
+from repro.benchmarks.faults import FaultySpec
+from repro.llm.mock_gpt import GPT4_PROFILE, MockGPT
+from repro.llm.prompts import FeedbackLevel
+from repro.metrics.rep import rep
+from repro.repair.arepair import ARepair
+from repro.repair.base import RepairTask
+from repro.repair.beafix import BeAFix, BeAFixConfig
+from repro.repair.icebar import Icebar, IcebarConfig
+from repro.repair.multi_round import MultiRoundConfig, MultiRoundLLM
+from repro.testing.generation import generate_suite
+
+
+@dataclass
+class AblationPoint:
+    """One configuration's aggregate outcome."""
+
+    label: str
+    repaired: int
+    total: int
+    oracle_queries: int = 0
+    candidates_explored: int = 0
+
+    @property
+    def rate(self) -> float:
+        return self.repaired / self.total if self.total else 0.0
+
+
+@dataclass
+class AblationResult:
+    """A full sweep."""
+
+    name: str
+    points: list[AblationPoint] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"== ablation: {self.name} =="]
+        for point in self.points:
+            extras = ""
+            if point.oracle_queries:
+                extras = (
+                    f"  oracle-queries={point.oracle_queries}"
+                    f"  candidates={point.candidates_explored}"
+                )
+            lines.append(
+                f"  {point.label:<28}{point.repaired}/{point.total}"
+                f" ({point.rate:.0%}){extras}"
+            )
+        return "\n".join(lines)
+
+
+def _score(result, spec: FaultySpec, task: RepairTask) -> int:
+    return rep(result.final_source(task), spec.truth_source)
+
+
+def beafix_pruning_ablation(specs: list[FaultySpec]) -> AblationResult:
+    """Does counterexample pruning change success or only cost?"""
+    sweep = AblationResult(name="BeAFix semantic pruning")
+    for prune in (True, False):
+        repaired = queries = candidates = 0
+        for spec in specs:
+            task = RepairTask.from_source(spec.faulty_source)
+            config = BeAFixConfig(prune=prune)
+            if not prune:
+                config.max_oracle_queries = 400
+            result = BeAFix(config).repair(task)
+            repaired += _score(result, spec, task)
+            queries += result.oracle_queries
+            candidates += result.candidates_explored
+        sweep.points.append(
+            AblationPoint(
+                label=f"prune={prune}",
+                repaired=repaired,
+                total=len(specs),
+                oracle_queries=queries,
+                candidates_explored=candidates,
+            )
+        )
+    return sweep
+
+
+def icebar_budget_ablation(
+    specs: list[FaultySpec], budgets: tuple[int, ...] = (1, 2, 5)
+) -> AblationResult:
+    """How many counterexample refinements does ICEBAR need?"""
+    sweep = AblationResult(name="ICEBAR refinement budget")
+    for budget in budgets:
+        repaired = 0
+        for index, spec in enumerate(specs):
+            task = RepairTask.from_source(spec.faulty_source)
+            suite = generate_suite(
+                Analyzer(spec.truth_source), positives=3, negatives=3, seed=index
+            )
+            result = Icebar(suite, IcebarConfig(max_refinements=budget)).repair(task)
+            repaired += _score(result, spec, task)
+        sweep.points.append(
+            AblationPoint(
+                label=f"max_refinements={budget}",
+                repaired=repaired,
+                total=len(specs),
+            )
+        )
+    return sweep
+
+
+def multi_round_budget_ablation(
+    specs: list[FaultySpec],
+    rounds: tuple[int, ...] = (1, 2, 3),
+    feedback: FeedbackLevel = FeedbackLevel.GENERIC,
+    seed: int = 0,
+) -> AblationResult:
+    """Success versus the number of dialogue rounds."""
+    sweep = AblationResult(name=f"Multi-Round rounds ({feedback.value} feedback)")
+    for budget in rounds:
+        repaired = 0
+        for index, spec in enumerate(specs):
+            task = RepairTask.from_source(spec.faulty_source)
+            tool = MultiRoundLLM(
+                MockGPT(seed=seed + index, profile=GPT4_PROFILE),
+                feedback,
+                config=MultiRoundConfig(max_rounds=budget),
+            )
+            result = tool.repair(task)
+            repaired += _score(result, spec, task)
+        sweep.points.append(
+            AblationPoint(
+                label=f"max_rounds={budget}", repaired=repaired, total=len(specs)
+            )
+        )
+    return sweep
+
+
+def suite_size_ablation(
+    specs: list[FaultySpec], sizes: tuple[int, ...] = (1, 3, 6)
+) -> AblationResult:
+    """ARepair's REP versus AUnit suite size: overfitting made visible."""
+    sweep = AblationResult(name="ARepair AUnit suite size")
+    for size in sizes:
+        repaired = 0
+        for index, spec in enumerate(specs):
+            task = RepairTask.from_source(spec.faulty_source)
+            suite = generate_suite(
+                Analyzer(spec.truth_source),
+                positives=size,
+                negatives=size,
+                seed=index,
+            )
+            result = ARepair(suite).repair(task)
+            repaired += _score(result, spec, task)
+        sweep.points.append(
+            AblationPoint(
+                label=f"positives=negatives={size}",
+                repaired=repaired,
+                total=len(specs),
+            )
+        )
+    return sweep

@@ -1,0 +1,97 @@
+"""Figure 3 reproduction: Pearson correlations between repair techniques.
+
+Each technique is represented by its per-specification similarity vector
+(TM against ground truth) over both benchmarks; the heatmap is the pairwise
+Pearson correlation of those vectors, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.paper_values import TECHNIQUE_ORDER
+from repro.experiments.runner import ResultMatrix
+from repro.metrics.pearson import Correlation, pearson
+
+
+@dataclass
+class Figure3:
+    """The correlation matrix plus cluster summaries."""
+
+    correlations: dict[tuple[str, str], Correlation]
+
+    def r(self, first: str, second: str) -> float:
+        return self.correlations[(first, second)].r
+
+    def cluster_min(self, cluster: list[str]) -> float:
+        """Minimum pairwise r within a cluster of techniques."""
+        values = [
+            self.r(a, b)
+            for i, a in enumerate(cluster)
+            for b in cluster[i + 1 :]
+        ]
+        return min(values) if values else 1.0
+
+    def cross_cluster_min(self, first: list[str], second: list[str]) -> float:
+        return min(self.r(a, b) for a in first for b in second)
+
+
+def compute_figure3(matrices: list[ResultMatrix]) -> Figure3:
+    series: dict[str, list[float]] = {t: [] for t in TECHNIQUE_ORDER}
+    for matrix in matrices:
+        for technique in TECHNIQUE_ORDER:
+            series[technique].extend(matrix.similarity_series(technique, "tm"))
+    correlations: dict[tuple[str, str], Correlation] = {}
+    for i, first in enumerate(TECHNIQUE_ORDER):
+        for second in TECHNIQUE_ORDER[i:]:
+            result = pearson(series[first], series[second])
+            correlations[(first, second)] = result
+            correlations[(second, first)] = result
+    return Figure3(correlations=correlations)
+
+
+def render_figure3(figure: Figure3) -> str:
+    """Text heatmap of pairwise correlations."""
+    short = {t: f"T{i:02d}" for i, t in enumerate(TECHNIQUE_ORDER)}
+    lines = ["Figure 3 — Pearson correlation heatmap (measured)", ""]
+    for t, code in short.items():
+        lines.append(f"  {code} = {t}")
+    lines.append("")
+    header = "     " + "".join(f"{short[t]:>6}" for t in TECHNIQUE_ORDER)
+    lines.append(header)
+    for first in TECHNIQUE_ORDER:
+        cells = "".join(
+            f"{figure.r(first, second):>6.2f}" for second in TECHNIQUE_ORDER
+        )
+        lines.append(f"{short[first]:<5}{cells}")
+    lines.append("")
+    traditional = ["ARepair", "ICEBAR", "BeAFix", "ATR"]
+    single = [t for t in TECHNIQUE_ORDER if t.startswith("Single-Round")]
+    multi = [t for t in TECHNIQUE_ORDER if t.startswith("Multi-Round")]
+    lines.append(
+        f"traditional cluster min r = {figure.cluster_min(traditional):.3f} "
+        "(paper: >= 0.972)"
+    )
+    lines.append(
+        f"multi-round cluster min r = {figure.cluster_min(multi):.3f} "
+        "(paper: Generic~Auto r = 0.949)"
+    )
+    lines.append(
+        f"single-round vs others min r = "
+        f"{min(figure.cross_cluster_min(single, traditional), figure.cross_cluster_min(single, multi)):.3f} "
+        "(paper: as low as 0.644)"
+    )
+    lines.append(
+        f"ICEBAR~ATR r = {figure.r('ICEBAR', 'ATR'):.3f} (paper 0.983)"
+    )
+    significant = sum(
+        1
+        for (a, b), c in figure.correlations.items()
+        if a < b and c.p_value < 0.001
+    )
+    total_pairs = sum(1 for (a, b) in figure.correlations if a < b)
+    lines.append(
+        f"pairs significant at p < 0.001: {significant}/{total_pairs} "
+        "(paper: all)"
+    )
+    return "\n".join(lines)

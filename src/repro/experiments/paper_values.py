@@ -1,0 +1,159 @@
+"""Published numbers from the paper, for paper-vs-measured reporting.
+
+Values are transcribed from Table I, Figure 2, Figure 3, and Table II of
+"Towards More Dependable Specifications" (DSN 2025).
+"""
+
+from __future__ import annotations
+
+TECHNIQUE_ORDER = [
+    "ARepair",
+    "ICEBAR",
+    "BeAFix",
+    "ATR",
+    "Single-Round_Loc+Fix",
+    "Single-Round_Loc",
+    "Single-Round_Pass",
+    "Single-Round_None",
+    "Single-Round_Loc+Pass",
+    "Multi-Round_None",
+    "Multi-Round_Generic",
+    "Multi-Round_Auto",
+]
+
+# Table I: REP counts per benchmark (summary rows).
+PAPER_TABLE1_A4F_TOTAL = 1936
+PAPER_TABLE1_AREPAIR_TOTAL = 38
+PAPER_TABLE1_A4F: dict[str, int] = {
+    "ARepair": 185,
+    "ICEBAR": 1051,
+    "BeAFix": 981,
+    "ATR": 1286,
+    "Single-Round_Loc+Fix": 401,
+    "Single-Round_Loc": 497,
+    "Single-Round_Pass": 303,
+    "Single-Round_None": 147,
+    "Single-Round_Loc+Pass": 374,
+    "Multi-Round_None": 1348,
+    "Multi-Round_Generic": 1290,
+    "Multi-Round_Auto": 1237,
+}
+PAPER_TABLE1_AREPAIR: dict[str, int] = {
+    "ARepair": 9,
+    "ICEBAR": 21,
+    "BeAFix": 24,
+    "ATR": 22,
+    "Single-Round_Loc+Fix": 29,
+    "Single-Round_Loc": 20,
+    "Single-Round_Pass": 26,
+    "Single-Round_None": 4,
+    "Single-Round_Loc+Pass": 11,
+    "Multi-Round_None": 24,
+    "Multi-Round_Generic": 29,
+    "Multi-Round_Auto": 27,
+}
+
+# Table I: per-domain breakdown for Alloy4Fun.
+PAPER_TABLE1_A4F_DOMAINS: dict[str, dict[str, int]] = {
+    "classroom": {
+        "total": 999, "ARepair": 88, "ICEBAR": 424, "BeAFix": 387, "ATR": 688,
+        "Single-Round_Loc+Fix": 139, "Single-Round_Loc": 231,
+        "Single-Round_Pass": 94, "Single-Round_None": 88,
+        "Single-Round_Loc+Pass": 162, "Multi-Round_None": 667,
+        "Multi-Round_Generic": 593, "Multi-Round_Auto": 553,
+    },
+    "cv": {
+        "total": 138, "ARepair": 2, "ICEBAR": 86, "BeAFix": 82, "ATR": 38,
+        "Single-Round_Loc+Fix": 58, "Single-Round_Loc": 50,
+        "Single-Round_Pass": 43, "Single-Round_None": 4,
+        "Single-Round_Loc+Pass": 53, "Multi-Round_None": 119,
+        "Multi-Round_Generic": 117, "Multi-Round_Auto": 117,
+    },
+    "graphs": {
+        "total": 283, "ARepair": 19, "ICEBAR": 237, "BeAFix": 232, "ATR": 260,
+        "Single-Round_Loc+Fix": 78, "Single-Round_Loc": 109,
+        "Single-Round_Pass": 90, "Single-Round_None": 20,
+        "Single-Round_Loc+Pass": 75, "Multi-Round_None": 158,
+        "Multi-Round_Generic": 167, "Multi-Round_Auto": 180,
+    },
+    "lts": {
+        "total": 249, "ARepair": 1, "ICEBAR": 73, "BeAFix": 41, "ATR": 70,
+        "Single-Round_Loc+Fix": 91, "Single-Round_Loc": 70,
+        "Single-Round_Pass": 49, "Single-Round_None": 21,
+        "Single-Round_Loc+Pass": 53, "Multi-Round_None": 51,
+        "Multi-Round_Generic": 51, "Multi-Round_Auto": 51,
+    },
+    "production": {
+        "total": 61, "ARepair": 27, "ICEBAR": 36, "BeAFix": 56, "ATR": 43,
+        "Single-Round_Loc+Fix": 28, "Single-Round_Loc": 32,
+        "Single-Round_Pass": 24, "Single-Round_None": 12,
+        "Single-Round_Loc+Pass": 26, "Multi-Round_None": 161,
+        "Multi-Round_Generic": 170, "Multi-Round_Auto": 158,
+    },
+    "trash": {
+        "total": 206, "ARepair": 48, "ICEBAR": 195, "BeAFix": 183, "ATR": 187,
+        "Single-Round_Loc+Fix": 7, "Single-Round_Loc": 5,
+        "Single-Round_Pass": 3, "Single-Round_None": 2,
+        "Single-Round_Loc+Pass": 5, "Multi-Round_None": 192,
+        "Multi-Round_Generic": 192, "Multi-Round_Auto": 178,
+    },
+}
+
+# Figure 2 headline values quoted in the text.
+PAPER_FIGURE2_HIGHLIGHTS = {
+    "ATR": {"tm": 0.985, "sm": 0.997},
+    "Multi-Round_Generic": {"tm": 0.938, "sm": 0.943},
+}
+
+# Figure 3 headline correlations quoted in the text.
+PAPER_FIGURE3_HIGHLIGHTS = {
+    ("ICEBAR", "ATR"): 0.983,
+    ("Multi-Round_Generic", "Multi-Round_Auto"): 0.949,
+    "traditional_cluster_min": 0.972,
+    "single_round_min": 0.644,
+}
+
+# Table II / Figure 4 headline hybrid totals (out of 1,974).
+PAPER_HYBRID_HIGHLIGHTS = {
+    ("ATR", "Multi-Round_None"): 1677,
+    ("ICEBAR", "Multi-Round_None"): 1637,
+    ("BeAFix", "Multi-Round_None"): 1609,
+    ("ARepair", "Multi-Round_None"): 1424,
+}
+
+# Table II: full published hybrid rows (individual, overlap, union).
+PAPER_TABLE2: dict[tuple[str, str], tuple[int, int, int, int]] = {
+    # (traditional, llm): (trad_repairs, llm_repairs, overlap, union)
+    ("ARepair", "Single-Round_Loc+Fix"): (194, 430, 32, 592),
+    ("ARepair", "Single-Round_Loc"): (194, 517, 62, 649),
+    ("ARepair", "Single-Round_Pass"): (194, 329, 35, 488),
+    ("ARepair", "Single-Round_None"): (194, 151, 21, 324),
+    ("ARepair", "Single-Round_Loc+Pass"): (194, 385, 27, 552),
+    ("ARepair", "Multi-Round_None"): (194, 1372, 142, 1424),
+    ("ARepair", "Multi-Round_Generic"): (194, 1319, 137, 1376),
+    ("ARepair", "Multi-Round_Auto"): (194, 1264, 122, 1336),
+    ("ICEBAR", "Single-Round_Loc+Fix"): (1072, 430, 255, 1247),
+    ("ICEBAR", "Single-Round_Loc"): (1072, 517, 322, 1267),
+    ("ICEBAR", "Single-Round_Pass"): (1072, 329, 219, 1182),
+    ("ICEBAR", "Single-Round_None"): (1072, 151, 98, 1125),
+    ("ICEBAR", "Single-Round_Loc+Pass"): (1072, 385, 230, 1227),
+    ("ICEBAR", "Multi-Round_None"): (1072, 1372, 807, 1637),
+    ("ICEBAR", "Multi-Round_Generic"): (1072, 1319, 788, 1603),
+    ("ICEBAR", "Multi-Round_Auto"): (1072, 1264, 746, 1590),
+    ("BeAFix", "Single-Round_Loc+Fix"): (1005, 430, 259, 1176),
+    ("BeAFix", "Single-Round_Loc"): (1005, 517, 314, 1208),
+    ("BeAFix", "Single-Round_Pass"): (1005, 329, 219, 1115),
+    ("BeAFix", "Single-Round_None"): (1005, 151, 98, 1058),
+    ("BeAFix", "Single-Round_Loc+Pass"): (1005, 385, 227, 1163),
+    ("BeAFix", "Multi-Round_None"): (1005, 1372, 768, 1609),
+    ("BeAFix", "Multi-Round_Generic"): (1005, 1319, 742, 1582),
+    ("BeAFix", "Multi-Round_Auto"): (1005, 1264, 697, 1572),
+    ("ATR", "Single-Round_Loc+Fix"): (1308, 430, 296, 1442),
+    ("ATR", "Single-Round_Loc"): (1308, 517, 385, 1440),
+    ("ATR", "Single-Round_Pass"): (1308, 329, 250, 1387),
+    ("ATR", "Single-Round_None"): (1308, 151, 127, 1332),
+    ("ATR", "Single-Round_Loc+Pass"): (1308, 385, 109, 1584),
+    ("ATR", "Multi-Round_None"): (1308, 1372, 1003, 1677),
+    ("ATR", "Multi-Round_Generic"): (1308, 1319, 970, 1657),
+    ("ATR", "Multi-Round_Auto"): (1308, 1264, 913, 1659),
+}

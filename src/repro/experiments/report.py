@@ -1,0 +1,70 @@
+"""Full experiment report generation (used by ``repro all`` and EXPERIMENTS.md).
+
+Assembles every regenerated artifact — corpus statistics, Table I, Figure 2,
+Figure 3, Table II/Figure 4 — into one text report with the paper's values
+alongside for shape comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.benchmarks.stats import render_stats, summarize
+from repro.experiments.figure2 import compute_figure2, render_figure2
+from repro.experiments.figure3 import compute_figure3, render_figure3
+from repro.experiments.hybrid import compute_hybrid, render_figure4, render_table2
+from repro.experiments.runner import ResultMatrix, run_matrix
+from repro.experiments.table1 import compute_table1, render_table1
+
+
+@dataclass
+class StudyReport:
+    """All computed artifacts of one study run."""
+
+    arepair: ResultMatrix
+    alloy4fun: ResultMatrix
+    text: str
+
+
+def generate_report(
+    scale: float = 0.05,
+    seed: int = 0,
+    use_cache: bool = True,
+    progress: bool = False,
+) -> StudyReport:
+    """Run both benchmarks and render the complete study report."""
+    started = time.time()
+    arepair = run_matrix(
+        "arepair", scale=1.0, seed=seed, use_cache=use_cache, progress=progress
+    )
+    alloy4fun = run_matrix(
+        "alloy4fun", scale=scale, seed=seed, use_cache=use_cache, progress=progress
+    )
+    matrices = [arepair, alloy4fun]
+
+    sections = [
+        "REPRODUCTION REPORT — Towards More Dependable Specifications (DSN 2025)",
+        f"seed={seed}  alloy4fun-scale={scale}  "
+        f"({len(arepair.specs)} + {len(alloy4fun.specs)} specifications)",
+        "",
+        render_stats(summarize(arepair.specs), "ARepair benchmark"),
+        "",
+        render_stats(summarize(alloy4fun.specs), "Alloy4Fun benchmark (sampled)"),
+        "",
+        render_table1(compute_table1(arepair, alloy4fun)),
+        "",
+        render_figure2(compute_figure2(matrices)),
+        "",
+        render_figure3(compute_figure3(matrices)),
+        "",
+    ]
+    analysis = compute_hybrid(matrices)
+    sections.append(render_table2(analysis))
+    sections.append("")
+    sections.append(render_figure4(analysis))
+    sections.append("")
+    sections.append(f"report generated in {time.time() - started:.0f}s")
+    return StudyReport(
+        arepair=arepair, alloy4fun=alloy4fun, text="\n".join(sections)
+    )

@@ -1,0 +1,279 @@
+"""The experiment engine: run every technique over a benchmark suite.
+
+One pass produces a :class:`ResultMatrix` — per (specification, technique):
+the REP outcome against the ground truth plus TM/SM similarity of whatever
+text the technique produced.  Every table and figure of the paper is a
+projection of this matrix, so it is computed once and cached as JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.analyzer.analyzer import Analyzer
+from repro.benchmarks.cache import cache_dir, load_benchmark
+from repro.benchmarks.faults import FaultySpec
+from repro.llm.mock_gpt import GPT35_PROFILE, GPT4_PROFILE, MockGPT
+from repro.llm.prompts import FeedbackLevel, PromptSetting
+from repro.metrics.bleu import token_match
+from repro.metrics.rep import rep_outcome, truth_command_outcomes
+from repro.metrics.syntax_match import syntax_match
+from repro.repair.arepair import ARepair
+from repro.repair.atr import Atr
+from repro.repair.base import RepairTask
+from repro.repair.beafix import BeAFix
+from repro.repair.icebar import Icebar
+from repro.repair.multi_round import MultiRoundLLM
+from repro.repair.single_round import SingleRoundLLM
+from repro.testing.generation import generate_suite
+
+TRADITIONAL = ["ARepair", "ICEBAR", "BeAFix", "ATR"]
+SINGLE_ROUND = [f"Single-Round_{s.value}" for s in PromptSetting]
+MULTI_ROUND = [f"Multi-Round_{f.value}" for f in FeedbackLevel]
+ALL_TECHNIQUES = TRADITIONAL + SINGLE_ROUND + MULTI_ROUND
+
+
+@dataclass
+class SpecOutcome:
+    """One technique's result on one specification."""
+
+    spec_id: str
+    technique: str
+    rep: int
+    tm: float
+    sm: float
+    status: str
+    elapsed: float
+
+
+@dataclass
+class ResultMatrix:
+    """All outcomes for one benchmark run."""
+
+    benchmark: str
+    seed: int
+    scale: float
+    specs: list[FaultySpec] = field(default_factory=list)
+    outcomes: dict[str, dict[str, SpecOutcome]] = field(default_factory=dict)
+    """spec_id -> technique -> outcome"""
+
+    def repaired_ids(self, technique: str) -> set[str]:
+        return {
+            spec_id
+            for spec_id, row in self.outcomes.items()
+            if technique in row and row[technique].rep == 1
+        }
+
+    def rep_count(self, technique: str, domain: str | None = None) -> int:
+        count = 0
+        domains = {s.spec_id: s.domain for s in self.specs}
+        for spec_id, row in self.outcomes.items():
+            if domain is not None and domains.get(spec_id) != domain:
+                continue
+            if technique in row and row[technique].rep == 1:
+                count += 1
+        return count
+
+    def similarity_series(self, technique: str, metric: str = "tm") -> list[float]:
+        """Per-spec similarity values, ordered by spec_id."""
+        values = []
+        for spec in self.specs:
+            outcome = self.outcomes.get(spec.spec_id, {}).get(technique)
+            if outcome is None:
+                continue
+            values.append(outcome.tm if metric == "tm" else outcome.sm)
+        return values
+
+    def mean_similarity(self, technique: str, metric: str = "tm") -> float:
+        series = self.similarity_series(technique, metric)
+        return sum(series) / len(series) if series else 0.0
+
+
+def _seed_for(spec: FaultySpec, technique: str, seed: int) -> int:
+    digest = hashlib.sha256(
+        f"{seed}:{spec.spec_id}:{technique}".encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def _arepair_suite_size(spec: FaultySpec) -> int:
+    """AUnit suite size for bare ARepair, per benchmark.
+
+    The ARepair benchmark ships with author-written AUnit suites (strong);
+    Alloy4Fun has none, so the study's ARepair runs there relied on minimal
+    generated suites — the source of ARepair's extreme overfitting."""
+    return 4 if spec.benchmark == "arepair" else 1
+
+
+def _icebar_suite_size(spec: FaultySpec) -> int:
+    """ICEBAR seeds its refinement loop with a moderate suite and grows it
+    from counterexamples, so its initial suite matters less."""
+    return 5 if spec.benchmark == "arepair" else 3
+
+
+def _make_tool(technique: str, spec: FaultySpec, seed: int):
+    tool_seed = _seed_for(spec, technique, seed)
+    if technique == "ARepair":
+        size = _arepair_suite_size(spec)
+        suite = generate_suite(
+            Analyzer(spec.truth_source),
+            positives=size,
+            negatives=size,
+            seed=tool_seed,
+        )
+        return ARepair(suite)
+    if technique == "ICEBAR":
+        size = _icebar_suite_size(spec)
+        suite = generate_suite(
+            Analyzer(spec.truth_source),
+            positives=size,
+            negatives=size,
+            seed=tool_seed,
+        )
+        return Icebar(suite)
+    if technique == "BeAFix":
+        return BeAFix()
+    if technique == "ATR":
+        return Atr()
+    if technique.startswith("Single-Round_"):
+        setting = PromptSetting(technique.removeprefix("Single-Round_"))
+        client = MockGPT(seed=tool_seed, profile=GPT35_PROFILE)
+        return SingleRoundLLM(client, setting, spec.hints)
+    if technique.startswith("Multi-Round_"):
+        feedback = FeedbackLevel(technique.removeprefix("Multi-Round_"))
+        client = MockGPT(seed=tool_seed, profile=GPT4_PROFILE)
+        return MultiRoundLLM(client, feedback)
+    raise ValueError(f"unknown technique {technique!r}")
+
+
+def run_spec(
+    spec: FaultySpec,
+    technique: str,
+    seed: int,
+    truth_outcomes: list[bool] | None = None,
+) -> SpecOutcome:
+    """Run one technique on one faulty specification and score the result."""
+    start = time.perf_counter()
+    tool = _make_tool(technique, spec, seed)
+    task = RepairTask.from_source(spec.faulty_source)
+    result = tool.repair(task)
+    final_text = result.final_source(task)
+    outcome = rep_outcome(final_text, spec.truth_source, truth_outcomes)
+    tm = token_match(final_text, spec.truth_source)
+    sm = syntax_match(final_text, spec.truth_source)
+    return SpecOutcome(
+        spec_id=spec.spec_id,
+        technique=technique,
+        rep=outcome.rep,
+        tm=tm,
+        sm=sm,
+        status=result.status.value,
+        elapsed=time.perf_counter() - start,
+    )
+
+
+def run_matrix(
+    benchmark: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    techniques: list[str] | None = None,
+    use_cache: bool = True,
+    progress: bool = False,
+) -> ResultMatrix:
+    """Run (or load from cache) the full technique × spec matrix."""
+    techniques = techniques or ALL_TECHNIQUES
+    specs = load_benchmark(benchmark, seed=seed, scale=scale)
+    path = cache_dir() / _matrix_key(benchmark, seed, scale, techniques)
+    matrix = ResultMatrix(benchmark=benchmark, seed=seed, scale=scale, specs=specs)
+    if use_cache and path.exists():
+        _load_outcomes(matrix, path)
+        missing = [
+            t
+            for t in techniques
+            if any(t not in matrix.outcomes.get(s.spec_id, {}) for s in specs)
+        ]
+        if not missing:
+            return matrix
+
+    truth_cache: dict[str, list[bool]] = {}
+    total = len(specs) * len(techniques)
+    done = 0
+    for spec in specs:
+        row = matrix.outcomes.setdefault(spec.spec_id, {})
+        if spec.truth_source not in truth_cache:
+            truth_cache[spec.truth_source] = truth_command_outcomes(
+                spec.truth_source
+            )
+        for technique in techniques:
+            if technique in row:
+                done += 1
+                continue
+            row[technique] = run_spec(
+                spec, technique, seed, truth_cache[spec.truth_source]
+            )
+            done += 1
+            if progress and done % 25 == 0:
+                print(f"  [{benchmark}] {done}/{total} outcomes", flush=True)
+    if use_cache:
+        _save_outcomes(matrix, path)
+    return matrix
+
+
+def _matrix_key(
+    benchmark: str, seed: int, scale: float, techniques: list[str]
+) -> str:
+    digest = hashlib.sha256(
+        json.dumps(
+            {"b": benchmark, "s": seed, "sc": scale}, sort_keys=True
+        ).encode()
+    ).hexdigest()[:12]
+    return f"matrix-{benchmark}-{seed}-{digest}.json"
+
+
+def _save_outcomes(matrix: ResultMatrix, path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        spec_id: {
+            technique: {
+                "rep": o.rep,
+                "tm": o.tm,
+                "sm": o.sm,
+                "status": o.status,
+                "elapsed": o.elapsed,
+            }
+            for technique, o in row.items()
+        }
+        for spec_id, row in matrix.outcomes.items()
+    }
+    with path.open("w") as handle:
+        json.dump(payload, handle)
+
+
+def _load_outcomes(matrix: ResultMatrix, path) -> None:
+    with path.open() as handle:
+        payload = json.load(handle)
+    for spec_id, row in payload.items():
+        matrix.outcomes[spec_id] = {
+            technique: SpecOutcome(
+                spec_id=spec_id,
+                technique=technique,
+                rep=data["rep"],
+                tm=data["tm"],
+                sm=data["sm"],
+                status=data["status"],
+                elapsed=data["elapsed"],
+            )
+            for technique, data in row.items()
+        }
+
+
+def combined_matrices(
+    scale: float = 1.0, seed: int = 0, progress: bool = False
+) -> tuple[ResultMatrix, ResultMatrix]:
+    """Both benchmarks' matrices (ARepair first, then Alloy4Fun)."""
+    arepair = run_matrix("arepair", scale=1.0, seed=seed, progress=progress)
+    alloy4fun = run_matrix("alloy4fun", scale=scale, seed=seed, progress=progress)
+    return arepair, alloy4fun

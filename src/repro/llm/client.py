@@ -1,0 +1,62 @@
+"""LLM client abstraction.
+
+The study called OpenAI/Azure GPT-4 over HTTPS; this repository talks to any
+object satisfying :class:`LLMClient`.  The offline reproduction plugs in
+:class:`repro.llm.mock_gpt.MockGPT`; a thin adapter to a real API client can
+be substituted without touching the repair pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+
+@dataclass(frozen=True)
+class Message:
+    """One chat message."""
+
+    role: str  # "system" | "user" | "assistant"
+    content: str
+
+
+@dataclass
+class Conversation:
+    """An ordered chat history, as sent to the model."""
+
+    messages: list[Message] = field(default_factory=list)
+
+    def add(self, role: str, content: str) -> None:
+        self.messages.append(Message(role=role, content=content))
+
+    def last_assistant(self) -> str | None:
+        for message in reversed(self.messages):
+            if message.role == "assistant":
+                return message.content
+        return None
+
+    def rendered(self) -> str:
+        """A flat text rendering (used for seeding the mock's RNG)."""
+        return "\n".join(f"[{m.role}] {m.content}" for m in self.messages)
+
+
+class LLMClient(Protocol):
+    """Anything that can complete a chat conversation."""
+
+    def complete(self, conversation: Conversation) -> str:
+        """Return the assistant's next message for the conversation."""
+        ...
+
+
+@dataclass
+class UsageStats:
+    """Request accounting, mirroring what an API client would expose."""
+
+    requests: int = 0
+    prompt_chars: int = 0
+    completion_chars: int = 0
+
+    def record(self, conversation: Conversation, completion: str) -> None:
+        self.requests += 1
+        self.prompt_chars += sum(len(m.content) for m in conversation.messages)
+        self.completion_chars += len(completion)

@@ -1,0 +1,75 @@
+"""Extraction of Alloy specifications from LLM responses.
+
+The study notes that "a specialized parser was developed to address
+challenges posed by unique scenarios that could hinder the extraction of
+proposed specifications" — models wrap code in varied fences, prepend
+prose, or emit fragments.  This module reproduces that parser: it tries,
+in order,
+
+1. fenced code blocks (``` with any language tag),
+2. the longest brace-balanced region that starts with an Alloy keyword,
+3. the whole response,
+
+and validates each candidate by actually parsing it.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.alloy.errors import AlloyError
+from repro.alloy.nodes import Module
+from repro.alloy.parser import parse_module
+
+_FENCE_PATTERN = re.compile(r"```[a-zA-Z0-9_+-]*\n(.*?)```", re.DOTALL)
+_KEYWORD_PATTERN = re.compile(
+    r"^\s*(module|abstract|one|lone|some|sig|fact|pred|fun|assert|run|check)\b",
+    re.MULTILINE,
+)
+
+
+class ExtractionError(Exception):
+    """Raised when no parseable specification can be recovered."""
+
+
+def candidate_regions(response: str) -> list[str]:
+    """Textual regions that might contain a specification, best-first."""
+    regions: list[str] = []
+    for match in _FENCE_PATTERN.finditer(response):
+        regions.append(match.group(1))
+    keyword_match = _KEYWORD_PATTERN.search(response)
+    if keyword_match is not None:
+        regions.append(response[keyword_match.start() :])
+    regions.append(response)
+    # Longest candidates first within each tier keeps full specs ahead of
+    # snippets quoted in the explanation.
+    fenced = sorted(regions[: len(regions) - 2], key=len, reverse=True)
+    return fenced + regions[len(fenced) :]
+
+
+def extract_module(response: str) -> Module:
+    """Parse the specification proposed in ``response``.
+
+    Raises :class:`ExtractionError` when no region parses.
+    """
+    last_error: Exception | None = None
+    for region in candidate_regions(response):
+        text = region.strip()
+        if not text:
+            continue
+        try:
+            module = parse_module(text)
+        except (AlloyError, RecursionError) as error:
+            last_error = error
+            continue
+        if module.paragraphs:
+            return module
+    raise ExtractionError(f"no parseable specification in response: {last_error}")
+
+
+def try_extract_module(response: str) -> tuple[Module | None, str | None]:
+    """Extraction that reports failure instead of raising."""
+    try:
+        return extract_module(response), None
+    except ExtractionError as error:
+        return None, str(error)

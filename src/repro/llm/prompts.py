@@ -1,0 +1,213 @@
+"""Prompt construction for the LLM-based repair techniques.
+
+Single-round prompting follows Hasan et al. (2023): one zero-shot prompt
+containing the faulty specification plus a combination of three optional
+hints — bug location (Loc), a fix description (Fix), and an assertion the
+fix must satisfy (Pass).  Five settings are studied: Loc+Fix, Loc, Pass,
+None, and Loc+Pass.
+
+Multi-round prompting follows Alhanahnah et al. (2024): a Repair Agent in a
+dialogue whose follow-up turns carry Alloy Analyzer feedback at one of three
+levels — No-feedback (binary), Generic-feedback (templated counterexample
+summary), or Auto-feedback (a second Prompt Agent writes tailored guidance).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analyzer.instance import Instance
+from repro.llm.client import Conversation
+
+
+class PromptSetting(enum.Enum):
+    """The five single-round hint combinations of the study."""
+
+    LOC_FIX = "Loc+Fix"
+    LOC = "Loc"
+    PASS = "Pass"
+    NONE = "None"
+    LOC_PASS = "Loc+Pass"
+
+    @property
+    def wants_location(self) -> bool:
+        return self in (
+            PromptSetting.LOC_FIX,
+            PromptSetting.LOC,
+            PromptSetting.LOC_PASS,
+        )
+
+    @property
+    def wants_fix(self) -> bool:
+        return self is PromptSetting.LOC_FIX
+
+    @property
+    def wants_pass(self) -> bool:
+        return self in (PromptSetting.PASS, PromptSetting.LOC_PASS)
+
+
+class FeedbackLevel(enum.Enum):
+    """The three multi-round feedback settings of the study."""
+
+    NONE = "None"
+    GENERIC = "Generic"
+    AUTO = "Auto"
+
+
+@dataclass(frozen=True)
+class RepairHints:
+    """Benchmark-provided information about the seeded fault."""
+
+    location: str | None = None
+    fix_description: str | None = None
+    passing_assertion: str | None = None
+
+
+@dataclass
+class CommandReport:
+    """Analyzer outcome for one command, as shown in feedback."""
+
+    name: str
+    kind: str
+    expected_sat: bool
+    actual_sat: bool
+    counterexamples: list[Instance] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.expected_sat == self.actual_sat
+
+
+@dataclass
+class AnalyzerReport:
+    """Full analyzer feedback for one candidate specification."""
+
+    compiled: bool
+    error: str | None = None
+    commands: list[CommandReport] = field(default_factory=list)
+
+    @property
+    def all_pass(self) -> bool:
+        return self.compiled and all(c.ok for c in self.commands)
+
+
+_SYSTEM_PROMPT = (
+    "You are an expert in the Alloy specification language. "
+    "You repair faulty Alloy specifications. Always answer with the "
+    "complete fixed specification in a fenced code block."
+)
+
+
+def single_round_prompt(
+    spec_text: str, setting: PromptSetting, hints: RepairHints
+) -> Conversation:
+    """Build the zero-shot single-round conversation."""
+    parts = [
+        "The following Alloy specification contains a fault. "
+        "Repair it so that all of its commands behave as intended.",
+        "```alloy",
+        spec_text.rstrip(),
+        "```",
+    ]
+    if setting.wants_location and hints.location:
+        parts.append(f"Bug location: {hints.location}")
+    if setting.wants_fix and hints.fix_description:
+        parts.append(f"Fix description: {hints.fix_description}")
+    if setting.wants_pass and hints.passing_assertion:
+        parts.append(
+            "The repaired specification must make the assertion "
+            f"'{hints.passing_assertion}' pass."
+        )
+    parts.append("Return the full corrected specification.")
+    conversation = Conversation()
+    conversation.add("system", _SYSTEM_PROMPT)
+    conversation.add("user", "\n".join(parts))
+    return conversation
+
+
+def initial_multi_round_prompt(
+    spec_text: str, hints: RepairHints | None = None
+) -> Conversation:
+    """The Repair Agent's opening turn.
+
+    The study's multi-round protocol gives no hints; the *pipeline hybrid*
+    extension (traditional fault localization feeding the LLM) passes a
+    location hint here."""
+    conversation = Conversation()
+    conversation.add("system", _SYSTEM_PROMPT)
+    body = (
+        "The following Alloy specification is faulty: at least one of its "
+        "commands does not behave as expected. Propose a repaired "
+        "specification.\n```alloy\n" + spec_text.rstrip() + "\n```"
+    )
+    if hints is not None and hints.location:
+        body += f"\nBug location: {hints.location}"
+    conversation.add("user", body)
+    return conversation
+
+
+def render_generic_feedback(report: AnalyzerReport) -> str:
+    """The Generic-feedback template: a developer-style analyzer summary."""
+    if not report.compiled:
+        return (
+            "Your specification did not compile. The analyzer reported:\n"
+            f"{report.error}\n"
+            "Please fix the specification and return it in full."
+        )
+    lines = ["The Alloy Analyzer reports that the fix is not correct yet:"]
+    for command in report.commands:
+        if command.ok:
+            lines.append(
+                f"- {command.kind} {command.name}: OK "
+                f"({'SAT' if command.actual_sat else 'UNSAT'} as expected)"
+            )
+            continue
+        expected = "SAT" if command.expected_sat else "UNSAT"
+        actual = "SAT" if command.actual_sat else "UNSAT"
+        lines.append(
+            f"- {command.kind} {command.name}: expected {expected}, got {actual}"
+        )
+        for index, instance in enumerate(command.counterexamples[:2]):
+            lines.append(f"  counterexample {index + 1}:")
+            for row in instance.describe().splitlines():
+                lines.append(f"    {row}")
+    lines.append("Please provide a corrected full specification.")
+    return "\n".join(lines)
+
+
+def render_no_feedback(report: AnalyzerReport) -> str:
+    """The No-feedback message: a bare binary verdict."""
+    if report.all_pass:
+        return "The fix is correct."
+    return (
+        "The fix is not correct. Please provide another corrected full "
+        "specification."
+    )
+
+
+def prompt_agent_conversation(
+    candidate_text: str, report: AnalyzerReport
+) -> Conversation:
+    """The Prompt Agent's task: turn an analyzer report into tailored advice.
+
+    This is the AI-to-AI leg of the Auto-feedback setting."""
+    conversation = Conversation()
+    conversation.add(
+        "system",
+        "You are an expert Alloy debugging assistant. Given a candidate "
+        "specification and the Alloy Analyzer's report, write concise, "
+        "specific guidance that helps another agent repair the "
+        "specification. Point at the constraint you believe is wrong.",
+    )
+    body = [
+        "Candidate specification:",
+        "```alloy",
+        candidate_text.rstrip(),
+        "```",
+        "Analyzer report:",
+        render_generic_feedback(report),
+        "Write targeted repair guidance.",
+    ]
+    conversation.add("user", "\n".join(body))
+    return conversation

@@ -1,0 +1,107 @@
+"""Conversation transcript recording.
+
+The study's artifact archives every prompt/response exchanged with the
+models.  :class:`TranscriptRecorder` wraps any :class:`LLMClient` and
+captures each exchange; transcripts can be exported/imported as JSONL, and
+a :class:`ReplayClient` turns an exported transcript back into a client —
+which makes any LLM-dependent experiment exactly re-runnable without the
+model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.llm.client import Conversation, LLMClient
+
+
+@dataclass
+class Exchange:
+    """One request/response pair."""
+
+    messages: list[dict]
+    response: str
+
+
+@dataclass
+class TranscriptRecorder:
+    """Records every exchange passing through a client."""
+
+    inner: LLMClient
+    exchanges: list[Exchange] = field(default_factory=list)
+
+    def complete(self, conversation: Conversation) -> str:
+        response = self.inner.complete(conversation)
+        self.exchanges.append(
+            Exchange(
+                messages=[
+                    {"role": m.role, "content": m.content}
+                    for m in conversation.messages
+                ],
+                response=response,
+            )
+        )
+        return response
+
+    def save(self, path: str | Path) -> None:
+        """Export all exchanges as JSONL."""
+        with Path(path).open("w") as handle:
+            for exchange in self.exchanges:
+                handle.write(
+                    json.dumps(
+                        {
+                            "messages": exchange.messages,
+                            "response": exchange.response,
+                        }
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def load_exchanges(cls, path: str | Path) -> list[Exchange]:
+        exchanges = []
+        with Path(path).open() as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                data = json.loads(line)
+                exchanges.append(
+                    Exchange(messages=data["messages"], response=data["response"])
+                )
+        return exchanges
+
+
+class ReplayClient:
+    """Replays a recorded transcript.
+
+    Responses are matched by exact conversation prefix; unseen conversations
+    raise — replay is deterministic or it fails loudly."""
+
+    def __init__(self, exchanges: list[Exchange]) -> None:
+        self._by_key: dict[str, list[str]] = {}
+        for exchange in exchanges:
+            key = self._key(exchange.messages)
+            self._by_key.setdefault(key, []).append(exchange.response)
+
+    @staticmethod
+    def _key(messages: list[dict]) -> str:
+        return json.dumps(messages, sort_keys=True)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ReplayClient":
+        return cls(TranscriptRecorder.load_exchanges(path))
+
+    def complete(self, conversation: Conversation) -> str:
+        key = self._key(
+            [{"role": m.role, "content": m.content} for m in conversation.messages]
+        )
+        responses = self._by_key.get(key)
+        if not responses:
+            raise KeyError(
+                "no recorded response for this conversation "
+                f"({len(conversation.messages)} messages)"
+            )
+        # Repeated identical conversations replay in recorded order.
+        return responses.pop(0) if len(responses) > 1 else responses[0]

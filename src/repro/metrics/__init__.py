@@ -1,0 +1,34 @@
+"""Evaluation metrics: REP, Token Match (BLEU), Syntax Match, Pearson."""
+
+from repro.metrics.bleu import sentence_bleu, token_match
+from repro.metrics.pearson import Correlation, correlation_matrix, pearson
+from repro.metrics.rep import (
+    RepOutcome,
+    rep,
+    rep_module,
+    rep_outcome,
+    truth_command_outcomes,
+)
+from repro.metrics.syntax_match import (
+    subtree_multiset,
+    subtree_shape,
+    syntax_match,
+    syntax_match_modules,
+)
+
+__all__ = [
+    "Correlation",
+    "RepOutcome",
+    "correlation_matrix",
+    "pearson",
+    "rep",
+    "rep_module",
+    "rep_outcome",
+    "sentence_bleu",
+    "subtree_multiset",
+    "subtree_shape",
+    "syntax_match",
+    "syntax_match_modules",
+    "token_match",
+    "truth_command_outcomes",
+]

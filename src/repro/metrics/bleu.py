@@ -1,0 +1,75 @@
+"""Sentence-level BLEU, implemented from scratch (Papineni et al., 2002).
+
+The study's Token Match (TM) metric is the sentence BLEU of the candidate
+repair against the ground-truth specification, with whitespace tokenization.
+We use up-to-4-gram precision with the standard brevity penalty and add-one
+smoothing on higher-order n-grams (Lin & Och's smoothing 1), which keeps
+short specifications from zeroing out.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+
+def tokenize(text: str) -> list[str]:
+    """Whitespace tokenization, as specified by the study."""
+    return text.split()
+
+
+def _ngrams(tokens: list[str], n: int) -> Counter:
+    return Counter(
+        tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)
+    )
+
+
+def modified_precision(
+    candidate: list[str], reference: list[str], n: int
+) -> tuple[int, int]:
+    """Clipped n-gram matches and total candidate n-grams."""
+    candidate_ngrams = _ngrams(candidate, n)
+    reference_ngrams = _ngrams(reference, n)
+    matches = sum(
+        min(count, reference_ngrams[ngram])
+        for ngram, count in candidate_ngrams.items()
+    )
+    total = max(sum(candidate_ngrams.values()), 0)
+    return matches, total
+
+
+def sentence_bleu(
+    candidate_text: str, reference_text: str, max_n: int = 4
+) -> float:
+    """BLEU of ``candidate_text`` against a single reference, in [0, 1]."""
+    candidate = tokenize(candidate_text)
+    reference = tokenize(reference_text)
+    if not candidate or not reference:
+        return 1.0 if candidate == reference else 0.0
+
+    log_precision_sum = 0.0
+    for n in range(1, max_n + 1):
+        matches, total = modified_precision(candidate, reference, n)
+        if total == 0:
+            # Candidate shorter than n: treat as fully smoothed.
+            matches, total = 1, 1
+        elif matches == 0:
+            # Smoothing 1: add one to numerator and denominator for n > 1.
+            if n == 1:
+                return 0.0
+            matches, total = 1, total + 1
+        log_precision_sum += math.log(matches / total)
+    geometric_mean = math.exp(log_precision_sum / max_n)
+
+    candidate_length = len(candidate)
+    reference_length = len(reference)
+    if candidate_length >= reference_length:
+        brevity_penalty = 1.0
+    else:
+        brevity_penalty = math.exp(1.0 - reference_length / candidate_length)
+    return brevity_penalty * geometric_mean
+
+
+def token_match(candidate_text: str, reference_text: str) -> float:
+    """The study's TM metric: sentence BLEU over whitespace tokens."""
+    return sentence_bleu(candidate_text, reference_text)

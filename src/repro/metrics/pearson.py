@@ -1,0 +1,120 @@
+"""Pearson correlation with significance, implemented from first principles.
+
+Used by the Figure 3 reproduction: the correlation between two repair
+techniques' per-specification similarity scores.  The p-value uses the exact
+t-distribution via the regularized incomplete beta function (continued
+fraction evaluation), so no SciPy dependency is needed on this path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Correlation:
+    """A Pearson correlation coefficient with its two-sided p-value."""
+
+    r: float
+    p_value: float
+    n: int
+
+
+def pearson(xs: list[float], ys: list[float]) -> Correlation:
+    """Pearson's r between two equal-length samples, with significance."""
+    if len(xs) != len(ys):
+        raise ValueError("samples must have equal length")
+    n = len(xs)
+    if n < 3:
+        raise ValueError("need at least 3 paired observations")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0.0 or var_y == 0.0:
+        # A constant sample: correlation undefined; report r = 0, p = 1.
+        return Correlation(r=0.0, p_value=1.0, n=n)
+    r = cov / math.sqrt(var_x * var_y)
+    r = max(-1.0, min(1.0, r))
+    if abs(r) == 1.0:
+        return Correlation(r=r, p_value=0.0, n=n)
+    dof = n - 2
+    t = r * math.sqrt(dof / (1.0 - r * r))
+    p = _student_t_two_sided(t, dof)
+    return Correlation(r=r, p_value=p, n=n)
+
+
+def _student_t_two_sided(t: float, dof: int) -> float:
+    """Two-sided p-value for Student's t via the incomplete beta function."""
+    x = dof / (dof + t * t)
+    return _regularized_incomplete_beta(dof / 2.0, 0.5, x)
+
+
+def _regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """I_x(a, b) by Lentz's continued fraction (Numerical Recipes 6.4)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_beta = (
+        math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log(1.0 - x)
+    )
+    front = math.exp(ln_beta)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_cf(a, b, x) / a
+    return 1.0 - front * _beta_cf(b, a, 1.0 - x) / b
+
+
+def _beta_cf(a: float, b: float, x: float, max_iterations: int = 200) -> float:
+    tiny = 1e-30
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iterations + 1):
+        m2 = 2 * m
+        numerator = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        numerator = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-12:
+            return h
+    return h
+
+
+def correlation_matrix(
+    series: dict[str, list[float]]
+) -> dict[tuple[str, str], Correlation]:
+    """All pairwise correlations among named, aligned series."""
+    names = list(series)
+    matrix: dict[tuple[str, str], Correlation] = {}
+    for i, first in enumerate(names):
+        for second in names[i:]:
+            result = pearson(series[first], series[second])
+            matrix[(first, second)] = result
+            matrix[(second, first)] = result
+    return matrix

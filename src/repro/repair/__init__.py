@@ -1,0 +1,53 @@
+"""Repair techniques: four traditional tools plus LLM-based approaches."""
+
+from repro.repair.arepair import ARepair, ARepairConfig
+from repro.repair.atr import Atr, AtrConfig
+from repro.repair.base import (
+    PropertyOracle,
+    RepairResult,
+    RepairStatus,
+    RepairTask,
+    RepairTool,
+)
+from repro.repair.beafix import BeAFix, BeAFixConfig
+from repro.repair.icebar import Icebar, IcebarConfig
+from repro.repair.localization import (
+    Discriminator,
+    SuspiciousLocation,
+    localize,
+    verdict_matches,
+)
+from repro.repair.multi_round import MultiRoundConfig, MultiRoundLLM
+from repro.repair.mutation import Mutant, Mutator, higher_order_mutants, mutation_points
+from repro.repair.selector import DynamicSelector, FaultProfile, characterize
+from repro.repair.single_round import SingleRoundLLM
+
+__all__ = [
+    "ARepair",
+    "ARepairConfig",
+    "Atr",
+    "AtrConfig",
+    "BeAFix",
+    "BeAFixConfig",
+    "Discriminator",
+    "DynamicSelector",
+    "FaultProfile",
+    "Icebar",
+    "IcebarConfig",
+    "Mutant",
+    "MultiRoundConfig",
+    "MultiRoundLLM",
+    "Mutator",
+    "PropertyOracle",
+    "RepairResult",
+    "RepairStatus",
+    "RepairTask",
+    "RepairTool",
+    "SingleRoundLLM",
+    "SuspiciousLocation",
+    "characterize",
+    "higher_order_mutants",
+    "localize",
+    "mutation_points",
+    "verdict_matches",
+]

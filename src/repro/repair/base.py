@@ -1,0 +1,201 @@
+"""Shared machinery for every repair technique.
+
+A :class:`RepairTask` wraps one faulty specification together with its
+*property oracle*: the specification's own commands annotated with expected
+outcomes (``expect 0`` / ``expect 1``), exactly the oracle BeAFix, ICEBAR,
+and ATR consume.  A :class:`RepairResult` records what the technique
+produced; the study's REP/TM/SM metrics are computed later against the
+ground truth, which the tools never see.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+from repro.alloy.errors import AlloyError
+from repro.alloy.nodes import Module
+from repro.alloy.parser import parse_module
+from repro.alloy.pretty import print_module
+from repro.alloy.resolver import ModuleInfo, resolve_module
+from repro.analyzer.analyzer import Analyzer, CommandResult
+from repro.analyzer.instance import Instance
+
+
+class RepairStatus(enum.Enum):
+    """Terminal status of one repair attempt."""
+
+    FIXED = "fixed"  # candidate meets the tool's oracle
+    NOT_FIXED = "not_fixed"  # search exhausted without an oracle-passing fix
+    ERROR = "error"  # the tool crashed or the input did not compile
+
+
+@dataclass
+class RepairTask:
+    """One faulty specification to repair."""
+
+    source: str
+    module: Module = None  # type: ignore[assignment]
+    info: ModuleInfo = None  # type: ignore[assignment]
+
+    @classmethod
+    def from_source(cls, source: str) -> "RepairTask":
+        module = parse_module(source)
+        info = resolve_module(module)
+        return cls(source=source, module=module, info=info)
+
+    @classmethod
+    def from_module(cls, module: Module) -> "RepairTask":
+        return cls(
+            source=print_module(module),
+            module=module,
+            info=resolve_module(module),
+        )
+
+
+@dataclass
+class RepairResult:
+    """Outcome of one repair attempt."""
+
+    status: RepairStatus
+    technique: str
+    candidate: Module | None = None
+    candidate_source: str | None = None
+    iterations: int = 0
+    candidates_explored: int = 0
+    oracle_queries: int = 0
+    elapsed: float = 0.0
+    detail: str = ""
+
+    @property
+    def fixed(self) -> bool:
+        return self.status is RepairStatus.FIXED
+
+    def final_source(self, task: RepairTask) -> str:
+        """The text this technique would hand to the metrics: its candidate
+        if it produced one, otherwise the unmodified faulty input."""
+        if self.candidate_source is not None:
+            return self.candidate_source
+        if self.candidate is not None:
+            return print_module(self.candidate)
+        return task.source
+
+
+class PropertyOracle:
+    """Evaluates candidates against the specification's own commands.
+
+    A candidate *meets the oracle* when every command's satisfiability
+    matches its ``expect`` annotation (commands without an annotation default
+    to the conventional reading: ``check`` expects no counterexample, ``run``
+    expects an instance).
+    """
+
+    def __init__(self, task: RepairTask) -> None:
+        self._task = task
+        self.queries = 0
+
+    def expected_outcome(self, command) -> bool:
+        if command.expect is not None:
+            return command.expect == 1
+        return command.kind == "run"
+
+    def evaluate_module(self, module: Module) -> tuple[bool, list[CommandResult]]:
+        """Run the *task's* commands against a candidate.
+
+        Using the task's command list (not the candidate's) closes a
+        loophole: a candidate that dropped its commands would otherwise pass
+        the oracle vacuously.  Commands reference predicates/assertions by
+        name, so a candidate missing them simply fails."""
+        self.queries += 1
+        try:
+            analyzer = Analyzer(module)
+        except (AlloyError, RecursionError):
+            return False, []
+        results: list[CommandResult] = []
+        ok = True
+        for command in self._task.info.commands:
+            try:
+                result = analyzer.run_command(command)
+            except (AlloyError, RecursionError):
+                return False, results
+            results.append(result)
+            if result.sat != self.expected_outcome(command):
+                ok = False
+        return ok, results
+
+    def failing_evidence(
+        self, module: Module, max_instances: int = 3
+    ) -> list[Instance]:
+        """Counterexamples from commands that defy expectations (flat list)."""
+        return [
+            instance
+            for _, instances in self.failing_evidence_by_command(
+                module, max_instances
+            )
+            for instance in instances
+        ]
+
+    def failing_evidence_by_command(
+        self, module: Module, max_instances: int = 3
+    ) -> list[tuple["object", list[Instance]]]:
+        """Counterexamples per offending command.
+
+        For a failing ``check`` (or an unexpectedly satisfiable ``run``) the
+        evidence is the offending instances; an unsatisfiable-but-expected-sat
+        command yields no instances (nothing to show).
+        """
+        try:
+            analyzer = Analyzer(module)
+        except (AlloyError, RecursionError):
+            return []
+        evidence: list[tuple[object, list[Instance]]] = []
+        for command in analyzer.info.commands:
+            self.queries += 1
+            try:
+                result = analyzer.run_command(command, max_instances=max_instances)
+            except (AlloyError, RecursionError):
+                continue
+            if result.sat != self.expected_outcome(command) and result.sat:
+                evidence.append((command, result.instances))
+        return evidence
+
+    def witnesses(self, module: Module, max_instances: int = 3) -> list[Instance]:
+        """Instances of commands that behave as expected (SAT side only)."""
+        try:
+            analyzer = Analyzer(module)
+        except (AlloyError, RecursionError):
+            return []
+        found: list[Instance] = []
+        for command in analyzer.info.commands:
+            if not self.expected_outcome(command):
+                continue
+            self.queries += 1
+            try:
+                result = analyzer.run_command(command, max_instances=max_instances)
+            except (AlloyError, RecursionError):
+                continue
+            if result.sat:
+                found.extend(result.instances)
+        return found
+
+
+class RepairTool:
+    """Base class: a repair technique maps a task to a result."""
+
+    name = "abstract"
+
+    def repair(self, task: RepairTask) -> RepairResult:
+        start = time.perf_counter()
+        try:
+            result = self._repair(task)
+        except (AlloyError, RecursionError) as error:
+            result = RepairResult(
+                status=RepairStatus.ERROR, technique=self.name, detail=str(error)
+            )
+        result.elapsed = time.perf_counter() - start
+        result.technique = self.name
+        return result
+
+    def _repair(self, task: RepairTask) -> RepairResult:
+        raise NotImplementedError

@@ -1,0 +1,133 @@
+"""ICEBAR: iterative counterexample-based repair (Gutiérrez Brida et al., ASE'22).
+
+ICEBAR wraps ARepair in a counterexample-driven refinement loop.  Each round
+runs ARepair against the current test suite; if the candidate passes the
+suite but violates the specification's property oracle (its ``check``/``run``
+commands with expectations), the offending counterexamples are converted to
+new failing-expectation tests and ARepair runs again.  The loop ends with a
+property-validated repair or gives up after a bounded number of refinements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloy.pretty import print_module
+from repro.repair.arepair import ARepair, ARepairConfig
+from repro.repair.base import (
+    PropertyOracle,
+    RepairResult,
+    RepairStatus,
+    RepairTask,
+    RepairTool,
+)
+from repro.testing.aunit import TestSuite
+from repro.testing.generation import counterexample_test
+
+
+@dataclass
+class IcebarConfig:
+    """Tuning knobs for the refinement loop."""
+
+    max_refinements: int = 5
+    counterexamples_per_round: int = 3
+    arepair: ARepairConfig | None = None
+
+
+class Icebar(RepairTool):
+    """Counterexample-driven iterative repair built on ARepair."""
+
+    name = "ICEBAR"
+
+    def __init__(
+        self, initial_suite: TestSuite, config: IcebarConfig | None = None
+    ) -> None:
+        self._initial_suite = initial_suite
+        self._config = config or IcebarConfig()
+
+    def _repair(self, task: RepairTask) -> RepairResult:
+        suite = TestSuite(tests=list(self._initial_suite.tests))
+        oracle = PropertyOracle(task)
+        explored = 0
+        last_candidate = None
+
+        for round_index in range(self._config.max_refinements):
+            inner = ARepair(suite, self._config.arepair)
+            inner_result = inner.repair(task)
+            explored += inner_result.candidates_explored
+            if not inner_result.fixed or inner_result.candidate is None:
+                return RepairResult(
+                    status=RepairStatus.NOT_FIXED,
+                    technique=self.name,
+                    candidate=inner_result.candidate,
+                    candidate_source=inner_result.candidate_source,
+                    iterations=round_index + 1,
+                    candidates_explored=explored,
+                    oracle_queries=oracle.queries,
+                    detail="ARepair could not satisfy the refined suite",
+                )
+            candidate = inner_result.candidate
+            last_candidate = candidate
+            ok, _ = oracle.evaluate_module(candidate)
+            if ok:
+                return RepairResult(
+                    status=RepairStatus.FIXED,
+                    technique=self.name,
+                    candidate=candidate,
+                    candidate_source=print_module(candidate),
+                    iterations=round_index + 1,
+                    candidates_explored=explored,
+                    oracle_queries=oracle.queries,
+                    detail="candidate meets the property oracle",
+                )
+            # Candidate overfits the suite: harvest counterexamples as tests.
+            evidence = oracle.failing_evidence(
+                candidate, max_instances=self._config.counterexamples_per_round
+            )
+            if not evidence:
+                return RepairResult(
+                    status=RepairStatus.NOT_FIXED,
+                    technique=self.name,
+                    candidate=candidate,
+                    candidate_source=print_module(candidate),
+                    iterations=round_index + 1,
+                    candidates_explored=explored,
+                    oracle_queries=oracle.queries,
+                    detail="oracle violated but no counterexample derivable",
+                )
+            before = len(suite)
+            for index, instance in enumerate(evidence):
+                suite = suite.merged_with(
+                    TestSuite(
+                        tests=[
+                            counterexample_test(
+                                instance, f"icebar_r{round_index}_{index}"
+                            )
+                        ]
+                    )
+                )
+            if len(suite) == before:
+                # No genuinely new counterexamples: the loop cannot progress.
+                return RepairResult(
+                    status=RepairStatus.NOT_FIXED,
+                    technique=self.name,
+                    candidate=candidate,
+                    candidate_source=print_module(candidate),
+                    iterations=round_index + 1,
+                    candidates_explored=explored,
+                    oracle_queries=oracle.queries,
+                    detail="counterexamples repeat; giving up",
+                )
+
+        return RepairResult(
+            status=RepairStatus.NOT_FIXED,
+            technique=self.name,
+            candidate=last_candidate,
+            candidate_source=(
+                print_module(last_candidate) if last_candidate is not None else None
+            ),
+            iterations=self._config.max_refinements,
+            candidates_explored=explored,
+            oracle_queries=oracle.queries,
+            detail="refinement budget exhausted",
+        )

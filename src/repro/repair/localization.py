@@ -1,0 +1,173 @@
+"""Counterexample-driven fault localization (FLACK-style).
+
+Given discriminating evidence — valuations on which the faulty specification
+disagrees with its oracle — each candidate fault location is scored by how
+often *flipping* the formula rooted there changes the specification's verdict
+on the failing valuations.  Locations whose perturbation flips many failing
+verdicts (without breaking passing ones) rank highest.
+
+Expression nodes inherit a depth-discounted share of their enclosing
+formula's score, which lets expression-level tools (ATR, BeAFix) target
+subexpressions while formula-level tools (ARepair) target whole constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloy.errors import AlloyError
+from repro.alloy.nodes import Expr, Formula, Module, Not
+from repro.alloy.resolver import ModuleInfo, resolve_module
+from repro.alloy.walk import Path, get_at, iter_paths, replace_at
+from repro.analyzer.evaluator import Evaluator
+from repro.analyzer.instance import Instance
+from repro.repair.mutation import body_paragraph_paths
+from repro.testing.aunit import AUnitTest
+
+
+@dataclass(frozen=True)
+class SuspiciousLocation:
+    """A ranked candidate fault location."""
+
+    path: Path
+    score: float
+    is_formula: bool
+
+
+@dataclass(frozen=True)
+class Discriminator:
+    """A valuation on which the current specification is wrong.
+
+    The *verdict* of a specification on a discriminator is::
+
+        facts ∧ pred (if set) ∧ ¬assertion (if set)
+
+    which covers AUnit tests (facts, optionally with a predicate), check
+    counterexamples (facts ∧ ¬assertion), and unexpected run instances
+    (facts ∧ pred).  The specification is wrong while verdict ≠ expected.
+    """
+
+    instance: Instance
+    expected: bool
+    pred: str | None = None
+    violated_assertion: str | None = None
+
+    @classmethod
+    def from_test(cls, test: AUnitTest) -> "Discriminator":
+        from repro.testing.aunit import FACTS_TARGET
+
+        pred = None if test.target == FACTS_TARGET else test.target
+        return cls(instance=test.instance, expected=test.expect, pred=pred)
+
+    @classmethod
+    def from_command_evidence(cls, command, instance: Instance) -> "Discriminator":
+        """A counterexample of a failing command (expected verdict: False)."""
+        if command.kind == "check" and command.target is not None:
+            return cls(
+                instance=instance, expected=False, violated_assertion=command.target
+            )
+        pred = command.target if command.kind == "run" else None
+        return cls(instance=instance, expected=False, pred=pred)
+
+
+def _verdict(info: ModuleInfo, discriminator: Discriminator) -> bool | None:
+    evaluator = Evaluator(info, discriminator.instance)
+    try:
+        holds = evaluator.facts_hold()
+        if holds and discriminator.pred is not None:
+            holds = evaluator.pred_holds(discriminator.pred)
+        if holds and discriminator.violated_assertion is not None:
+            holds = not evaluator.assertion_holds(discriminator.violated_assertion)
+    except AlloyError:
+        return None
+    return holds
+
+
+def verdict_matches(info: ModuleInfo, discriminator: Discriminator) -> bool:
+    """Whether the module's verdict on the discriminator is as expected."""
+    return _verdict(info, discriminator) == discriminator.expected
+
+
+def formula_paths(module: Module) -> list[Path]:
+    """Paths of every formula node in repairable paragraph bodies."""
+    paths: list[Path] = []
+    for para_path in body_paragraph_paths(module):
+        paragraph = get_at(module, para_path)
+        for sub_path, node in iter_paths(paragraph):
+            if isinstance(node, Formula):
+                paths.append(para_path + sub_path)
+    return paths
+
+
+def localize(
+    module: Module,
+    info: ModuleInfo,
+    discriminators: list[Discriminator],
+    max_locations: int = 10,
+) -> list[SuspiciousLocation]:
+    """Rank candidate fault locations by flip-based suspiciousness."""
+    failing = [
+        d for d in discriminators if _verdict(info, d) not in (d.expected, None)
+    ]
+    if not failing:
+        return _structural_fallback(module, max_locations)
+
+    scored: list[SuspiciousLocation] = []
+    for path in formula_paths(module):
+        node = get_at(module, path)
+        flipped = replace_at(module, path, Not(operand=node))
+        try:
+            flipped_info = resolve_module(flipped)
+        except (AlloyError, RecursionError):
+            continue
+        fixes = 0
+        for discriminator in failing:
+            if _verdict(flipped_info, discriminator) == discriminator.expected:
+                fixes += 1
+        if fixes:
+            score = fixes / len(failing)
+            scored.append(
+                SuspiciousLocation(path=path, score=score, is_formula=True)
+            )
+
+    scored.sort(key=lambda loc: (-loc.score, len(loc.path), loc.path))
+    top = scored[:max_locations]
+    return _with_expression_children(module, top, max_locations)
+
+
+def _with_expression_children(
+    module: Module, formula_locations: list[SuspiciousLocation], max_locations: int
+) -> list[SuspiciousLocation]:
+    """Extend formula locations with their expression descendants at a
+    depth-discounted score (keeps ranking stable and deterministic)."""
+    result = list(formula_locations)
+    for location in formula_locations:
+        node = get_at(module, location.path)
+        for sub_path, child in iter_paths(node):
+            if sub_path and isinstance(child, Expr):
+                score = location.score * (0.9 ** len(sub_path))
+                result.append(
+                    SuspiciousLocation(
+                        path=location.path + sub_path,
+                        score=score,
+                        is_formula=False,
+                    )
+                )
+    result.sort(key=lambda loc: (-loc.score, len(loc.path), loc.path))
+    return result[: max_locations * 4]
+
+
+def _structural_fallback(
+    module: Module, max_locations: int
+) -> list[SuspiciousLocation]:
+    """Without failing evidence, rank formulas by syntactic size (larger
+    constraints first — they carry the most behaviour)."""
+    locations = []
+    for path in formula_paths(module):
+        node = get_at(module, path)
+        size = sum(1 for _ in node.walk())
+        locations.append(
+            SuspiciousLocation(path=path, score=1.0 / (1 + size), is_formula=True)
+        )
+    locations.sort(key=lambda loc: (loc.score, len(loc.path), loc.path))
+    return locations[:max_locations]

@@ -1,0 +1,187 @@
+"""Multi-round dual-agent LLM repair (Alhanahnah et al., 2024).
+
+A Repair Agent proposes fixes; after each proposal the Alloy Analyzer (our
+bounded model finder) evaluates it and the framework feeds the outcome back
+at one of three levels:
+
+- **No-feedback** — a binary "not correct, try again";
+- **Generic-feedback** — a templated summary of failing commands and their
+  counterexamples;
+- **Auto-feedback** — a second LLM (the Prompt Agent) reads the analyzer
+  report plus the candidate and writes tailored guidance.
+
+The dialogue continues until a candidate meets the property oracle or the
+round budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloy.errors import AlloyError
+from repro.alloy.nodes import Module
+from repro.alloy.pretty import print_module
+from repro.analyzer.analyzer import Analyzer
+from repro.llm.client import LLMClient
+from repro.llm.extract import try_extract_module
+from repro.llm.prompts import (
+    AnalyzerReport,
+    CommandReport,
+    FeedbackLevel,
+    initial_multi_round_prompt,
+    prompt_agent_conversation,
+    render_generic_feedback,
+    render_no_feedback,
+)
+from repro.repair.base import (
+    PropertyOracle,
+    RepairResult,
+    RepairStatus,
+    RepairTask,
+    RepairTool,
+)
+
+
+@dataclass
+class MultiRoundConfig:
+    """Tuning knobs for the dialogue."""
+
+    max_rounds: int = 3
+    counterexamples_in_feedback: int = 2
+    minimize_counterexamples: bool = False
+    """Shrink quoted counterexamples with delta debugging before rendering
+    them into Generic/Auto feedback (smaller, sharper prompts)."""
+
+
+class MultiRoundLLM(RepairTool):
+    """Iterative dual-agent prompting with analyzer feedback."""
+
+    def __init__(
+        self,
+        repair_client: LLMClient,
+        feedback: FeedbackLevel,
+        prompt_client: LLMClient | None = None,
+        config: MultiRoundConfig | None = None,
+        hints=None,
+    ) -> None:
+        self._repair_client = repair_client
+        self._prompt_client = prompt_client or repair_client
+        self._feedback = feedback
+        self._config = config or MultiRoundConfig()
+        self._hints = hints
+        self.name = f"Multi-Round_{feedback.value}"
+
+    def _repair(self, task: RepairTask) -> RepairResult:
+        oracle = PropertyOracle(task)
+        conversation = initial_multi_round_prompt(task.source, self._hints)
+        best_candidate: Module | None = None
+
+        for round_index in range(self._config.max_rounds):
+            response = self._repair_client.complete(conversation)
+            conversation.add("assistant", response)
+            module, extract_error = try_extract_module(response)
+            report = self._analyze(task, oracle, module, extract_error)
+            if module is not None:
+                best_candidate = module
+            if report.all_pass and module is not None:
+                return RepairResult(
+                    status=RepairStatus.FIXED,
+                    technique=self.name,
+                    candidate=module,
+                    candidate_source=print_module(module),
+                    iterations=round_index + 1,
+                    oracle_queries=oracle.queries,
+                    detail=f"fixed in round {round_index + 1}",
+                )
+            if round_index + 1 >= self._config.max_rounds:
+                break
+            conversation.add("user", self._feedback_message(module, report))
+
+        return RepairResult(
+            status=RepairStatus.NOT_FIXED,
+            technique=self.name,
+            candidate=best_candidate,
+            candidate_source=(
+                print_module(best_candidate) if best_candidate is not None else None
+            ),
+            iterations=self._config.max_rounds,
+            oracle_queries=oracle.queries,
+            detail="round budget exhausted",
+        )
+
+    # -- analyzer interaction ------------------------------------------------------
+
+    def _analyze(
+        self,
+        task: RepairTask,
+        oracle: PropertyOracle,
+        module: Module | None,
+        extract_error: str | None,
+    ) -> AnalyzerReport:
+        if module is None:
+            return AnalyzerReport(compiled=False, error=extract_error)
+        try:
+            analyzer = Analyzer(module)
+        except (AlloyError, RecursionError) as error:
+            return AnalyzerReport(compiled=False, error=str(error))
+        oracle.queries += 1
+        commands: list[CommandReport] = []
+        # The task's commands are the oracle (a candidate that dropped its
+        # commands must not pass vacuously).
+        for command in task.info.commands:
+            expected = oracle.expected_outcome(command)
+            try:
+                result = analyzer.run_command(
+                    command,
+                    max_instances=self._config.counterexamples_in_feedback,
+                )
+            except (AlloyError, RecursionError) as error:
+                return AnalyzerReport(compiled=False, error=str(error))
+            counterexamples = (
+                result.instances if result.sat and not expected else []
+            )
+            if command.kind == "check" and result.sat:
+                counterexamples = result.instances
+            if (
+                self._config.minimize_counterexamples
+                and command.kind == "check"
+                and command.target is not None
+            ):
+                from repro.analyzer.minimize import minimize_counterexample
+
+                minimized = []
+                for instance in counterexamples:
+                    try:
+                        minimized.append(
+                            minimize_counterexample(
+                                analyzer.info, instance, command.target
+                            )
+                        )
+                    except (AlloyError, ValueError):
+                        minimized.append(instance)
+                counterexamples = minimized
+            commands.append(
+                CommandReport(
+                    name=command.target or f"{command.kind}#anonymous",
+                    kind=command.kind,
+                    expected_sat=expected,
+                    actual_sat=result.sat,
+                    counterexamples=counterexamples,
+                )
+            )
+        return AnalyzerReport(compiled=True, commands=commands)
+
+    def _feedback_message(self, module: Module | None, report: AnalyzerReport) -> str:
+        if self._feedback is FeedbackLevel.NONE:
+            return render_no_feedback(report)
+        if self._feedback is FeedbackLevel.GENERIC:
+            return render_generic_feedback(report)
+        candidate_text = print_module(module) if module is not None else "(none)"
+        guidance = self._prompt_client.complete(
+            prompt_agent_conversation(candidate_text, report)
+        )
+        return (
+            "The fix is not correct yet. A reviewer provided this guidance:\n"
+            f"{guidance}\n"
+            "Please provide a corrected full specification."
+        )

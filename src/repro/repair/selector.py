@@ -1,0 +1,135 @@
+"""Dynamic technique selection — the future-work direction of the paper.
+
+The Discussion section proposes "a dynamic approach that selects the most
+suitable combination of techniques based on the characteristics of faulty
+specifications … initial analysis using traditional tools to identify
+structural issues, followed by LLM-based analysis for semantic understanding".
+
+:class:`DynamicSelector` implements that portfolio:
+
+1. **Characterize** the fault: how many commands fail, whether
+   counterexamples exist (over- vs under-constraint), how concentrated the
+   suspicious locations are, and the specification's size.
+2. **Route** to the cheapest technique likely to succeed — BeAFix for
+   concentrated single-location faults with counterexamples, ATR when a
+   violated assertion suggests a missing/synthesizable constraint, and the
+   multi-round LLM for diffuse or evidence-poor faults.
+3. **Escalate** through the remaining techniques until one meets the
+   property oracle or the portfolio is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloy.walk import count_nodes
+from repro.llm.client import LLMClient
+from repro.llm.prompts import FeedbackLevel
+from repro.repair.atr import Atr
+from repro.repair.base import (
+    PropertyOracle,
+    RepairResult,
+    RepairStatus,
+    RepairTask,
+    RepairTool,
+)
+from repro.repair.beafix import BeAFix
+from repro.repair.localization import Discriminator, localize
+from repro.repair.multi_round import MultiRoundLLM
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Observable characteristics of one faulty specification."""
+
+    failing_commands: int
+    has_counterexamples: bool
+    top_location_score: float
+    location_concentration: float
+    spec_size: int
+
+    @property
+    def looks_concentrated(self) -> bool:
+        """One dominant suspicious location: mutation search territory."""
+        return self.top_location_score >= 0.99 and self.location_concentration > 0.5
+
+    @property
+    def looks_underconstrained(self) -> bool:
+        """Counterexamples exist: the model admits behaviour it should not."""
+        return self.has_counterexamples
+
+    @property
+    def looks_overconstrained(self) -> bool:
+        """Commands fail without counterexamples (expected instances are
+        missing): constraints are too strong, evidence is scarce."""
+        return self.failing_commands > 0 and not self.has_counterexamples
+
+
+def characterize(task: RepairTask) -> FaultProfile:
+    """Analyze a faulty specification's failure characteristics."""
+    oracle = PropertyOracle(task)
+    _, results = oracle.evaluate_module(task.module)
+    failing = sum(
+        1
+        for command, result in zip(task.info.commands, results)
+        if result.sat != oracle.expected_outcome(command)
+    )
+    evidence = oracle.failing_evidence_by_command(task.module, max_instances=2)
+    discriminators = [
+        Discriminator.from_command_evidence(command, instance)
+        for command, instances in evidence
+        for instance in instances
+    ]
+    locations = localize(task.module, task.info, discriminators, max_locations=5)
+    top_score = locations[0].score if locations else 0.0
+    if locations:
+        total = sum(loc.score for loc in locations)
+        concentration = locations[0].score / total if total else 0.0
+    else:
+        concentration = 0.0
+    return FaultProfile(
+        failing_commands=failing,
+        has_counterexamples=bool(discriminators),
+        top_location_score=top_score,
+        location_concentration=concentration,
+        spec_size=count_nodes(task.module),
+    )
+
+
+class DynamicSelector(RepairTool):
+    """A portfolio that routes each fault to its most suitable technique."""
+
+    name = "Dynamic-Selector"
+
+    def __init__(self, llm_client: LLMClient) -> None:
+        self._llm_client = llm_client
+
+    def plan(self, profile: FaultProfile) -> list[RepairTool]:
+        """The escalation order for a given fault profile."""
+        beafix = BeAFix()
+        atr = Atr()
+        llm = MultiRoundLLM(self._llm_client, FeedbackLevel.GENERIC)
+        if profile.looks_concentrated and profile.looks_underconstrained:
+            return [beafix, atr, llm]
+        if profile.looks_underconstrained:
+            return [atr, beafix, llm]
+        # Over-constraint / evidence-poor faults: adaptability first.
+        return [llm, atr, beafix]
+
+    def _repair(self, task: RepairTask) -> RepairResult:
+        profile = characterize(task)
+        attempts: list[str] = []
+        for tool in self.plan(profile):
+            result = tool.repair(task)
+            attempts.append(f"{tool.name}:{result.status.value}")
+            if result.fixed:
+                result.detail = (
+                    f"routed by profile {profile!r}; chain: {' -> '.join(attempts)}"
+                )
+                result.technique = self.name
+                return result
+        return RepairResult(
+            status=RepairStatus.NOT_FIXED,
+            technique=self.name,
+            detail=f"portfolio exhausted; chain: {' -> '.join(attempts)}",
+        )

@@ -1,0 +1,60 @@
+"""Single-round LLM repair (Hasan et al., 2023).
+
+One zero-shot prompt, one completion, one extracted specification.  The five
+prompt settings differ only in which hints accompany the faulty model; no
+analyzer feedback is ever provided.  Whether the extracted proposal actually
+repairs the specification is judged downstream by the REP metric — exactly
+the study's protocol.
+"""
+
+from __future__ import annotations
+
+from repro.alloy.pretty import print_module
+from repro.llm.client import LLMClient
+from repro.llm.extract import try_extract_module
+from repro.llm.prompts import PromptSetting, RepairHints, single_round_prompt
+from repro.repair.base import (
+    PropertyOracle,
+    RepairResult,
+    RepairStatus,
+    RepairTask,
+    RepairTool,
+)
+
+
+class SingleRoundLLM(RepairTool):
+    """Zero-shot prompting with configurable hints."""
+
+    def __init__(
+        self,
+        client: LLMClient,
+        setting: PromptSetting,
+        hints: RepairHints | None = None,
+    ) -> None:
+        self._client = client
+        self._setting = setting
+        self._hints = hints or RepairHints()
+        self.name = f"Single-Round_{setting.value}"
+
+    def _repair(self, task: RepairTask) -> RepairResult:
+        conversation = single_round_prompt(task.source, self._setting, self._hints)
+        response = self._client.complete(conversation)
+        module, error = try_extract_module(response)
+        if module is None:
+            return RepairResult(
+                status=RepairStatus.ERROR,
+                technique=self.name,
+                iterations=1,
+                detail=f"unparseable response: {error}",
+            )
+        oracle = PropertyOracle(task)
+        ok, _ = oracle.evaluate_module(module)
+        return RepairResult(
+            status=RepairStatus.FIXED if ok else RepairStatus.NOT_FIXED,
+            technique=self.name,
+            candidate=module,
+            candidate_source=print_module(module),
+            iterations=1,
+            oracle_queries=oracle.queries,
+            detail="proposal meets oracle" if ok else "proposal fails oracle",
+        )

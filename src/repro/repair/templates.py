@@ -1,0 +1,182 @@
+"""Repair templates for ATR (Zheng et al., ISSTA'22).
+
+ATR generates candidate repairs by instantiating *templates* at suspicious
+locations: an expression ``e`` may be replaced by ``X``, ``e + X``,
+``e - X``, ``e & X``, ``~e``, ``^e``, joins with fields, and so on, where
+``X`` ranges over the type-compatible atomic expressions in scope.  Formula
+locations reuse the mutation proposals plus comparison rewrites.
+
+Every instantiation is resolution-checked before being offered to the
+pruning pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.alloy.errors import AlloyError
+from repro.alloy.nodes import (
+    BinaryExpr,
+    BinOp,
+    Expr,
+    Formula,
+    Module,
+    NameExpr,
+    UnaryExpr,
+    UnOp,
+)
+from repro.alloy.resolver import INT_ARITY, ModuleInfo, arity_of, resolve_module
+from repro.alloy.walk import Path, get_at, replace_at
+from repro.repair.mutation import Mutant, Mutator, scope_env_at
+
+
+def atomic_candidates(
+    info: ModuleInfo, env: dict[str, int], arity: int
+) -> list[Expr]:
+    """Atomic expressions of a given arity available at a location."""
+    candidates: list[Expr] = []
+    if arity == 1:
+        candidates.extend(NameExpr(name=s) for s in info.sigs)
+        candidates.extend(NameExpr(name=v) for v, a in env.items() if a == 1)
+    candidates.extend(
+        NameExpr(name=f) for f, fi in info.fields.items() if fi.arity == arity
+    )
+    candidates.extend(
+        NameExpr(name=v)
+        for v, a in env.items()
+        if a == arity and arity != 1  # arity-1 vars already added above
+    )
+    return candidates
+
+
+def expression_templates(
+    module: Module, info: ModuleInfo, path: Path
+) -> Iterator[tuple[Module, str]]:
+    """Instantiate expression templates at ``path``; yields resolved modules."""
+    node = get_at(module, path)
+    if not isinstance(node, Expr):
+        return
+    env = scope_env_at(module, info, path)
+    try:
+        arity = arity_of(info, node, env)
+    except AlloyError:
+        return
+    if arity == INT_ARITY:
+        return
+
+    proposals: list[tuple[Expr, str]] = []
+    atoms = atomic_candidates(info, env, arity)
+    for atom in atoms:
+        label = atom.name if isinstance(atom, NameExpr) else "?"
+        proposals.append((atom, f"replace with {label}"))
+        for op in (BinOp.UNION, BinOp.DIFF, BinOp.INTERSECT):
+            proposals.append(
+                (
+                    BinaryExpr(op=op, left=node, right=atom),
+                    f"extend with {op.value} {label}",
+                )
+            )
+        proposals.append(
+            (BinaryExpr(op=BinOp.DIFF, left=atom, right=node), f"{label} - e")
+        )
+    if arity == 2:
+        proposals.append((UnaryExpr(op=UnOp.TRANSPOSE, operand=node), "transpose"))
+        proposals.append((UnaryExpr(op=UnOp.CLOSURE, operand=node), "closure"))
+        proposals.append(
+            (UnaryExpr(op=UnOp.RCLOSURE, operand=node), "reflexive closure")
+        )
+    # Join templates: e.f and f.e over binary fields (and unary -> binary).
+    for field_name, field_info in info.fields.items():
+        field_ref = NameExpr(name=field_name)
+        if arity + field_info.arity - 2 >= 1:
+            proposals.append(
+                (
+                    BinaryExpr(op=BinOp.JOIN, left=node, right=field_ref),
+                    f"join right with {field_name}",
+                )
+            )
+        if field_info.arity + arity - 2 >= 1:
+            proposals.append(
+                (
+                    BinaryExpr(op=BinOp.JOIN, left=field_ref, right=node),
+                    f"join left with {field_name}",
+                )
+            )
+
+    for replacement, description in proposals:
+        candidate = replace_at(module, path, replacement)
+        try:
+            resolve_module(candidate)
+        except (AlloyError, RecursionError):
+            continue
+        yield candidate, description
+
+
+def formula_templates(
+    module: Module, info: ModuleInfo, path: Path
+) -> Iterator[tuple[Module, str]]:
+    """Formula-granularity templates (delegates to the mutation operators)."""
+    node = get_at(module, path)
+    if not isinstance(node, Formula):
+        return
+    mutator = Mutator(module, info)
+    for mutant in mutator.mutants_at(path):
+        yield mutant.module, mutant.description
+
+
+def strengthening_candidates(
+    module: Module, info: ModuleInfo
+) -> Iterator[tuple[Module, str]]:
+    """Synthesis templates: conjoin assertion bodies into the facts.
+
+    Faults that *removed* a constraint cannot be reached by replacement
+    mutations; but the property oracle often states the missing invariant
+    outright.  ATR's template family includes strengthening candidates built
+    from the violated assertions, which is what makes it (and the LLMs)
+    succeed on synthesis-class faults where pure mutation search fails.
+    """
+    import copy
+
+    from repro.alloy.nodes import Block, FactDecl
+
+    for assert_name, assertion in info.asserts.items():
+        for index, formula in enumerate(assertion.body.formulas):
+            candidate = copy.deepcopy(module)
+            candidate.paragraphs.append(
+                FactDecl(
+                    name=f"repair_{assert_name}_{index}",
+                    body=Block(formulas=[copy.deepcopy(formula)]),
+                )
+            )
+            try:
+                resolve_module(candidate)
+            except (AlloyError, RecursionError):
+                continue
+            yield candidate, f"strengthen facts with assertion {assert_name}[{index}]"
+
+
+def template_candidates(
+    module: Module,
+    info: ModuleInfo,
+    path: Path,
+    max_per_location: int = 120,
+) -> Iterator[Mutant]:
+    """All template instantiations at one location (bounded, deduplicated)."""
+    from repro.alloy.pretty import print_module
+
+    seen: set[str] = set()
+    count = 0
+    node = get_at(module, path)
+    if isinstance(node, Formula):
+        source = formula_templates(module, info, path)
+    else:
+        source = expression_templates(module, info, path)
+    for candidate, description in source:
+        text = print_module(candidate)
+        if text in seen:
+            continue
+        seen.add(text)
+        yield Mutant(module=candidate, description=description, path=path)
+        count += 1
+        if count >= max_per_location:
+            return

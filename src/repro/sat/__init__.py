@@ -1,0 +1,16 @@
+"""From-scratch SAT machinery: CDCL solver, circuits, DIMACS I/O."""
+
+from repro.sat.circuit import FALSE, TRUE, CircuitBuilder
+from repro.sat.dimacs import parse_dimacs, solver_from_dimacs, to_dimacs
+from repro.sat.solver import SatSolver, SolverStats
+
+__all__ = [
+    "CircuitBuilder",
+    "FALSE",
+    "SatSolver",
+    "SolverStats",
+    "TRUE",
+    "parse_dimacs",
+    "solver_from_dimacs",
+    "to_dimacs",
+]

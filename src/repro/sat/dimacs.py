@@ -1,0 +1,55 @@
+"""DIMACS CNF import/export for the SAT solver.
+
+Useful for debugging the analyzer's translations against external solvers and
+for the SAT-level benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.sat.solver import SatSolver
+
+
+def parse_dimacs(text: str) -> tuple[int, list[list[int]]]:
+    """Parse DIMACS CNF text into ``(num_vars, clauses)``."""
+    num_vars = 0
+    clauses: list[list[int]] = []
+    current: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        clauses.append(current)
+    return num_vars, clauses
+
+
+def solver_from_dimacs(text: str) -> SatSolver:
+    """Build a solver loaded with the clauses of a DIMACS CNF file."""
+    num_vars, clauses = parse_dimacs(text)
+    solver = SatSolver()
+    for _ in range(num_vars):
+        solver.new_var()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver
+
+
+def to_dimacs(num_vars: int, clauses: list[list[int]]) -> str:
+    """Render clauses as DIMACS CNF text."""
+    lines = [f"p cnf {num_vars} {len(clauses)}"]
+    for clause in clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"

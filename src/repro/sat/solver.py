@@ -1,0 +1,384 @@
+"""A CDCL SAT solver.
+
+This is the boolean engine underneath the bounded analyzer, playing the role
+that MiniSat/SAT4J play underneath the real Alloy Analyzer.  Features:
+
+- two-literal watching,
+- first-UIP conflict analysis with clause learning,
+- VSIDS-style activity-based decision heuristic with phase saving,
+- Luby-sequence restarts,
+- incremental solving (clauses may be added between ``solve`` calls, which is
+  how instance enumeration adds blocking clauses).
+
+Literals are non-zero integers: ``+v`` for variable ``v``, ``-v`` for its
+negation (DIMACS convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SolverStats:
+    """Counters exposed for benchmarking and diagnostics."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+
+
+class Unsatisfiable(Exception):
+    """Raised internally when the formula is unsatisfiable at level 0."""
+
+
+class BudgetExceeded(Exception):
+    """Raised when a solve call exceeds its conflict limit."""
+
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence
+    (1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...)."""
+    while True:
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class SatSolver:
+    """An incremental CDCL solver over integer literals."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: list[list[int]] = []
+        self._watches: dict[int, list[int]] = {}
+        self._values: list[int] = [0]  # 1-indexed by variable
+        self._levels: list[int] = [0]
+        self._reasons: list[int | None] = [None]
+        self._phases: list[bool] = [False]
+        self._activity: list[float] = [0.0]
+        self._activity_inc = 1.0
+        self._trail: list[int] = []
+        self._trail_limits: list[int] = []
+        self._propagate_head = 0
+        self._root_conflict = False
+        self.stats = SolverStats()
+
+    # -- problem construction ------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self._num_vars += 1
+        var = self._num_vars
+        self._values.append(_UNASSIGNED)
+        self._levels.append(0)
+        self._reasons.append(None)
+        self._phases.append(False)
+        self._activity.append(0.0)
+        self._watches[var] = []
+        self._watches[-var] = []
+        return var
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def _ensure_vars(self, lits: list[int]) -> None:
+        highest = max((abs(l) for l in lits), default=0)
+        while self._num_vars < highest:
+            self.new_var()
+
+    def add_clause(self, lits: list[int]) -> None:
+        """Add a clause; duplicate literals are merged, tautologies dropped."""
+        if self._trail_limits:
+            # Incremental use: drop back to the root level before mutating.
+            self._backtrack(0)
+        self._ensure_vars(lits)
+        seen: set[int] = set()
+        reduced: list[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            if self._value(lit) == _TRUE and self._levels[abs(lit)] == 0:
+                return  # already satisfied forever
+            if self._value(lit) == _FALSE and self._levels[abs(lit)] == 0:
+                continue  # literal permanently false
+            seen.add(lit)
+            reduced.append(lit)
+        if not reduced:
+            self._root_conflict = True
+            return
+        if len(reduced) == 1:
+            if not self._enqueue(reduced[0], None):
+                self._root_conflict = True
+            return
+        self._attach_clause(reduced)
+
+    def _attach_clause(self, lits: list[int]) -> int:
+        index = len(self._clauses)
+        self._clauses.append(lits)
+        self._watches[lits[0]].append(index)
+        self._watches[lits[1]].append(index)
+        return index
+
+    # -- assignment helpers --------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        value = self._values[abs(lit)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if lit > 0 else -value
+
+    def _decision_level(self) -> int:
+        return len(self._trail_limits)
+
+    def _enqueue(self, lit: int, reason: int | None) -> bool:
+        current = self._value(lit)
+        if current == _TRUE:
+            return True
+        if current == _FALSE:
+            return False
+        var = abs(lit)
+        self._values[var] = _TRUE if lit > 0 else _FALSE
+        self._levels[var] = self._decision_level()
+        self._reasons[var] = reason
+        self._phases[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns a conflicting clause index or ``None``."""
+        while self._propagate_head < len(self._trail):
+            lit = self._trail[self._propagate_head]
+            self._propagate_head += 1
+            self.stats.propagations += 1
+            false_lit = -lit
+            watch_list = self._watches[false_lit]
+            new_watch_list: list[int] = []
+            conflict: int | None = None
+            for position, clause_index in enumerate(watch_list):
+                clause = self._clauses[clause_index]
+                # Normalize: watched literals are clause[0] and clause[1].
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) == _TRUE:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Look for a replacement watch.
+                replaced = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != _FALSE:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[clause[1]].append(clause_index)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                new_watch_list.append(clause_index)
+                if not self._enqueue(clause[0], clause_index):
+                    conflict = clause_index
+                    new_watch_list.extend(watch_list[position + 1 :])
+                    break
+            self._watches[false_lit] = new_watch_list
+            if conflict is not None:
+                return conflict
+        return None
+
+    # -- conflict analysis ---------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._activity_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._activity_inc *= 1e-100
+
+    def _decay_activity(self) -> None:
+        self._activity_inc /= 0.95
+
+    def _analyze(self, conflict_index: int) -> tuple[list[int], int]:
+        """First-UIP analysis: returns (learned clause, backjump level)."""
+        learned: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        implied = 0  # the literal whose reason clause we are expanding
+        clause = self._clauses[conflict_index]
+        trail_index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            for clause_lit in clause:
+                if implied != 0 and clause_lit == implied:
+                    continue  # skip the literal this clause implied
+                var = abs(clause_lit)
+                if seen[var] or self._levels[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump_var(var)
+                if self._levels[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(clause_lit)
+            # Find the next seen literal on the trail.
+            while not seen[abs(self._trail[trail_index])]:
+                trail_index -= 1
+            implied = self._trail[trail_index]
+            var = abs(implied)
+            seen[var] = False
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                learned[0] = -implied
+                break
+            reason = self._reasons[var]
+            assert reason is not None, "non-decision literal must have a reason"
+            clause = self._clauses[reason]
+
+        if len(learned) == 1:
+            return learned, 0
+        backjump = max(self._levels[abs(l)] for l in learned[1:])
+        # Put a literal from the backjump level in the second watch slot.
+        for k in range(1, len(learned)):
+            if self._levels[abs(learned[k])] == backjump:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, backjump
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_limits[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._values[var] = _UNASSIGNED
+            self._reasons[var] = None
+        del self._trail[limit:]
+        del self._trail_limits[level:]
+        self._propagate_head = len(self._trail)
+
+    # -- decisions -----------------------------------------------------------
+
+    def _pick_branch_var(self) -> int | None:
+        best_var: int | None = None
+        best_activity = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._values[var] == _UNASSIGNED and self._activity[var] > best_activity:
+                best_var = var
+                best_activity = self._activity[var]
+        return best_var
+
+    # -- main loop -----------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: list[int] | None = None,
+        conflict_limit: int | None = None,
+    ) -> bool:
+        """Solve under optional assumptions; returns satisfiability.
+
+        After a SAT answer, :meth:`model` returns the satisfying assignment.
+        The solver may be re-used: add clauses and call ``solve`` again.
+        ``conflict_limit`` bounds this call's conflicts; exceeding it raises
+        :class:`BudgetExceeded` (a deterministic stand-in for a timeout).
+        """
+        self._backtrack(0)
+        if self._root_conflict:
+            return False
+        if self._propagate() is not None:
+            self._root_conflict = True
+            return False
+
+        assumptions = list(assumptions or [])
+        conflicts_until_restart = 32 * _luby(self.stats.restarts + 1)
+        conflicts_at_last_restart = self.stats.conflicts
+        conflicts_at_start = self.stats.conflicts
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                if (
+                    conflict_limit is not None
+                    and self.stats.conflicts - conflicts_at_start > conflict_limit
+                ):
+                    self._backtrack(0)
+                    raise BudgetExceeded(
+                        f"exceeded {conflict_limit} conflicts"
+                    )
+                if self._decision_level() == 0:
+                    self._root_conflict = True
+                    return False
+                if self._decision_level() <= len(assumptions):
+                    # Conflict forced purely by assumptions.
+                    self._backtrack(0)
+                    return False
+                learned, backjump = self._analyze(conflict)
+                self._backtrack(max(backjump, len(assumptions)))
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        self._root_conflict = True
+                        return False
+                else:
+                    index = self._attach_clause(learned)
+                    self.stats.learned_clauses += 1
+                    self._enqueue(learned[0], index)
+                self._decay_activity()
+                if (
+                    self.stats.conflicts - conflicts_at_last_restart
+                    >= conflicts_until_restart
+                ):
+                    self.stats.restarts += 1
+                    conflicts_at_last_restart = self.stats.conflicts
+                    conflicts_until_restart = 32 * _luby(self.stats.restarts + 1)
+                    self._backtrack(len(assumptions))
+                continue
+
+            # Apply pending assumptions as pseudo-decisions.
+            level = self._decision_level()
+            if level < len(assumptions):
+                lit = assumptions[level]
+                value = self._value(lit)
+                if value == _FALSE:
+                    self._backtrack(0)
+                    return False
+                self._trail_limits.append(len(self._trail))
+                if value == _UNASSIGNED:
+                    self._enqueue(lit, None)
+                continue
+
+            var = self._pick_branch_var()
+            if var is None:
+                return True
+            self.stats.decisions += 1
+            self._trail_limits.append(len(self._trail))
+            lit = var if self._phases[var] else -var
+            self._enqueue(lit, None)
+
+    def model(self) -> set[int]:
+        """The set of variables assigned true by the last SAT answer."""
+        return {
+            var
+            for var in range(1, self._num_vars + 1)
+            if self._values[var] == _TRUE
+        }
+
+    def model_list(self) -> list[int]:
+        """The last model as a list of literals, one per variable."""
+        return [
+            var if self._values[var] == _TRUE else -var
+            for var in range(1, self._num_vars + 1)
+        ]

@@ -1,0 +1,17 @@
+"""AUnit-style testing of Alloy specifications (the ARepair test substrate)."""
+
+from repro.testing.aunit import FACTS_TARGET, AUnitTest, TestSuite
+from repro.testing.generation import (
+    counterexample_test,
+    generate_suite,
+    witness_test,
+)
+
+__all__ = [
+    "AUnitTest",
+    "FACTS_TARGET",
+    "TestSuite",
+    "counterexample_test",
+    "generate_suite",
+    "witness_test",
+]

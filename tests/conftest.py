@@ -1,0 +1,81 @@
+"""Shared fixtures: canonical specifications used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+MARRIAGE_SPEC = """
+abstract sig Person {}
+sig Man extends Person { wife: lone Woman }
+sig Woman extends Person { husband: lone Man }
+
+fact Marriage {
+  all m: Man | some m.wife implies m.wife.husband = m
+  all w: Woman | some w.husband implies w.husband.wife = w
+}
+
+pred someMarried { some m: Man | some m.wife }
+assert Mutual { all m: Man | m.wife.husband in m }
+
+run someMarried for 3 expect 1
+check Mutual for 3 expect 0
+"""
+
+LINKED_LIST_SPEC = """
+sig Node { next: lone Node }
+
+fact Acyclic {
+  all n: Node | n not in n.^next
+}
+
+pred nonEmpty { some Node }
+assert NoCycle { no n: Node | n in n.^next }
+
+run nonEmpty for 3 expect 1
+check NoCycle for 3 expect 0
+"""
+
+FAULTY_LINKED_LIST_SPEC = LINKED_LIST_SPEC.replace(
+    "all n: Node | n not in n.^next", "all n: Node | n not in n.next"
+)
+
+HOTEL_SPEC = """
+abstract sig Key {}
+sig RoomKey extends Key {}
+sig Room { roomKeys: set Key }
+sig Guest { guestKeys: set Key }
+one sig FrontDesk {
+  lastKey: Room -> lone RoomKey,
+  occupant: Room -> lone Guest
+}
+
+fact HotelInvariant {
+  all r: Room | some r.(FrontDesk.lastKey)
+}
+
+pred occupied { some FrontDesk.occupant }
+assert KeysIssued { all r: Room | some r.(FrontDesk.lastKey) }
+
+run occupied for 3 expect 1
+check KeysIssued for 3 expect 0
+"""
+
+
+@pytest.fixture
+def marriage_spec() -> str:
+    return MARRIAGE_SPEC
+
+
+@pytest.fixture
+def linked_list_spec() -> str:
+    return LINKED_LIST_SPEC
+
+
+@pytest.fixture
+def faulty_linked_list_spec() -> str:
+    return FAULTY_LINKED_LIST_SPEC
+
+
+@pytest.fixture
+def hotel_spec() -> str:
+    return HOTEL_SPEC

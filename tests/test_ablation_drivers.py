@@ -1,0 +1,55 @@
+"""Ablation driver tests (on a tiny spec sample)."""
+
+import pytest
+
+from repro.benchmarks.faults import FaultInjector, InjectionConfig
+from repro.benchmarks.models import get_model
+from repro.experiments.ablations import (
+    beafix_pruning_ablation,
+    icebar_budget_ablation,
+    multi_round_budget_ablation,
+    suite_size_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_specs():
+    model = get_model("graphs_a")
+    injector = FaultInjector(
+        model_name=model.name,
+        benchmark="alloy4fun",
+        domain="graphs",
+        truth_source=model.source,
+        config=InjectionConfig(depth_weights={1: 1.0}),
+        seed=99,
+    )
+    return injector.generate(3)
+
+
+class TestAblations:
+    def test_beafix_pruning(self, sample_specs):
+        sweep = beafix_pruning_ablation(sample_specs)
+        assert len(sweep.points) == 2
+        pruned, unpruned = sweep.points
+        # Pruning must not spend more oracle queries than no pruning.
+        assert pruned.oracle_queries <= unpruned.oracle_queries
+        assert "prune=True" in sweep.render()
+
+    def test_icebar_budget(self, sample_specs):
+        sweep = icebar_budget_ablation(sample_specs, budgets=(1, 3))
+        assert [p.label for p in sweep.points] == [
+            "max_refinements=1",
+            "max_refinements=3",
+        ]
+        # More refinements can only help (same seeds, superset behaviour
+        # holds for this sample).
+        assert sweep.points[1].repaired >= sweep.points[0].repaired - 1
+
+    def test_multi_round_budget(self, sample_specs):
+        sweep = multi_round_budget_ablation(sample_specs, rounds=(1, 3))
+        assert sweep.points[1].repaired >= sweep.points[0].repaired
+
+    def test_suite_size(self, sample_specs):
+        sweep = suite_size_ablation(sample_specs, sizes=(1, 4))
+        assert all(0 <= p.repaired <= len(sample_specs) for p in sweep.points)
+        assert "ARepair" in sweep.render()

@@ -1,0 +1,134 @@
+"""Analyzer API tests: command execution, expectations, budget handling."""
+
+import pytest
+
+from repro.alloy.errors import AlloyError, ScopeError
+from repro.alloy.nodes import Block, Command
+from repro.alloy.parser import parse_formula, parse_module
+from repro.analyzer.analyzer import Analyzer, analyze_source, try_analyze
+
+
+class TestCommands:
+    def test_run_and_check(self, marriage_spec):
+        results = analyze_source(marriage_spec)
+        assert [r.kind for r in results] == ["run", "check"]
+        assert results[0].sat and not results[1].sat
+        assert all(r.meets_expectation for r in results)
+
+    def test_passed_property(self, marriage_spec):
+        results = analyze_source(marriage_spec)
+        assert results[0].passed  # run found an instance
+        assert results[1].passed  # check found no counterexample
+
+    def test_counterexample_surfaced(self, faulty_linked_list_spec):
+        analyzer = Analyzer(faulty_linked_list_spec)
+        result = analyzer.check_assertion("NoCycle", scope=3)
+        assert result.sat  # counterexample exists
+        assert result.instance is not None
+
+    def test_expectation_mismatch_detected(self):
+        source = "sig A {}\npred p { no A and some A }\nrun p for 2 expect 1"
+        results = analyze_source(source)
+        assert not results[0].meets_expectation
+
+    def test_multiple_instances_are_distinct(self, linked_list_spec):
+        analyzer = Analyzer(linked_list_spec)
+        command = analyzer.info.commands[0]
+        result = analyzer.run_command(command, max_instances=10)
+        keys = {i.canonical_key() for i in result.instances}
+        assert len(keys) == len(result.instances) > 1
+
+    def test_run_pred_helper(self, marriage_spec):
+        analyzer = Analyzer(marriage_spec)
+        assert analyzer.run_pred("someMarried").sat
+
+    def test_is_consistent(self, marriage_spec):
+        assert Analyzer(marriage_spec).is_consistent()
+
+    def test_inconsistent_facts(self):
+        source = "sig A {}\nfact { some A }\nfact { no A }\npred p { no none }\nrun p"
+        assert not Analyzer(source).is_consistent()
+
+    def test_extra_formulas_constrain_solutions(self, linked_list_spec):
+        analyzer = Analyzer(linked_list_spec)
+        command = analyzer.info.commands[0]
+        extra = [parse_formula("#Node = 3")]
+        for instance in analyzer.solutions(command, extra_formulas=extra):
+            assert len(instance.relation("Node")) == 3
+            break
+
+    def test_anonymous_run_block(self):
+        source = "sig A {}\nrun { some A } for 2"
+        results = analyze_source(source)
+        assert results[0].sat
+
+    def test_unknown_assertion_in_foreign_command(self, marriage_spec):
+        analyzer = Analyzer(marriage_spec)
+        foreign = Command(kind="check", target="NotThere", default_scope=2)
+        with pytest.raises(AlloyError):
+            analyzer.run_command(foreign)
+
+
+class TestScopes:
+    def test_scope_zero_sig(self):
+        source = "sig A {}\nsig B {}\npred p { some B }\nrun p for 3 but 0 A"
+        results = analyze_source(source)
+        assert results[0].sat
+
+    def test_scope_on_subsig_rejected(self):
+        source = (
+            "sig A {}\nsig B extends A {}\npred p { some B }\n"
+            "run p for 3 but 2 B"
+        )
+        analyzer = Analyzer(source)
+        with pytest.raises(ScopeError):
+            analyzer.execute_all()
+
+    def test_one_sig_forced_to_one(self):
+        source = "one sig S {}\npred p { some S }\nrun p for 3"
+        analyzer = Analyzer(source)
+        result = analyzer.execute_all()[0]
+        assert len(result.instance.relation("S")) == 1
+
+    def test_exactly_scope(self):
+        source = "sig A {}\npred p { no none }\nrun p for exactly 3 A"
+        analyzer = Analyzer(source)
+        result = analyzer.execute_all()[0]
+        assert len(result.instance.relation("A")) == 3
+
+
+class TestTryAnalyze:
+    def test_success_path(self, marriage_spec):
+        results, error = try_analyze(marriage_spec)
+        assert error is None and results is not None
+
+    def test_parse_error_reported(self):
+        results, error = try_analyze("sig A {")
+        assert results is None and error
+
+    def test_resolve_error_reported(self):
+        results, error = try_analyze("sig A {}\nfact { some missing }")
+        assert results is None and "missing" in error
+
+
+class TestBudget:
+    def test_budget_error_is_alloy_error(self):
+        from repro.alloy.errors import AnalysisBudgetError
+
+        assert issubclass(AnalysisBudgetError, AlloyError)
+
+    def test_tiny_budget_trips(self):
+        # A model requiring some search with an absurdly small budget.
+        source = (
+            "sig A { f: A, g: A }\n"
+            "fact { all a: A | a.f != a.g  all a: A | some b: A | b.f = a }\n"
+            "pred p { #A = 3 }\nrun p for 3\n"
+        )
+        from repro.alloy.errors import AnalysisBudgetError
+
+        analyzer = Analyzer(source, conflict_limit=1)
+        try:
+            analyzer.execute_all()
+        except AnalysisBudgetError:
+            return  # expected on most solver paths
+        # If the instance was found without conflicts, that is fine too.

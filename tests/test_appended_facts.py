@@ -1,0 +1,115 @@
+"""Appended signature facts: parsing, desugaring, and semantics."""
+
+import pytest
+
+from repro.alloy.parser import parse_module
+from repro.alloy.pretty import print_module
+from repro.alloy.resolver import resolve_module
+from repro.analyzer.analyzer import Analyzer
+
+
+class TestParsing:
+    def test_appended_block_parsed(self):
+        module = parse_module("sig A { f: set A } { some f }")
+        assert module.sigs[0].appended is not None
+
+    def test_no_appended_block(self):
+        module = parse_module("sig A { f: set A }")
+        assert module.sigs[0].appended is None
+
+    def test_round_trip(self):
+        source = "sig A { f: set A } { some f this not in f }"
+        module = parse_module(source)
+        printed = print_module(module)
+        assert print_module(parse_module(printed)) == printed
+
+    def test_raw_reference_round_trips(self):
+        module = parse_module("sig A { f: lone A } { some f.@f }")
+        printed = print_module(module)
+        assert "@f" in printed
+        assert print_module(parse_module(printed)) == printed
+
+
+class TestDesugaring:
+    def test_synthesized_fact_present(self):
+        info = resolve_module(parse_module("sig A { f: set A } { some f }"))
+        names = [fact.name for fact in info.facts]
+        assert "A_appended" in names
+
+    def test_field_gets_receiver_join(self):
+        from repro.alloy.pretty import print_formula
+
+        info = resolve_module(parse_module("sig A { f: set A } { some f }"))
+        fact = next(f for f in info.facts if f.name == "A_appended")
+        text = print_formula(fact.body)
+        assert "this.f" in text and "all this: A" in text
+
+    def test_raw_reference_not_joined(self):
+        from repro.alloy.pretty import print_formula
+
+        info = resolve_module(
+            parse_module("sig A { f: lone A } { some f.@f }")
+        )
+        fact = next(f for f in info.facts if f.name == "A_appended")
+        text = print_formula(fact.body)
+        assert "(this.f).f" in text or "this.f.f" in text.replace("@", "")
+
+    def test_binder_shadowing_respected(self):
+        from repro.alloy.pretty import print_formula
+
+        info = resolve_module(
+            parse_module(
+                "sig T {}\nsig A { f: set A } { all f: T | f = f }"
+            )
+        )
+        fact = next(fa for fa in info.facts if fa.name == "A_appended")
+        text = print_formula(fact.body)
+        assert "this.f = this.f" not in text
+
+    def test_inherited_fields_joined(self):
+        from repro.alloy.pretty import print_formula
+
+        info = resolve_module(
+            parse_module(
+                "sig P { g: set P }\nsig C extends P {} { some g }"
+            )
+        )
+        fact = next(fa for fa in info.facts if fa.name == "C_appended")
+        assert "this.g" in print_formula(fact.body)
+
+
+class TestSemantics:
+    def test_appended_fact_constrains_instances(self):
+        source = (
+            "sig Node { next: lone Node } { this not in next }\n"
+            "pred p { some next }\nrun p for 3\n"
+        )
+        analyzer = Analyzer(source)
+        result = analyzer.run_command(analyzer.info.commands[0], max_instances=40)
+        assert result.sat
+        for instance in result.instances:
+            assert all(a != b for a, b in instance.relation("next"))
+
+    def test_appended_fact_checked_by_oracle(self):
+        source = (
+            "sig Node { next: lone Node } { this not in next }\n"
+            "assert NoSelf { all n: Node | n not in n.next }\n"
+            "pred p { some Node }\n"
+            "run p for 3 expect 1\ncheck NoSelf for 3 expect 0\n"
+        )
+        results = Analyzer(source).execute_all()
+        assert results[0].sat and not results[1].sat
+
+    def test_evaluator_sees_appended_fact(self):
+        from repro.analyzer.evaluator import Evaluator
+        from repro.analyzer.instance import make_instance
+
+        info = resolve_module(
+            parse_module("sig Node { next: lone Node } { this not in next }")
+        )
+        looped = make_instance(
+            {"Node": {("N0",)}, "next": {("N0", "N0")}}
+        )
+        clean = make_instance({"Node": {("N0",)}, "next": set()})
+        assert not Evaluator(info, looped).facts_hold()
+        assert Evaluator(info, clean).facts_hold()

@@ -1,0 +1,157 @@
+"""Benchmark corpus and fault-injection tests."""
+
+import pytest
+
+from repro.analyzer.analyzer import Analyzer
+from repro.benchmarks.faults import (
+    FaultInjector,
+    InjectionConfig,
+    describe_fix,
+    describe_location,
+)
+from repro.benchmarks.models import all_models, domains, get_model, models_for_domain
+from repro.benchmarks.suite import (
+    ALLOY4FUN_COUNTS,
+    AREPAIR_COUNTS,
+    build_arepair,
+    scaled_counts,
+    validate_corpus,
+)
+from repro.metrics.rep import rep
+
+
+class TestCorpus:
+    def test_corpus_validates(self):
+        assert validate_corpus() == []
+
+    def test_expected_domains(self):
+        assert set(domains("alloy4fun")) == set(ALLOY4FUN_COUNTS)
+        assert set(domains("arepair")) == set(AREPAIR_COUNTS)
+
+    def test_each_model_has_run_and_check(self):
+        for model in all_models():
+            analyzer = Analyzer(model.source)
+            kinds = {c.kind for c in analyzer.info.commands}
+            assert "run" in kinds and "check" in kinds, model.name
+
+    def test_every_command_annotated(self):
+        for model in all_models():
+            analyzer = Analyzer(model.source)
+            assert all(c.expect is not None for c in analyzer.info.commands)
+
+    def test_classroom_has_multiple_submodels(self):
+        assert len(models_for_domain("alloy4fun", "classroom")) >= 2
+
+    def test_get_model(self):
+        assert get_model("farmer").domain == "farmer"
+
+
+class TestFaultInjection:
+    @pytest.fixture
+    def injector(self):
+        model = get_model("graphs_a")
+        return FaultInjector(
+            model_name=model.name,
+            benchmark="alloy4fun",
+            domain="graphs",
+            truth_source=model.source,
+            config=InjectionConfig(),
+            seed=42,
+        )
+
+    def test_injected_faults_have_rep_zero(self, injector):
+        for spec in injector.generate(5):
+            assert rep(spec.faulty_source, spec.truth_source) == 0
+
+    def test_injected_faults_compile(self, injector):
+        for spec in injector.generate(5):
+            Analyzer(spec.faulty_source)  # must not raise
+
+    def test_faults_are_distinct(self, injector):
+        specs = injector.generate(8)
+        assert len({s.faulty_source for s in specs}) == 8
+
+    def test_generation_deterministic(self):
+        model = get_model("graphs_a")
+
+        def build():
+            return FaultInjector(
+                model.name, "alloy4fun", "graphs", model.source,
+                InjectionConfig(), seed=7,
+            ).generate(4)
+
+        first = build()
+        second = build()
+        assert [s.faulty_source for s in first] == [s.faulty_source for s in second]
+
+    def test_hints_populated(self, injector):
+        for spec in injector.generate(5):
+            assert spec.hints.location
+            assert spec.hints.fix_description
+
+    def test_depth_mix_obeys_config(self):
+        model = get_model("classroom_a")
+        config = InjectionConfig(depth_weights={2: 1.0})
+        injector = FaultInjector(
+            model.name, "alloy4fun", "classroom", model.source, config, seed=3
+        )
+        for spec in injector.generate(3):
+            assert spec.depth == 2
+
+    def test_spec_ids_unique(self, injector):
+        specs = injector.generate(6)
+        assert len({s.spec_id for s in specs}) == 6
+
+
+class TestDescriptions:
+    def test_describe_location_fact(self):
+        from repro.alloy.parser import parse_module
+        from repro.repair.mutation import mutation_points
+
+        module = parse_module(get_model("graphs_a").source)
+        points = mutation_points(module)
+        text = describe_location(module, points[0])
+        assert "'" in text  # names the paragraph
+
+    def test_describe_fix_maps_quantifier(self):
+        import random
+
+        config = InjectionConfig(vague_hint_rate=0.0, misleading_hint_rate=0.0)
+        text = describe_fix("quantifier all -> some", random.Random(0), config)
+        assert "quantifier" in text.lower()
+
+    def test_describe_fix_vague_when_configured(self):
+        import random
+
+        config = InjectionConfig(vague_hint_rate=1.0, misleading_hint_rate=0.0)
+        text = describe_fix("quantifier all -> some", random.Random(0), config)
+        assert "may" in text.lower()
+
+
+class TestSuiteBuilders:
+    def test_arepair_counts_exact(self):
+        specs = build_arepair(seed=0)
+        assert len(specs) == 38
+        by_domain = {}
+        for spec in specs:
+            by_domain[spec.domain] = by_domain.get(spec.domain, 0) + 1
+        assert by_domain == AREPAIR_COUNTS
+
+    def test_scaled_counts(self):
+        scaled = scaled_counts(ALLOY4FUN_COUNTS, 0.01)
+        assert scaled["production"] == 1  # floor at 1
+        assert scaled["classroom"] == 10
+
+    def test_scaled_counts_validates_range(self):
+        with pytest.raises(ValueError):
+            scaled_counts(ALLOY4FUN_COUNTS, 0.0)
+
+    def test_cache_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.benchmarks.cache import load_benchmark
+
+        first = load_benchmark("arepair", seed=1)
+        second = load_benchmark("arepair", seed=1)  # from cache
+        assert [s.spec_id for s in first] == [s.spec_id for s in second]
+        assert first[0].hints.location == second[0].hints.location
+        assert list(tmp_path.glob("*.json"))

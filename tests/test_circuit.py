@@ -1,0 +1,150 @@
+"""Circuit builder tests: simplification, Tseitin encoding, cardinality."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.circuit import FALSE, TRUE, CircuitBuilder
+from repro.sat.solver import SatSolver
+
+
+@pytest.fixture
+def builder():
+    return CircuitBuilder(SatSolver())
+
+
+class TestSimplification:
+    def test_and_with_false(self, builder):
+        x = builder.fresh_var()
+        assert builder.and_([x, FALSE]) == FALSE
+
+    def test_and_with_true(self, builder):
+        x = builder.fresh_var()
+        assert builder.and_([x, TRUE]) == x
+
+    def test_and_of_nothing_is_true(self, builder):
+        assert builder.and_([]) == TRUE
+
+    def test_and_contradiction(self, builder):
+        x = builder.fresh_var()
+        assert builder.and_([x, -x]) == FALSE
+
+    def test_or_with_true(self, builder):
+        x = builder.fresh_var()
+        assert builder.or_([x, TRUE]) == TRUE
+
+    def test_hash_consing_shares_nodes(self, builder):
+        x, y = builder.fresh_var(), builder.fresh_var()
+        assert builder.and_([x, y]) == builder.and_([y, x])
+
+    def test_double_negation(self, builder):
+        x = builder.fresh_var()
+        assert builder.not_(builder.not_(x)) == x
+
+    def test_implies_truth_table_constants(self, builder):
+        x = builder.fresh_var()
+        assert builder.implies(FALSE, x) == TRUE
+        assert builder.implies(x, TRUE) == TRUE
+
+
+class TestEncoding:
+    def _count_models(self, builder, handle, free_vars):
+        solver = builder.solver
+        builder.assert_true(handle)
+        count = 0
+        while solver.solve():
+            count += 1
+            blocking = []
+            for v in free_vars:
+                lit = builder.to_literal(v)
+                blocking.append(-lit if lit in solver.model() else lit)
+            solver.add_clause(blocking)
+        return count
+
+    def test_xor_model_count(self, builder):
+        x, y = builder.fresh_var(), builder.fresh_var()
+        xor = builder.and_([builder.or_([x, y]), -builder.and_([x, y])])
+        assert self._count_models(builder, xor, [x, y]) == 2
+
+    def test_iff_model_count(self, builder):
+        x, y = builder.fresh_var(), builder.fresh_var()
+        assert self._count_models(builder, builder.iff(x, y), [x, y]) == 2
+
+    def test_ite_semantics(self, builder):
+        c, t, e = (builder.fresh_var() for _ in range(3))
+        ite = builder.ite(c, t, e)
+        builder.assert_true(ite)
+        builder.assert_true(c)
+        builder.assert_true(-t)
+        assert not builder.solver.solve()
+
+    def test_assert_false_makes_unsat(self, builder):
+        builder.assert_true(FALSE)
+        assert not builder.solver.solve()
+
+    def test_assert_true_noop(self, builder):
+        builder.assert_true(TRUE)
+        assert builder.solver.solve()
+
+    def test_evaluate_matches_solver(self, builder):
+        x, y, z = (builder.fresh_var() for _ in range(3))
+        formula = builder.or_([builder.and_([x, -y]), z])
+        builder.assert_true(formula)
+        solver = builder.solver
+        assert solver.solve()
+        true_lits = solver.model()
+        assert builder.evaluate(formula, true_lits)
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("n,k,expected", [(4, 2, 6), (5, 0, 1), (3, 3, 1)])
+    def test_exactly_model_counts(self, n, k, expected):
+        builder = CircuitBuilder(SatSolver())
+        xs = [builder.fresh_var() for _ in range(n)]
+        builder.assert_true(builder.exactly(xs, k))
+        solver = builder.solver
+        count = 0
+        while solver.solve():
+            count += 1
+            blocking = []
+            for v in xs:
+                lit = builder.to_literal(v)
+                blocking.append(-lit if lit in solver.model() else lit)
+            solver.add_clause(blocking)
+        assert count == expected
+
+    def test_at_least_boundary(self):
+        builder = CircuitBuilder(SatSolver())
+        xs = [builder.fresh_var() for _ in range(3)]
+        assert builder.at_least(xs, 0) == TRUE
+        assert builder.at_least(xs, 4) == FALSE
+
+    @given(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=31))
+    @settings(max_examples=60, deadline=None)
+    def test_count_compare_matches_popcount(self, k, assignment_bits):
+        builder = CircuitBuilder(SatSolver())
+        xs = [builder.fresh_var() for _ in range(5)]
+        true_lits = set()
+        popcount = 0
+        for index, x in enumerate(xs):
+            lit = builder.to_literal(x)
+            if assignment_bits & (1 << index):
+                true_lits.add(lit)
+                popcount += 1
+        for op, check in [
+            ("=", popcount == k),
+            ("<", popcount < k),
+            ("<=", popcount <= k),
+            (">", popcount > k),
+            (">=", popcount >= k),
+            ("!=", popcount != k),
+        ]:
+            handle = builder.count_compare(xs, op, k)
+            assert builder.evaluate(handle, true_lits) == check, (op, k, popcount)
+
+    def test_unknown_comparison_rejected(self):
+        builder = CircuitBuilder(SatSolver())
+        with pytest.raises(ValueError):
+            builder.count_compare([], "~", 1)

@@ -1,0 +1,66 @@
+"""CLI tests: argument parsing and the analyze/repair/validate commands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def spec_file(tmp_path, linked_list_spec):
+    path = tmp_path / "model.als"
+    path.write_text(linked_list_spec)
+    return str(path)
+
+
+@pytest.fixture
+def faulty_file(tmp_path, faulty_linked_list_spec):
+    path = tmp_path / "faulty.als"
+    path.write_text(faulty_linked_list_spec)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(["table1", "--scale", "0.1", "--seed", "2"])
+        assert args.scale == 0.1 and args.seed == 2
+
+    def test_repair_args(self):
+        args = build_parser().parse_args(["repair", "x.als", "--technique", "BeAFix"])
+        assert args.technique == "BeAFix"
+
+
+class TestAnalyzeCommand:
+    def test_analyze_prints_outcomes(self, spec_file, capsys):
+        assert main(["analyze", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "run nonEmpty: SAT" in out
+        assert "check NoCycle: UNSAT" in out
+
+    def test_analyze_flags_unexpected(self, faulty_file, capsys):
+        main(["analyze", faulty_file])
+        out = capsys.readouterr().out
+        assert "UNEXPECTED" in out
+
+
+class TestRepairCommand:
+    def test_repair_with_beafix(self, faulty_file, capsys):
+        assert main(["repair", faulty_file, "--technique", "BeAFix"]) == 0
+        out = capsys.readouterr().out
+        assert "status:" in out
+
+    def test_repair_with_multi_round(self, faulty_file, capsys):
+        assert main(["repair", faulty_file, "--technique", "Multi-Round_None"]) == 0
+        assert "status:" in capsys.readouterr().out
+
+    def test_repair_unknown_technique(self, faulty_file, capsys):
+        assert main(["repair", faulty_file, "--technique", "Nope"]) == 2
+
+
+class TestValidateCorpus:
+    def test_corpus_is_valid(self, capsys):
+        assert main(["validate-corpus"]) == 0
+        assert "corpus OK" in capsys.readouterr().out

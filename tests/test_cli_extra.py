@@ -1,0 +1,28 @@
+"""CLI tests for the stats and parser-level experiment arguments."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestStatsCommand:
+    def test_stats_arepair(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["stats", "arepair"]) == 0
+        out = capsys.readouterr().out
+        assert "arepair benchmark" in out
+        assert "per fault class:" in out
+
+    def test_stats_requires_known_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "unknown"])
+
+
+class TestParserShape:
+    def test_ablations_args(self):
+        args = build_parser().parse_args(["ablations", "--samples", "3"])
+        assert args.samples == 3
+
+    def test_all_command_args(self):
+        args = build_parser().parse_args(["all", "--no-cache"])
+        assert args.no_cache is True

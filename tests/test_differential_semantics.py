@@ -1,0 +1,133 @@
+"""Differential fuzzing: the evaluator against independent reference
+implementations of the relational operators.
+
+The reference semantics here are written straight from Jackson's definitions
+(naive set comprehensions over tuples), deliberately *not* sharing code with
+``repro.analyzer.evaluator``, so agreement is meaningful evidence.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloy.parser import parse_expr, parse_module
+from repro.alloy.resolver import resolve_module
+from repro.analyzer.evaluator import Evaluator
+from repro.analyzer.instance import make_instance
+
+ATOMS = ["a", "b", "c"]
+
+SPEC = "sig S { r: set S, q: set S }"
+
+
+def reference_join(left, right):
+    return frozenset(
+        x[:-1] + y[1:]
+        for x in left
+        for y in right
+        if x[-1] == y[0]
+    )
+
+
+def reference_closure(relation):
+    atoms = {a for t in relation for a in t}
+    closure = set(relation)
+    for _ in range(len(atoms)):
+        closure |= {
+            (x, w)
+            for (x, y) in closure
+            for (z, w) in closure
+            if y == z
+        }
+    return frozenset(closure)
+
+
+def reference_override(left, right):
+    heads = {t[0] for t in right}
+    return frozenset(t for t in left if t[0] not in heads) | right
+
+
+@st.composite
+def binary_relation(draw):
+    pairs = [
+        (x, y) for x in ATOMS for y in ATOMS
+    ]
+    chosen = draw(st.lists(st.sampled_from(pairs), max_size=6))
+    return frozenset(chosen)
+
+
+@st.composite
+def unary_relation(draw):
+    chosen = draw(st.lists(st.sampled_from(ATOMS), min_size=1, max_size=3))
+    return frozenset((a,) for a in chosen)
+
+
+def evaluator_for(sig_atoms, r, q):
+    info = resolve_module(parse_module(SPEC))
+    instance = make_instance({"S": sig_atoms, "r": r, "q": q})
+    return Evaluator(info, instance)
+
+
+class TestDifferentialOperators:
+    @given(unary_relation(), binary_relation(), binary_relation())
+    @settings(max_examples=80, deadline=None)
+    def test_join_matches_reference(self, s_atoms, r, q):
+        evaluator = evaluator_for(s_atoms, r, q)
+        ours = evaluator.expr(parse_expr("r.q"))
+        assert ours == reference_join(r, q)
+
+    @given(unary_relation(), binary_relation())
+    @settings(max_examples=80, deadline=None)
+    def test_closure_matches_reference(self, s_atoms, r):
+        evaluator = evaluator_for(s_atoms, r, frozenset())
+        ours = evaluator.expr(parse_expr("^r"))
+        assert ours == reference_closure(r)
+
+    @given(unary_relation(), binary_relation(), binary_relation())
+    @settings(max_examples=80, deadline=None)
+    def test_override_matches_reference(self, s_atoms, r, q):
+        evaluator = evaluator_for(s_atoms, r, q)
+        ours = evaluator.expr(parse_expr("r ++ q"))
+        assert ours == reference_override(r, q)
+
+    @given(unary_relation(), binary_relation(), binary_relation())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, s_atoms, r, q):
+        evaluator = evaluator_for(s_atoms, r, q)
+        assert evaluator.expr(parse_expr("~~r")) == r
+
+    @given(unary_relation(), binary_relation(), binary_relation())
+    @settings(max_examples=60, deadline=None)
+    def test_set_algebra_laws(self, s_atoms, r, q):
+        evaluator = evaluator_for(s_atoms, r, q)
+        union = evaluator.expr(parse_expr("r + q"))
+        intersect = evaluator.expr(parse_expr("r & q"))
+        diff_rq = evaluator.expr(parse_expr("r - q"))
+        # |r ∪ q| = |r| + |q| - |r ∩ q|
+        assert len(union) == len(r) + len(q) - len(intersect)
+        # (r - q) ∪ (r ∩ q) = r
+        assert diff_rq | intersect == r
+
+    @given(unary_relation(), binary_relation())
+    @settings(max_examples=60, deadline=None)
+    def test_closure_is_idempotent_and_contains_relation(self, s_atoms, r):
+        evaluator = evaluator_for(s_atoms, r, frozenset())
+        once = evaluator.expr(parse_expr("^r"))
+        info = resolve_module(parse_module(SPEC))
+        again = Evaluator(
+            info, make_instance({"S": s_atoms, "r": once, "q": frozenset()})
+        ).expr(parse_expr("^r"))
+        assert once == again
+        assert r <= once
+
+    @given(unary_relation(), binary_relation(), binary_relation())
+    @settings(max_examples=60, deadline=None)
+    def test_restrict_decomposition(self, s_atoms, r, q):
+        """dom-restrict + its complement partition the relation."""
+        evaluator = evaluator_for(s_atoms, r, q)
+        restricted = evaluator.expr(parse_expr("S <: r"))
+        # All S atoms are present, so S <: r = r when heads are in S.
+        heads_in_s = frozenset(t for t in r if (t[0],) in s_atoms)
+        assert restricted == heads_in_s

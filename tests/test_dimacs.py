@@ -1,0 +1,49 @@
+"""DIMACS CNF I/O tests."""
+
+import pytest
+
+from repro.sat.dimacs import parse_dimacs, solver_from_dimacs, to_dimacs
+
+
+class TestParse:
+    def test_basic_problem(self):
+        text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n"
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 3
+        assert clauses == [[1, -2], [2, 3]]
+
+    def test_clause_across_lines(self):
+        text = "p cnf 2 1\n1\n-2 0\n"
+        _, clauses = parse_dimacs(text)
+        assert clauses == [[1, -2]]
+
+    def test_trailing_clause_without_zero(self):
+        text = "p cnf 2 1\n1 2\n"
+        _, clauses = parse_dimacs(text)
+        assert clauses == [[1, 2]]
+
+    def test_comments_ignored(self):
+        text = "c hello\nc world\np cnf 1 1\n1 0\n"
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 1 and clauses == [[1]]
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p qbf 3 2\n1 0\n")
+
+
+class TestRoundTrip:
+    def test_to_dimacs_and_back(self):
+        clauses = [[1, -2, 3], [-1], [2, 3]]
+        text = to_dimacs(3, clauses)
+        num_vars, parsed = parse_dimacs(text)
+        assert num_vars == 3 and parsed == clauses
+
+    def test_solver_from_dimacs_sat(self):
+        solver = solver_from_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n")
+        assert solver.solve()
+        assert 2 in solver.model()
+
+    def test_solver_from_dimacs_unsat(self):
+        solver = solver_from_dimacs("p cnf 1 2\n1 0\n-1 0\n")
+        assert not solver.solve()

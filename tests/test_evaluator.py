@@ -1,0 +1,172 @@
+"""Evaluator tests: relational semantics against hand-computed values."""
+
+import pytest
+
+from repro.alloy.errors import EvaluationError
+from repro.alloy.parser import parse_expr, parse_formula, parse_module
+from repro.alloy.resolver import resolve_module
+from repro.analyzer.evaluator import Evaluator
+from repro.analyzer.instance import make_instance
+
+SPEC = """
+sig Node { next: lone Node, tags: set Tag }
+sig Tag {}
+pred hasNext[n: Node] { some n.next }
+fun successors[n: Node]: set Node { n.next }
+fact Linked { some next }
+"""
+
+
+@pytest.fixture
+def info():
+    return resolve_module(parse_module(SPEC))
+
+
+@pytest.fixture
+def instance():
+    return make_instance(
+        {
+            "Node": {("N0",), ("N1",), ("N2",)},
+            "Tag": {("T0",)},
+            "next": {("N0", "N1"), ("N1", "N2")},
+            "tags": {("N0", "T0")},
+        }
+    )
+
+
+@pytest.fixture
+def ev(info, instance):
+    return Evaluator(info, instance)
+
+
+def rel(ev, text, env=None):
+    return ev.expr(parse_expr(text), env)
+
+
+def truth(ev, text, env=None):
+    return ev.formula(parse_formula(text), env)
+
+
+class TestExpressions:
+    def test_sig_lookup(self, ev):
+        assert rel(ev, "Node") == frozenset({("N0",), ("N1",), ("N2",)})
+
+    def test_none_and_univ(self, ev):
+        assert rel(ev, "none") == frozenset()
+        assert rel(ev, "univ") == frozenset({("N0",), ("N1",), ("N2",), ("T0",)})
+
+    def test_iden(self, ev):
+        assert ("N0", "N0") in rel(ev, "iden")
+        assert ("T0", "T0") in rel(ev, "iden")
+
+    def test_union_diff_intersect(self, ev):
+        assert rel(ev, "Node + Tag") == rel(ev, "univ")
+        assert rel(ev, "Node - Node") == frozenset()
+        assert rel(ev, "Node & Node") == rel(ev, "Node")
+
+    def test_join(self, ev):
+        assert rel(ev, "Node.next") == frozenset({("N1",), ("N2",)})
+        assert rel(ev, "next.next") == frozenset({("N0", "N2")})
+
+    def test_transpose(self, ev):
+        assert rel(ev, "~next") == frozenset({("N1", "N0"), ("N2", "N1")})
+
+    def test_closure(self, ev):
+        closure = rel(ev, "^next")
+        assert closure == frozenset(
+            {("N0", "N1"), ("N1", "N2"), ("N0", "N2")}
+        )
+
+    def test_reflexive_closure_includes_all_atoms(self, ev):
+        rclosure = rel(ev, "*next")
+        assert ("T0", "T0") in rclosure
+        assert ("N0", "N2") in rclosure
+
+    def test_product(self, ev):
+        assert len(rel(ev, "Tag -> Node")) == 3
+
+    def test_override(self, ev):
+        result = rel(ev, "next ++ N0placeholder", env=None) if False else None
+        # Override with an env-bound relation instead.
+        env = {"patch": frozenset({("N0", "N0")})}
+        result = rel(ev, "next ++ patch", env)
+        assert ("N0", "N0") in result and ("N0", "N1") not in result
+        assert ("N1", "N2") in result
+
+    def test_restrictions(self, ev):
+        env = {"s": frozenset({("N0",)})}
+        assert rel(ev, "s <: next", env) == frozenset({("N0", "N1")})
+        assert rel(ev, "next :> s", env) == frozenset()
+
+    def test_cardinality(self, ev):
+        assert rel(ev, "#Node") == 3
+        assert rel(ev, "#next + 1") == 3
+
+    def test_comprehension(self, ev):
+        result = rel(ev, "{ n: Node | no n.next }")
+        assert result == frozenset({("N2",)})
+
+    def test_fun_call(self, ev):
+        env = {"m": frozenset({("N0",)})}
+        assert rel(ev, "successors[m]", env) == frozenset({("N1",)})
+
+    def test_box_join_sugar_on_field(self, ev):
+        env = {"m": frozenset({("N0",)})}
+        assert rel(ev, "next[m]", env) == frozenset({("N1",)})
+
+    def test_unknown_name_raises(self, ev):
+        with pytest.raises(EvaluationError):
+            rel(ev, "missing")
+
+
+class TestFormulas:
+    def test_in(self, ev):
+        assert truth(ev, "Node.next in Node")
+        assert not truth(ev, "Node in Node.next")
+
+    def test_equality(self, ev):
+        assert truth(ev, "Node & Tag = none")
+
+    def test_multiplicity_tests(self, ev):
+        assert truth(ev, "some next")
+        assert truth(ev, "lone N2next", {"N2next": frozenset()})
+        assert truth(ev, "no Tag.tags") is False or True  # tags: Node->Tag
+
+    def test_quantifier_all(self, ev):
+        assert truth(ev, "all n: Node | lone n.next")
+
+    def test_quantifier_some_no(self, ev):
+        assert truth(ev, "some n: Node | no n.next")
+        assert truth(ev, "no n: Node | n in n.next")
+
+    def test_quantifier_one_lone(self, ev):
+        assert truth(ev, "one n: Node | no n.next")
+        assert truth(ev, "lone n: Node | n = N2var", {"N2var": frozenset({("N2",)})})
+
+    def test_disj_quantifier(self, ev):
+        assert truth(ev, "some disj a, b: Node | b in a.next")
+        assert not truth(ev, "some disj a, b: Tag | a != b")
+
+    def test_implies_else(self, ev):
+        assert truth(ev, "some Tag implies some Node else no Node")
+
+    def test_let(self, ev):
+        assert truth(ev, "let x = Node.next | x in Node")
+
+    def test_pred_call(self, ev):
+        env = {"m": frozenset({("N0",)})}
+        assert truth(ev, "hasNext[m]", env)
+        env = {"m": frozenset({("N2",)})}
+        assert not truth(ev, "hasNext[m]", env)
+
+    def test_int_comparisons(self, ev):
+        assert truth(ev, "#Node > #Tag")
+        assert truth(ev, "#Node = 3")
+        assert truth(ev, "#next <= 2")
+
+    def test_facts_hold(self, ev):
+        assert ev.facts_hold()
+
+    def test_facts_fail_on_empty_instance(self, info):
+        empty = make_instance({"Node": set(), "Tag": set(), "next": set(), "tags": set()})
+        assert not Evaluator(info, empty).facts_hold()

@@ -1,0 +1,65 @@
+"""LLM response extraction tests: the 'specialized parser' of the study."""
+
+import pytest
+
+from repro.llm.extract import (
+    ExtractionError,
+    candidate_regions,
+    extract_module,
+    try_extract_module,
+)
+
+SPEC = "sig A { f: set A }\nfact F { some A }\npred p { some f }\nrun p for 3"
+
+
+class TestExtraction:
+    def test_plain_fenced_block(self):
+        response = f"Here is the fix:\n```alloy\n{SPEC}\n```\nDone."
+        module = extract_module(response)
+        assert [s.names[0] for s in module.sigs] == ["A"]
+
+    def test_fence_with_odd_language_tag(self):
+        response = f"```java\n{SPEC}\n```"
+        assert extract_module(response).sigs
+
+    def test_fence_with_no_tag(self):
+        response = f"```\n{SPEC}\n```"
+        assert extract_module(response).sigs
+
+    def test_unfenced_code_after_prose(self):
+        response = f"I fixed the quantifier.\n\n{SPEC}"
+        assert extract_module(response).sigs
+
+    def test_bare_spec(self):
+        assert extract_module(SPEC).sigs
+
+    def test_multiple_fences_prefers_parseable_full_spec(self):
+        snippet = "some A"  # parses as nothing useful, not a module
+        response = f"```alloy\n{snippet}\n```\nFull fix:\n```alloy\n{SPEC}\n```"
+        module = extract_module(response)
+        assert module.facts and module.commands
+
+    def test_truncated_spec_raises(self):
+        truncated = SPEC[: len(SPEC) // 2]
+        response = f"```alloy\n{truncated}"
+        # Either the keyword fallback finds a prefix that parses, or the
+        # extraction fails; both are acceptable as long as nothing crashes.
+        module, error = try_extract_module(response)
+        assert module is not None or error is not None
+
+    def test_pure_prose_fails(self):
+        with pytest.raises(ExtractionError):
+            extract_module("I'm sorry, I cannot repair this specification.")
+
+    def test_try_extract_reports_error(self):
+        module, error = try_extract_module("no code here")
+        assert module is None and error
+
+    def test_regions_ordering(self):
+        response = f"```alloy\n{SPEC}\n```trailing"
+        regions = candidate_regions(response)
+        assert any(SPEC.split()[0] in region for region in regions)
+
+    def test_windows_style_content(self):
+        response = "```alloy\n" + SPEC.replace("\n", "\n") + "\n```"
+        assert extract_module(response).sigs

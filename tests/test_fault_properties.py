@@ -1,0 +1,80 @@
+"""Cross-cutting properties of injected faults and the metric stack."""
+
+import pytest
+
+from repro.benchmarks.faults import FaultInjector, InjectionConfig
+from repro.benchmarks.models import get_model
+from repro.metrics.bleu import token_match
+from repro.metrics.rep import rep, rep_outcome
+from repro.metrics.syntax_match import syntax_match
+
+
+@pytest.fixture(scope="module")
+def fault_sample():
+    specs = []
+    for model_name in ("graphs_b", "trash_b", "cv_b"):
+        model = get_model(model_name)
+        injector = FaultInjector(
+            model_name=model.name,
+            benchmark="alloy4fun",
+            domain=model.domain,
+            truth_source=model.source,
+            config=InjectionConfig(
+                depth_weights={1: 0.6, 2: 0.4}, removal_bias=0.3
+            ),
+            seed=7,
+        )
+        specs.extend(injector.generate(3))
+    return specs
+
+
+class TestFaultMetricProperties:
+    def test_truth_is_its_own_repair(self, fault_sample):
+        for spec in fault_sample:
+            assert rep(spec.truth_source, spec.truth_source) == 1
+
+    def test_fault_is_not_a_repair(self, fault_sample):
+        for spec in fault_sample:
+            assert rep(spec.faulty_source, spec.truth_source) == 0
+
+    def test_fault_similarity_below_identity(self, fault_sample):
+        for spec in fault_sample:
+            assert token_match(spec.faulty_source, spec.truth_source) < 1.0
+            assert syntax_match(spec.faulty_source, spec.truth_source) < 1.0
+
+    def test_fault_similarity_still_high(self, fault_sample):
+        """Injected faults are small edits: similarity stays substantial."""
+        for spec in fault_sample:
+            assert syntax_match(spec.faulty_source, spec.truth_source) > 0.3
+
+    def test_rep_outcome_names_a_mismatched_command(self, fault_sample):
+        for spec in fault_sample:
+            outcome = rep_outcome(spec.faulty_source, spec.truth_source)
+            assert outcome.compiled
+            assert outcome.mismatched_commands or outcome.error
+
+    def test_hints_reference_existing_paragraphs(self, fault_sample):
+        from repro.alloy.parser import parse_module
+
+        for spec in fault_sample:
+            location = spec.hints.location
+            assert location
+            module = parse_module(spec.truth_source)
+            names = set()
+            for paragraph in module.paragraphs:
+                name = getattr(paragraph, "name", None)
+                if name:
+                    names.add(name)
+                for sig_name in getattr(paragraph, "names", []) or []:
+                    names.add(sig_name)
+            assert any(f"'{name}'" in location for name in names), location
+
+    def test_passing_assertion_exists_in_truth(self, fault_sample):
+        from repro.alloy.parser import parse_module
+        from repro.alloy.resolver import resolve_module
+
+        for spec in fault_sample:
+            if spec.hints.passing_assertion is None:
+                continue
+            info = resolve_module(parse_module(spec.truth_source))
+            assert spec.hints.passing_assertion in info.asserts

@@ -1,0 +1,45 @@
+"""Hybrid analysis tests, including the pipeline hybrid extension."""
+
+import pytest
+
+from repro.benchmarks.faults import FaultySpec
+from repro.benchmarks.models import get_model
+from repro.experiments.hybrid import sequential_hybrid
+from repro.llm.prompts import RepairHints
+from repro.metrics.rep import rep
+from repro.repair.base import RepairTask
+
+
+@pytest.fixture
+def spec():
+    truth = get_model("graphs_a").source
+    faulty = truth.replace("n not in n.^adj", "n not in n.adj", 1)
+    return FaultySpec(
+        spec_id="graphs_a#test",
+        benchmark="alloy4fun",
+        domain="graphs",
+        model_name="graphs_a",
+        faulty_source=faulty,
+        truth_source=truth,
+        fault_description="closure dropped",
+        depth=1,
+        hints=RepairHints(),
+    )
+
+
+class TestSequentialHybrid:
+    def test_returns_repair_result(self, spec):
+        result = sequential_hybrid(spec, seed=0)
+        assert result.technique.startswith("Pipeline-Hybrid")
+
+    def test_usually_repairs_the_fault(self, spec):
+        wins = 0
+        for seed in range(5):
+            result = sequential_hybrid(spec, seed=seed)
+            text = result.final_source(RepairTask.from_source(spec.faulty_source))
+            wins += rep(text, spec.truth_source)
+        assert wins >= 2  # localization + GPT-4 profile should mostly succeed
+
+    def test_feedback_level_configurable(self, spec):
+        result = sequential_hybrid(spec, seed=0, feedback_value="None")
+        assert result.technique == "Pipeline-Hybrid_None"

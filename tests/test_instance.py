@@ -1,0 +1,54 @@
+"""Instance tests: equality, canonical keys, rendering."""
+
+from repro.analyzer.instance import Instance, make_instance
+
+
+class TestInstance:
+    def test_relation_lookup_defaults_empty(self):
+        instance = make_instance({"A": {("x",)}})
+        assert instance.relation("A") == frozenset({("x",)})
+        assert instance.relation("missing") == frozenset()
+
+    def test_atoms_collects_unary_tuples(self):
+        instance = make_instance(
+            {"A": {("x",), ("y",)}, "r": {("x", "y")}}
+        )
+        assert instance.atoms() == frozenset({"x", "y"})
+
+    def test_equality_is_order_independent(self):
+        first = make_instance({"A": {("x",), ("y",)}, "B": set()})
+        second = make_instance({"B": set(), "A": {("y",), ("x",)}})
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality(self):
+        first = make_instance({"A": {("x",)}})
+        second = make_instance({"A": {("y",)}})
+        assert first != second
+
+    def test_with_relation_replaces_immutably(self):
+        instance = make_instance({"A": {("x",)}})
+        updated = instance.with_relation("A", frozenset({("y",)}))
+        assert instance.relation("A") == frozenset({("x",)})
+        assert updated.relation("A") == frozenset({("y",)})
+
+    def test_canonical_key_stable(self):
+        instance = make_instance({"A": {("x",), ("y",)}})
+        assert instance.canonical_key() == instance.canonical_key()
+
+    def test_describe_renders_tuples(self):
+        instance = make_instance({"r": {("a", "b")}, "A": {("a",)}})
+        text = instance.describe()
+        assert "r = {a->b}" in text
+        assert "A = {a}" in text
+
+    def test_describe_orders_sigs_before_fields(self, marriage_spec):
+        from repro.alloy.parser import parse_module
+        from repro.alloy.resolver import resolve_module
+
+        info = resolve_module(parse_module(marriage_spec))
+        instance = make_instance(
+            {"wife": {("m", "w")}, "Man": {("m",)}, "Woman": {("w",)}}
+        )
+        text = instance.describe(info)
+        assert text.index("Man") < text.index("wife")

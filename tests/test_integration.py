@@ -1,0 +1,61 @@
+"""End-to-end integration: fault injection -> all 12 techniques -> metrics.
+
+A miniature version of the full study pipeline over one injected fault per
+benchmark family, asserting the cross-cutting invariants every run must
+satisfy.
+"""
+
+import pytest
+
+from repro.benchmarks.faults import FaultInjector, InjectionConfig
+from repro.benchmarks.models import get_model
+from repro.experiments.runner import ALL_TECHNIQUES, run_spec
+from repro.metrics.rep import rep
+
+
+@pytest.fixture(scope="module")
+def injected_spec():
+    model = get_model("classroom_a")
+    injector = FaultInjector(
+        model_name=model.name,
+        benchmark="alloy4fun",
+        domain="classroom",
+        truth_source=model.source,
+        config=InjectionConfig(depth_weights={1: 1.0}, vague_hint_rate=0.0),
+        seed=123,
+    )
+    return injector.generate(1)[0]
+
+
+@pytest.fixture(scope="module")
+def all_outcomes(injected_spec):
+    return {
+        technique: run_spec(injected_spec, technique, seed=0)
+        for technique in ALL_TECHNIQUES
+    }
+
+
+class TestPipeline:
+    def test_injected_fault_is_real(self, injected_spec):
+        assert rep(injected_spec.faulty_source, injected_spec.truth_source) == 0
+
+    def test_all_techniques_produce_outcomes(self, all_outcomes):
+        assert set(all_outcomes) == set(ALL_TECHNIQUES)
+        for technique, outcome in all_outcomes.items():
+            assert outcome.rep in (0, 1), technique
+            assert 0.0 <= outcome.tm <= 1.0
+            assert 0.0 <= outcome.sm <= 1.0
+            assert outcome.status in ("fixed", "not_fixed", "error")
+
+    def test_someone_repairs_a_simple_fault(self, all_outcomes):
+        assert any(outcome.rep == 1 for outcome in all_outcomes.values())
+
+    def test_repaired_candidates_have_high_similarity(self, all_outcomes):
+        for technique, outcome in all_outcomes.items():
+            if outcome.rep == 1:
+                assert outcome.sm > 0.5, technique
+
+    def test_outcomes_are_reproducible(self, injected_spec, all_outcomes):
+        again = run_spec(injected_spec, "BeAFix", seed=0)
+        assert again.rep == all_outcomes["BeAFix"].rep
+        assert again.tm == all_outcomes["BeAFix"].tm

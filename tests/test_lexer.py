@@ -1,0 +1,149 @@
+"""Lexer tests: token kinds, positions, comments, and error handling."""
+
+import pytest
+
+from repro.alloy.errors import LexError
+from repro.alloy.lexer import tokenize
+from repro.alloy.tokens import TokenKind
+
+
+def kinds(source: str) -> list[TokenKind]:
+    return [token.kind for token in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_identifier(self):
+        tokens = tokenize("hello")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "hello"
+
+    def test_identifier_with_prime_and_underscore(self):
+        tokens = tokenize("x_1'")
+        assert tokens[0].text == "x_1'"
+
+    def test_number(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].text == "42"
+
+    def test_keywords_are_not_identifiers(self):
+        assert kinds("sig fact pred assert run check") == [
+            TokenKind.SIG,
+            TokenKind.FACT,
+            TokenKind.PRED,
+            TokenKind.ASSERT,
+            TokenKind.RUN,
+            TokenKind.CHECK,
+        ]
+
+    def test_keyword_prefix_is_identifier(self):
+        tokens = tokenize("signature")
+        assert tokens[0].kind is TokenKind.IDENT
+
+    def test_eof_terminates_stream(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("->", TokenKind.ARROW),
+            ("++", TokenKind.PLUSPLUS),
+            ("=>", TokenKind.IMPLIES_OP),
+            ("<=>", TokenKind.IFF_OP),
+            ("&&", TokenKind.AMPAMP),
+            ("||", TokenKind.BARBAR),
+            ("!=", TokenKind.NEQ),
+            ("!in", TokenKind.NOT_IN),
+            ("<:", TokenKind.DOM_RESTRICT),
+            (":>", TokenKind.RAN_RESTRICT),
+            ("<=", TokenKind.LTE),
+            (">=", TokenKind.GTE),
+            ("=<", TokenKind.LTE),
+        ],
+    )
+    def test_multi_char_operator(self, text, kind):
+        assert kinds(text) == [kind]
+
+    def test_maximal_munch(self):
+        # `<=>` must not lex as `<=` `>`.
+        assert kinds("<=>") == [TokenKind.IFF_OP]
+
+    def test_arrow_vs_minus(self):
+        assert kinds("a->b") == [TokenKind.IDENT, TokenKind.ARROW, TokenKind.IDENT]
+        assert kinds("a-b") == [TokenKind.IDENT, TokenKind.MINUS, TokenKind.IDENT]
+
+    def test_single_char_operators(self):
+        assert kinds("{ } [ ] ( ) . ~ ^ * # | = & +") == [
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.DOT,
+            TokenKind.TILDE,
+            TokenKind.CARET,
+            TokenKind.STAR,
+            TokenKind.HASH,
+            TokenKind.BAR,
+            TokenKind.EQ,
+            TokenKind.AMP,
+            TokenKind.PLUS,
+        ]
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_slash(self):
+        assert kinds("a // comment\nb") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_line_comment_dashes(self):
+        assert kinds("a -- comment\nb") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_positions_track_lines_and_columns(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].pos.line == 1 and tokens[0].pos.column == 1
+        assert tokens[1].pos.line == 2 and tokens[1].pos.column == 3
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a\n$")
+        assert excinfo.value.pos.line == 2
+
+
+class TestRealisticInput:
+    def test_signature_declaration(self):
+        assert kinds("sig Room { keys: set Key }") == [
+            TokenKind.SIG,
+            TokenKind.IDENT,
+            TokenKind.LBRACE,
+            TokenKind.IDENT,
+            TokenKind.COLON,
+            TokenKind.SET,
+            TokenKind.IDENT,
+            TokenKind.RBRACE,
+        ]
+
+    def test_quantified_formula(self):
+        observed = kinds("all r: Room | some r.keys")
+        assert observed == [
+            TokenKind.ALL,
+            TokenKind.IDENT,
+            TokenKind.COLON,
+            TokenKind.IDENT,
+            TokenKind.BAR,
+            TokenKind.SOME,
+            TokenKind.IDENT,
+            TokenKind.DOT,
+            TokenKind.IDENT,
+        ]

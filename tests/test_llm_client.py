@@ -1,0 +1,40 @@
+"""LLM client abstraction tests."""
+
+from repro.llm.client import Conversation, Message, UsageStats
+
+
+class TestConversation:
+    def test_add_and_last_assistant(self):
+        conversation = Conversation()
+        conversation.add("system", "be helpful")
+        conversation.add("user", "fix this")
+        assert conversation.last_assistant() is None
+        conversation.add("assistant", "done")
+        conversation.add("user", "thanks")
+        assert conversation.last_assistant() == "done"
+
+    def test_rendered_includes_roles(self):
+        conversation = Conversation(
+            messages=[Message(role="user", content="hello")]
+        )
+        assert "[user] hello" in conversation.rendered()
+
+    def test_rendered_order_preserved(self):
+        conversation = Conversation()
+        conversation.add("user", "first")
+        conversation.add("assistant", "second")
+        rendered = conversation.rendered()
+        assert rendered.index("first") < rendered.index("second")
+
+
+class TestUsageStats:
+    def test_record_accumulates(self):
+        stats = UsageStats()
+        conversation = Conversation(
+            messages=[Message(role="user", content="abcd")]
+        )
+        stats.record(conversation, "efg")
+        stats.record(conversation, "h")
+        assert stats.requests == 2
+        assert stats.prompt_chars == 8
+        assert stats.completion_chars == 4

@@ -1,0 +1,152 @@
+"""Single-round and multi-round LLM repair pipeline tests."""
+
+import pytest
+
+from repro.llm.client import Conversation
+from repro.llm.mock_gpt import GPT4_PROFILE, MockGPT
+from repro.llm.prompts import FeedbackLevel, PromptSetting, RepairHints
+from repro.repair.base import RepairStatus, RepairTask
+from repro.repair.multi_round import MultiRoundConfig, MultiRoundLLM
+from repro.repair.single_round import SingleRoundLLM
+
+TRUTH = """
+sig Node { next: lone Node }
+fact Acyclic { all n: Node | n not in n.^next }
+pred show { some Node }
+assert NoCycle { no n: Node | n in n.^next }
+run show for 3 expect 1
+check NoCycle for 3 expect 0
+"""
+FAULTY = TRUTH.replace("n not in n.^next", "n not in n.next")
+
+HINTS = RepairHints(
+    location="fact 'Acyclic', constraint 1",
+    fix_description="A transitive closure seems to be misused here.",
+    passing_assertion="NoCycle",
+)
+
+
+@pytest.fixture
+def task():
+    return RepairTask.from_source(FAULTY)
+
+
+class _ScriptedClient:
+    """A canned-response client for protocol-level tests."""
+
+    def __init__(self, responses):
+        self._responses = list(responses)
+        self.conversations = []
+
+    def complete(self, conversation: Conversation) -> str:
+        self.conversations.append(
+            [m.content for m in conversation.messages]
+        )
+        return self._responses.pop(0)
+
+
+class TestSingleRound:
+    def test_technique_name_includes_setting(self):
+        tool = SingleRoundLLM(MockGPT(seed=0), PromptSetting.LOC, HINTS)
+        assert tool.name == "Single-Round_Loc"
+
+    def test_unparseable_response_is_error(self, task):
+        client = _ScriptedClient(["Sorry, I can't help with that."])
+        tool = SingleRoundLLM(client, PromptSetting.NONE, HINTS)
+        result = tool.repair(task)
+        assert result.status is RepairStatus.ERROR
+
+    def test_correct_canned_fix_is_fixed(self, task):
+        client = _ScriptedClient([f"```alloy\n{TRUTH}\n```"])
+        tool = SingleRoundLLM(client, PromptSetting.NONE, HINTS)
+        result = tool.repair(task)
+        assert result.fixed
+
+    def test_wrong_canned_fix_not_fixed(self, task):
+        client = _ScriptedClient([f"```alloy\n{FAULTY}\n```"])
+        tool = SingleRoundLLM(client, PromptSetting.NONE, HINTS)
+        result = tool.repair(task)
+        assert result.status is RepairStatus.NOT_FIXED
+        assert result.candidate_source is not None
+
+    def test_single_request_only(self, task):
+        client = _ScriptedClient([f"```alloy\n{FAULTY}\n```"])
+        SingleRoundLLM(client, PromptSetting.NONE, HINTS).repair(task)
+        assert len(client.conversations) == 1
+
+    def test_hints_reach_prompt(self, task):
+        client = _ScriptedClient([f"```alloy\n{TRUTH}\n```"])
+        SingleRoundLLM(client, PromptSetting.LOC_FIX, HINTS).repair(task)
+        prompt_text = "\n".join(client.conversations[0])
+        assert "Bug location:" in prompt_text
+
+
+class TestMultiRound:
+    def test_stops_on_success(self, task):
+        client = _ScriptedClient([f"```alloy\n{TRUTH}\n```"])
+        tool = MultiRoundLLM(client, FeedbackLevel.NONE)
+        result = tool.repair(task)
+        assert result.fixed and result.iterations == 1
+
+    def test_retries_up_to_budget(self, task):
+        bad = f"```alloy\n{FAULTY}\n```"
+        client = _ScriptedClient([bad, bad, bad])
+        tool = MultiRoundLLM(
+            client, FeedbackLevel.NONE, config=MultiRoundConfig(max_rounds=3)
+        )
+        result = tool.repair(task)
+        assert not result.fixed
+        assert len(client.conversations) == 3
+
+    def test_second_round_fixes(self, task):
+        client = _ScriptedClient(
+            [f"```alloy\n{FAULTY}\n```", f"```alloy\n{TRUTH}\n```"]
+        )
+        tool = MultiRoundLLM(client, FeedbackLevel.NONE)
+        result = tool.repair(task)
+        assert result.fixed and result.iterations == 2
+
+    def test_no_feedback_is_binary(self, task):
+        bad = f"```alloy\n{FAULTY}\n```"
+        client = _ScriptedClient([bad, bad, bad])
+        MultiRoundLLM(client, FeedbackLevel.NONE).repair(task)
+        second_prompt = "\n".join(client.conversations[1])
+        assert "not correct" in second_prompt
+        assert "counterexample" not in second_prompt
+
+    def test_generic_feedback_contains_counterexamples(self, task):
+        bad = f"```alloy\n{FAULTY}\n```"
+        client = _ScriptedClient([bad, bad, bad])
+        MultiRoundLLM(client, FeedbackLevel.GENERIC).repair(task)
+        second_prompt = "\n".join(client.conversations[1])
+        assert "expected UNSAT, got SAT" in second_prompt
+
+    def test_auto_feedback_calls_prompt_agent(self, task):
+        bad = f"```alloy\n{FAULTY}\n```"
+        repair_client = _ScriptedClient([bad, bad, bad])
+        prompt_client = _ScriptedClient(
+            ["Check the closure in fact 'Acyclic'.", "Look again.", "Hmm."]
+        )
+        MultiRoundLLM(
+            repair_client, FeedbackLevel.AUTO, prompt_client=prompt_client
+        ).repair(task)
+        assert prompt_client.conversations  # the second agent was consulted
+        second_prompt = "\n".join(repair_client.conversations[1])
+        assert "closure" in second_prompt
+
+    def test_unparseable_round_reports_compile_error(self, task):
+        client = _ScriptedClient(["garbage", f"```alloy\n{TRUTH}\n```"])
+        tool = MultiRoundLLM(client, FeedbackLevel.GENERIC)
+        result = tool.repair(task)
+        assert result.fixed
+        second_prompt = "\n".join(client.conversations[1])
+        assert "did not compile" in second_prompt
+
+    def test_mock_gpt_end_to_end_multiround(self, task):
+        wins = 0
+        for seed in range(6):
+            tool = MultiRoundLLM(
+                MockGPT(seed=seed, profile=GPT4_PROFILE), FeedbackLevel.GENERIC
+            )
+            wins += tool.repair(task).fixed
+        assert wins >= 3  # the calibrated GPT-4 profile usually repairs this

@@ -1,0 +1,113 @@
+"""Counterexample minimization tests."""
+
+import pytest
+
+from repro.alloy.parser import parse_module
+from repro.alloy.resolver import resolve_module
+from repro.analyzer.analyzer import Analyzer
+from repro.analyzer.evaluator import Evaluator
+from repro.analyzer.instance import make_instance
+from repro.analyzer.minimize import (
+    minimize_counterexample,
+    minimize_fact_violation,
+    minimize_instance,
+)
+
+SPEC = """
+sig Node { next: set Node }
+
+fact Shape { some Node }
+
+pred show { some Node }
+assert NoSelfLoop { all n: Node | n not in n.next }
+
+run show for 3 expect 1
+check NoSelfLoop for 3 expect 0
+"""
+
+FAULTY = SPEC  # NoSelfLoop is genuinely violated: facts allow self loops
+
+
+@pytest.fixture
+def info():
+    return resolve_module(parse_module(FAULTY))
+
+
+class TestMinimizeInstance:
+    def test_requires_interesting_input(self):
+        instance = make_instance({"A": {("x",)}})
+        with pytest.raises(ValueError):
+            minimize_instance(instance, lambda i: False)
+
+    def test_result_is_still_interesting(self):
+        instance = make_instance(
+            {"A": {("x",), ("y",), ("z",)}, "r": {("x", "y"), ("y", "z")}}
+        )
+
+        def interesting(candidate):
+            return ("x",) in candidate.relation("A")
+
+        result = minimize_instance(instance, interesting)
+        assert interesting(result)
+        assert len(result.relation("A")) == 1
+        assert not result.relation("r")
+
+    def test_local_minimality(self):
+        instance = make_instance({"A": {("x",), ("y",)}})
+
+        def interesting(candidate):
+            return len(candidate.relation("A")) >= 1
+
+        result = minimize_instance(instance, interesting)
+        assert len(result.relation("A")) == 1
+
+
+class TestCounterexampleMinimization:
+    def test_shrinks_analyzer_counterexample(self, info):
+        analyzer = Analyzer(FAULTY)
+        result = analyzer.check_assertion("NoSelfLoop", scope=3)
+        assert result.sat
+        original = result.instance
+        minimized = minimize_counterexample(info, original, "NoSelfLoop")
+        # Still a genuine counterexample...
+        evaluator = Evaluator(info, minimized)
+        assert evaluator.facts_hold()
+        assert not evaluator.assertion_holds("NoSelfLoop")
+        # ...and no larger than the original.
+        original_size = sum(len(t) for t in original.relations.values())
+        minimized_size = sum(len(t) for t in minimized.relations.values())
+        assert minimized_size <= original_size
+
+    def test_minimal_self_loop_is_one_node(self, info):
+        bloated = make_instance(
+            {
+                "Node": {("Node$0",), ("Node$1",), ("Node$2",)},
+                "next": {
+                    ("Node$0", "Node$0"),
+                    ("Node$1", "Node$2"),
+                    ("Node$2", "Node$1"),
+                },
+            }
+        )
+        minimized = minimize_counterexample(info, bloated, "NoSelfLoop")
+        assert len(minimized.relation("Node")) == 1
+        assert len(minimized.relation("next")) == 1
+
+
+class TestFactViolationMinimization:
+    def test_shrinks_negative_test(self):
+        source = (
+            "sig Node { next: set Node }\n"
+            "fact NoLoops { all n: Node | n not in n.next }\n"
+            "pred p { some Node }\nrun p for 2\n"
+        )
+        info = resolve_module(parse_module(source))
+        violating = make_instance(
+            {
+                "Node": {("Node$0",), ("Node$1",)},
+                "next": {("Node$0", "Node$0"), ("Node$0", "Node$1")},
+            }
+        )
+        minimized = minimize_fact_violation(info, violating)
+        assert not Evaluator(info, minimized).facts_hold()
+        assert len(minimized.relation("next")) == 1

@@ -1,0 +1,113 @@
+"""MockGPT edge cases and derived-counterexample reasoning."""
+
+import pytest
+
+from repro.analyzer.instance import make_instance
+from repro.llm.client import Conversation
+from repro.llm.mock_gpt import GPT4_PROFILE, CapabilityProfile, MockGPT
+from repro.alloy.parser import parse_module
+
+SPEC = """
+sig Node { next: lone Node }
+fact Acyclic { all n: Node | n in n.next }
+pred show { some Node }
+assert NoSelf { no n: Node | n in n.next }
+run show for 2 expect 1
+check NoSelf for 2 expect 0
+"""
+
+
+class TestDerivedCounterexamples:
+    def test_derives_counterexample_for_named_assertion(self):
+        gpt = MockGPT(seed=0, profile=GPT4_PROFILE)
+        module = parse_module(SPEC)
+        instances = gpt._derive_counterexamples(module, "NoSelf")
+        assert instances
+        # every derived instance violates the assertion: a self-loop exists
+        for instance in instances:
+            assert any(a == b for a, b in instance.relation("next"))
+
+    def test_unknown_assertion_falls_back_to_all_checks(self):
+        gpt = MockGPT(seed=0, profile=GPT4_PROFILE)
+        module = parse_module(SPEC)
+        instances = gpt._derive_counterexamples(module, "NotThere")
+        assert instances  # falls back to the spec's own check commands
+
+    def test_refutes_fraction(self):
+        module = parse_module(
+            "sig Node { next: lone Node }\n"
+            "fact F { no next }\n"
+        )
+        looped = make_instance({"Node": {("N0",)}, "next": {("N0", "N0")}})
+        assert MockGPT._refutes(module, [looped]) == 1.0
+        empty = make_instance({"Node": {("N0",)}, "next": set()})
+        assert MockGPT._refutes(module, [empty]) == 0.0
+
+
+class TestInsightComposition:
+    def _conv(self, text: str) -> Conversation:
+        conversation = Conversation()
+        conversation.add("user", text)
+        return conversation
+
+    def test_more_hints_raise_insight(self):
+        gpt = MockGPT(seed=0)
+        base = gpt._insight_probability({}, self._conv("x"), None)
+        with_loc = gpt._insight_probability(
+            {"loc": "fact 'F'"}, self._conv("x"), None
+        )
+        with_both = gpt._insight_probability(
+            {"loc": "fact 'F'", "fix": "The quantifier seems wrong."},
+            self._conv("x"),
+            None,
+        )
+        assert base < with_loc < with_both
+
+    def test_vague_fix_hint_penalized(self):
+        gpt = MockGPT(seed=0)
+        sharp = gpt._insight_probability(
+            {"fix": "The quantifier of this constraint seems wrong."},
+            self._conv("x"),
+            None,
+        )
+        vague = gpt._insight_probability(
+            {"fix": "Something may be off somewhere."}, self._conv("x"), None
+        )
+        assert vague < sharp
+
+    def test_loc_pass_interference(self):
+        profile = CapabilityProfile(
+            insight_loc=0.8, insight_pass=0.8, loc_pass_interference=0.3
+        )
+        gpt = MockGPT(seed=0, profile=profile)
+        combined = gpt._insight_probability(
+            {"loc": "fact 'F'", "pass": "X"}, self._conv("x"), None
+        )
+        loc_only = gpt._insight_probability(
+            {"loc": "fact 'F'"}, self._conv("x"), None
+        )
+        assert combined < loc_only
+
+
+class TestMalformedEmission:
+    def test_high_malformed_rate_produces_unparseable(self):
+        from repro.llm.extract import try_extract_module
+        from repro.llm.prompts import (
+            PromptSetting,
+            RepairHints,
+            single_round_prompt,
+        )
+
+        profile = CapabilityProfile(malformed_rate=1.0)
+        failures = 0
+        for seed in range(6):
+            gpt = MockGPT(seed=seed, profile=profile)
+            response = gpt.complete(
+                single_round_prompt(SPEC, PromptSetting.NONE, RepairHints())
+            )
+            module, _ = try_extract_module(response)
+            # Truncated emissions may still accidentally parse as a prefix;
+            # count genuine failures.
+            if module is None or not module.commands:
+                failures += 1
+        assert failures >= 3

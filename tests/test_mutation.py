@@ -1,0 +1,138 @@
+"""Mutation operator tests: validity, coverage, and higher-order search."""
+
+import pytest
+
+from repro.alloy.parser import parse_module
+from repro.alloy.pretty import print_module
+from repro.alloy.resolver import resolve_module
+from repro.repair.mutation import (
+    Mutator,
+    body_paragraph_paths,
+    higher_order_mutants,
+    mutation_points,
+    scope_env_at,
+)
+
+SPEC = """
+sig Node { next: lone Node, tags: set Tag }
+sig Tag {}
+
+fact Shape {
+  all n: Node | n not in n.^next
+  some Node
+}
+
+pred busy[n: Node] { some n.tags }
+
+assert NoSelf { no n: Node | n = n.next }
+
+run { some Node } for 2
+check NoSelf for 2
+"""
+
+
+@pytest.fixture
+def module():
+    return parse_module(SPEC)
+
+
+@pytest.fixture
+def info(module):
+    return resolve_module(module)
+
+
+@pytest.fixture
+def mutator(module, info):
+    return Mutator(module, info)
+
+
+class TestMutationPoints:
+    def test_asserts_are_not_repairable(self, module):
+        paths = body_paragraph_paths(module)
+        paragraphs = [module.paragraphs[p[0][1]] for p in paths]
+        names = [type(p).__name__ for p in paragraphs]
+        assert "AssertDecl" not in names
+        assert "FactDecl" in names and "PredDecl" in names
+
+    def test_points_cover_fields(self, module):
+        points = mutation_points(module)
+        field_points = [p for p in points if any(s[0] == "fields" for s in p)]
+        assert field_points  # field multiplicity mutations available
+
+    def test_points_nonempty(self, module):
+        assert len(mutation_points(module)) > 10
+
+
+class TestScopeEnv:
+    def test_quantifier_binder_visible(self, module, info):
+        points = mutation_points(module)
+        # Find a point inside the quantified body.
+        deep = max(points, key=len)
+        env = scope_env_at(module, info, deep)
+        assert "n" in env or env == {}  # binder visible at deep points
+
+    def test_pred_params_visible(self, module, info):
+        for index, paragraph in enumerate(module.paragraphs):
+            if type(paragraph).__name__ == "PredDecl":
+                path = (("paragraphs", index), ("body", None), ("formulas", 0))
+                env = scope_env_at(module, info, path)
+                assert env.get("n") == 1
+
+
+class TestMutants:
+    def test_all_mutants_resolve(self, mutator):
+        count = 0
+        for mutant in mutator.all_mutants(limit=300):
+            resolve_module(mutant.module)  # must not raise
+            count += 1
+        assert count > 20
+
+    def test_mutants_are_distinct_texts(self, mutator):
+        texts = [print_module(m.module) for m in mutator.all_mutants(limit=300)]
+        assert len(texts) == len(set(texts))
+
+    def test_mutants_differ_from_original(self, module, mutator):
+        original = print_module(module)
+        for mutant in mutator.all_mutants(limit=100):
+            assert print_module(mutant.module) != original
+
+    def test_quantifier_swap_present(self, mutator):
+        descriptions = [m.description for m in mutator.all_mutants(limit=300)]
+        assert any("quantifier" in d for d in descriptions)
+
+    def test_closure_mutations_present(self, mutator):
+        descriptions = [m.description for m in mutator.all_mutants(limit=300)]
+        assert any("closure" in d or "^ -> *" in d for d in descriptions)
+
+    def test_field_multiplicity_mutations_present(self, mutator):
+        descriptions = [m.description for m in mutator.all_mutants(limit=300)]
+        assert any("field" in d for d in descriptions)
+
+    def test_original_module_untouched(self, module, info):
+        before = print_module(module)
+        mutator = Mutator(module, info)
+        list(mutator.all_mutants(limit=100))
+        assert print_module(module) == before
+
+
+class TestHigherOrder:
+    def test_depth_two_produces_combined_descriptions(self, module, info):
+        paths = mutation_points(module)[:4]
+        combined = [
+            m
+            for m in higher_order_mutants(module, info, paths, depth=2, limit=500)
+            if ";" in m.description
+        ]
+        assert combined
+
+    def test_limit_respected(self, module, info):
+        paths = mutation_points(module)
+        mutants = list(
+            higher_order_mutants(module, info, paths, depth=2, limit=50)
+        )
+        assert len(mutants) == 50
+
+    def test_all_higher_order_mutants_resolve(self, module, info):
+        paths = mutation_points(module)[:5]
+        for mutant in higher_order_mutants(module, info, paths, depth=2, limit=120):
+            resolve_module(mutant.module)

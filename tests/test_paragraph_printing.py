@@ -1,0 +1,83 @@
+"""Printing edge cases: commands, scopes, functions, nested arrows."""
+
+import pytest
+
+from repro.alloy.parser import parse_module
+from repro.alloy.pretty import print_module, print_paragraph
+
+
+def reprint(source: str) -> str:
+    return print_module(parse_module(source))
+
+
+class TestCommandPrinting:
+    def test_expect_preserved(self):
+        text = reprint("sig A {}\npred p { some A }\nrun p for 4 expect 1")
+        assert "run p for 4 expect 1" in text
+
+    def test_but_scopes_preserved(self):
+        text = reprint(
+            "sig A {}\nsig B {}\npred p { some A }\n"
+            "run p for 3 but exactly 2 B"
+        )
+        assert "for 3 but exactly 2 B" in text
+
+    def test_multiple_but_scopes(self):
+        text = reprint(
+            "sig A {}\nsig B {}\npred p { some A }\n"
+            "run p for 3 but 2 A, exactly 1 B"
+        )
+        assert "2 A" in text and "exactly 1 B" in text
+
+    def test_anonymous_block_command(self):
+        text = reprint("sig A {}\nrun { some A } for 2")
+        assert "run { some A } for 2" in text
+
+    def test_check_command(self):
+        text = reprint("sig A {}\nassert X { no A }\ncheck X for 5")
+        assert "check X for 5" in text
+
+
+class TestDeclTypePrinting:
+    def test_arrow_with_both_multiplicities(self):
+        text = reprint("sig A {}\nsig M { r: A some -> lone A }")
+        assert "A some -> lone A" in text
+
+    def test_nested_arrow(self):
+        text = reprint("sig A {}\nsig M { r: A -> A -> A }")
+        assert "A -> A -> A" in text
+
+    def test_default_one_multiplicity_printed(self):
+        text = reprint("sig A { f: A }")
+        assert "f: one A" in text
+
+    def test_some_multiplicity(self):
+        text = reprint("sig A { f: some A }")
+        assert "f: some A" in text
+
+
+class TestFunPrinting:
+    def test_zero_param_fun(self):
+        text = reprint("sig A {}\nfun everything: set A { A }")
+        assert "fun everything: set A" in text
+
+    def test_multi_param_fun(self):
+        text = reprint(
+            "sig A { r: set A }\nfun img[x: A, y: A]: set A { x.r + y.r }"
+        )
+        assert "fun img[x: A, y: A]: set A" in text
+
+
+class TestSigPrinting:
+    def test_multi_name_sig(self):
+        text = reprint("sig A, B {}")
+        assert "sig A, B {}" in text
+
+    def test_abstract_one(self):
+        text = reprint("abstract sig P {}\none sig Q extends P {}")
+        assert "abstract sig P {}" in text
+        assert "one sig Q extends P" in text
+
+    def test_print_paragraph_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            print_paragraph(object())  # type: ignore[arg-type]

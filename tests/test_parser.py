@@ -1,0 +1,292 @@
+"""Parser tests: grammar coverage, precedence, and error reporting."""
+
+import pytest
+
+from repro.alloy.errors import ParseError
+from repro.alloy.nodes import (
+    ArrowType,
+    AssertDecl,
+    BinaryExpr,
+    BinOp,
+    BoolBin,
+    CardExpr,
+    Command,
+    Compare,
+    CmpOp,
+    Comprehension,
+    FactDecl,
+    FunCall,
+    FunDecl,
+    ImpliesElse,
+    IntLit,
+    Let,
+    LogicOp,
+    Mult,
+    MultTest,
+    NameExpr,
+    Not,
+    PredCall,
+    PredDecl,
+    Quant,
+    Quantified,
+    SigDecl,
+    UnaryExpr,
+    UnaryType,
+    UnOp,
+)
+from repro.alloy.parser import parse_expr, parse_formula, parse_module
+
+
+class TestSignatures:
+    def test_simple_sig(self):
+        module = parse_module("sig A {}")
+        sig = module.sigs[0]
+        assert sig.names == ["A"]
+        assert not sig.abstract and sig.parent is None
+
+    def test_abstract_sig_with_extends(self):
+        module = parse_module("abstract sig A {}\nsig B extends A {}")
+        assert module.sigs[0].abstract
+        assert module.sigs[1].parent == "A"
+
+    def test_multiplicity_sig(self):
+        module = parse_module("one sig S {}")
+        assert module.sigs[0].mult is Mult.ONE
+
+    def test_multiple_names(self):
+        module = parse_module("sig A, B {}")
+        assert module.sigs[0].names == ["A", "B"]
+
+    def test_field_default_multiplicity_is_one(self):
+        module = parse_module("sig A { f: A }")
+        field = module.sigs[0].fields[0]
+        assert isinstance(field.type, UnaryType)
+        assert field.type.mult is Mult.ONE
+
+    def test_field_set_multiplicity(self):
+        module = parse_module("sig A { f: set A }")
+        assert module.sigs[0].fields[0].type.mult is Mult.SET
+
+    def test_arrow_field(self):
+        module = parse_module("sig A {}\nsig B { f: A -> lone A }")
+        field_type = module.sigs[1].fields[0].type
+        assert isinstance(field_type, ArrowType)
+        assert field_type.right_mult is Mult.LONE
+
+    def test_multiple_fields(self):
+        module = parse_module("sig A { f: set A, g: lone A }")
+        assert [f.name for f in module.sigs[0].fields] == ["f", "g"]
+
+
+class TestParagraphs:
+    def test_fact_with_name(self):
+        module = parse_module("sig A {}\nfact F { some A }")
+        assert module.facts[0].name == "F"
+
+    def test_anonymous_fact(self):
+        module = parse_module("sig A {}\nfact { some A }")
+        assert module.facts[0].name is None
+
+    def test_pred_with_params(self):
+        module = parse_module("sig A {}\npred p[x: A, y: set A] { x in y }")
+        pred = module.preds[0]
+        assert pred.name == "p"
+        assert [d.names for d in pred.params] == [["x"], ["y"]]
+
+    def test_fun(self):
+        module = parse_module("sig A { f: set A }\nfun g[x: A]: set A { x.f }")
+        fun = module.funs[0]
+        assert fun.name == "g"
+        assert isinstance(fun.result, UnaryType)
+
+    def test_assert(self):
+        module = parse_module("sig A {}\nassert X { no A }")
+        assert module.asserts[0].name == "X"
+
+    def test_module_header(self):
+        module = parse_module("module m\nsig A {}")
+        assert module.name == "m"
+
+
+class TestCommands:
+    def test_run_with_scope_and_expect(self):
+        module = parse_module("sig A {}\npred p { some A }\nrun p for 5 expect 1")
+        command = module.commands[0]
+        assert command.kind == "run"
+        assert command.default_scope == 5
+        assert command.expect == 1
+
+    def test_check_with_but(self):
+        module = parse_module(
+            "sig A {}\nsig B {}\nassert X { no A }\n"
+            "check X for 3 but exactly 2 B"
+        )
+        command = module.commands[0]
+        assert command.kind == "check"
+        assert command.sig_scopes[0].sig == "B"
+        assert command.sig_scopes[0].bound == 2
+        assert command.sig_scopes[0].exact
+
+    def test_anonymous_run_block(self):
+        module = parse_module("sig A {}\nrun { some A } for 2")
+        command = module.commands[0]
+        assert command.target is None
+        assert command.block is not None
+
+    def test_default_scope_is_three(self):
+        module = parse_module("sig A {}\npred p { some A }\nrun p")
+        assert module.commands[0].default_scope == 3
+
+
+class TestExpressions:
+    def test_join_left_associative(self):
+        expr = parse_expr("a.b.c")
+        assert isinstance(expr, BinaryExpr) and expr.op is BinOp.JOIN
+        assert isinstance(expr.left, BinaryExpr)
+
+    def test_union_precedence_below_join(self):
+        expr = parse_expr("a + b.c")
+        assert expr.op is BinOp.UNION
+        assert isinstance(expr.right, BinaryExpr)
+
+    def test_product_right_associative(self):
+        expr = parse_expr("a -> b -> c")
+        assert expr.op is BinOp.PRODUCT
+        assert isinstance(expr.right, BinaryExpr)
+
+    def test_intersection_binds_tighter_than_union(self):
+        expr = parse_expr("a + b & c")
+        assert expr.op is BinOp.UNION
+
+    def test_unary_operators(self):
+        assert parse_expr("~r").op is UnOp.TRANSPOSE
+        assert parse_expr("^r").op is UnOp.CLOSURE
+        assert parse_expr("*r").op is UnOp.RCLOSURE
+
+    def test_cardinality(self):
+        expr = parse_expr("#a + 1")
+        assert isinstance(expr, BinaryExpr)
+        assert isinstance(expr.left, CardExpr)
+        assert isinstance(expr.right, IntLit)
+
+    def test_box_join_on_name_becomes_call(self):
+        expr = parse_expr("f[a, b]")
+        assert isinstance(expr, FunCall)
+        assert len(expr.args) == 2
+
+    def test_box_join_on_expr_desugars(self):
+        expr = parse_expr("(a.f)[b]")
+        assert isinstance(expr, BinaryExpr) and expr.op is BinOp.JOIN
+        assert isinstance(expr.left, NameExpr) and expr.left.name == "b"
+
+    def test_comprehension(self):
+        expr = parse_expr("{ x: A | some x }")
+        assert isinstance(expr, Comprehension)
+
+    def test_restrictions(self):
+        assert parse_expr("a <: r").op is BinOp.DOM_RESTRICT
+        assert parse_expr("r :> a").op is BinOp.RAN_RESTRICT
+
+    def test_override(self):
+        assert parse_expr("a ++ b").op is BinOp.OVERRIDE
+
+
+class TestFormulas:
+    def test_comparison(self):
+        formula = parse_formula("a in b")
+        assert isinstance(formula, Compare) and formula.op is CmpOp.IN
+
+    def test_negated_in(self):
+        formula = parse_formula("a not in b")
+        assert isinstance(formula, Not)
+        assert formula.operand.op is CmpOp.IN
+
+    def test_bang_in(self):
+        formula = parse_formula("a !in b")
+        assert isinstance(formula, Compare) and formula.op is CmpOp.NOT_IN
+
+    def test_multiplicity_test(self):
+        formula = parse_formula("lone a.b")
+        assert isinstance(formula, MultTest) and formula.mult is Mult.LONE
+
+    def test_quantifier(self):
+        formula = parse_formula("all x: A | some x")
+        assert isinstance(formula, Quantified)
+        assert formula.quant is Quant.ALL
+
+    def test_quantifier_multiple_binders(self):
+        formula = parse_formula("some x, y: A | x = y")
+        assert formula.decls[0].names == ["x", "y"]
+
+    def test_disjoint_binders(self):
+        formula = parse_formula("all disj x, y: A | x != y")
+        assert formula.decls[0].disj
+
+    def test_some_expr_vs_some_binder(self):
+        assert isinstance(parse_formula("some a.b"), MultTest)
+        assert isinstance(parse_formula("some x: A | some x"), Quantified)
+
+    def test_implies_else(self):
+        formula = parse_formula("a in b implies c in d else d in c")
+        assert isinstance(formula, ImpliesElse)
+
+    def test_precedence_or_iff_implies_and(self):
+        formula = parse_formula("a in b and c in d or e in f")
+        assert isinstance(formula, BoolBin) and formula.op is LogicOp.OR
+
+    def test_implies_right_associative(self):
+        formula = parse_formula("a in b implies c in d implies e in f")
+        assert formula.op is LogicOp.IMPLIES
+        assert formula.right.op is LogicOp.IMPLIES
+
+    def test_let(self):
+        formula = parse_formula("let x = a + b | some x")
+        assert isinstance(formula, Let) and formula.name == "x"
+
+    def test_pred_call_bare_name(self):
+        formula = parse_formula("reachable")
+        assert isinstance(formula, PredCall) and not formula.args
+
+    def test_pred_call_with_args(self):
+        formula = parse_formula("path[a, b]")
+        assert isinstance(formula, PredCall) and len(formula.args) == 2
+
+    def test_parenthesized_formula(self):
+        formula = parse_formula("(a in b) and (c in d)")
+        assert isinstance(formula, BoolBin)
+
+    def test_parenthesized_expr_in_comparison(self):
+        formula = parse_formula("(a + b) in c")
+        assert isinstance(formula, Compare)
+
+    def test_block_formula(self):
+        formula = parse_formula("{ a in b c in d }")
+        assert len(formula.formulas) == 2
+
+    def test_int_comparison(self):
+        formula = parse_formula("#a < 3")
+        assert formula.op is CmpOp.LT
+
+
+class TestErrors:
+    def test_unclosed_brace(self):
+        with pytest.raises(ParseError):
+            parse_module("sig A {")
+
+    def test_missing_expr(self):
+        with pytest.raises(ParseError):
+            parse_formula("a in ")
+
+    def test_trailing_garbage_in_formula(self):
+        with pytest.raises(ParseError):
+            parse_formula("a in b extra")
+
+    def test_bad_top_level(self):
+        with pytest.raises(ParseError):
+            parse_module("wibble A {}")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_module("sig A {}\nsig {}")
+        assert excinfo.value.pos is not None
+        assert excinfo.value.pos.line == 2

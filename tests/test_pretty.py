@@ -1,0 +1,96 @@
+"""Pretty-printer tests: round-tripping and output stability."""
+
+import pytest
+
+from repro.alloy.parser import parse_expr, parse_formula, parse_module
+from repro.alloy.pretty import print_expr, print_formula, print_module
+from repro.benchmarks.models import all_models
+
+
+def round_trip_module(source: str) -> None:
+    module = parse_module(source)
+    text = print_module(module)
+    reparsed = parse_module(text)
+    assert print_module(reparsed) == text, "printing must be a fixpoint"
+
+
+class TestExprPrinting:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a + b",
+            "a - b & c",
+            "(a + b) & c",
+            "a.b.c",
+            "a -> b -> c",
+            "~r",
+            "^r + *r",
+            "#a",
+            "a ++ b",
+            "a <: r",
+            "r :> a",
+            "{ x: A | some x }",
+            "none + univ",
+            "iden & r",
+        ],
+    )
+    def test_expr_round_trip(self, source):
+        expr = parse_expr(source)
+        text = print_expr(expr)
+        assert print_expr(parse_expr(text)) == text
+
+    def test_parentheses_preserved_when_needed(self):
+        expr = parse_expr("(a + b) & c")
+        text = print_expr(expr)
+        reparsed = parse_expr(text)
+        # Structure must match: intersection at the top.
+        assert reparsed.op.value == "&"
+
+
+class TestFormulaPrinting:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a in b",
+            "a !in b",
+            "no a.b",
+            "some x: A | x in b",
+            "all disj x, y: A | x != y",
+            "a in b and c in d or e in f",
+            "a in b implies c in d else d in c",
+            "let x = a | some x",
+            "p[a, b]",
+            "not (a in b)",
+            "#a < 3",
+            "#a = #b",
+        ],
+    )
+    def test_formula_round_trip(self, source):
+        formula = parse_formula(source)
+        text = print_formula(formula)
+        reparsed = parse_formula(text)
+        assert print_formula(reparsed) == text
+
+
+class TestModulePrinting:
+    def test_marriage_round_trip(self, marriage_spec):
+        round_trip_module(marriage_spec)
+
+    def test_hotel_round_trip(self, hotel_spec):
+        round_trip_module(hotel_spec)
+
+    def test_whole_corpus_round_trips(self):
+        for model in all_models():
+            round_trip_module(model.source)
+
+    def test_print_is_deterministic(self, marriage_spec):
+        module = parse_module(marriage_spec)
+        assert print_module(module) == print_module(module)
+
+    def test_module_header_printed(self):
+        module = parse_module("module hotel\nsig A {}")
+        assert print_module(module).startswith("module hotel")
+
+    def test_empty_sig_body(self):
+        module = parse_module("sig A {}")
+        assert "sig A {}" in print_module(module)

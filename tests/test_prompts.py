@@ -1,0 +1,150 @@
+"""Prompt construction tests for single- and multi-round settings."""
+
+from repro.analyzer.instance import make_instance
+from repro.llm.prompts import (
+    AnalyzerReport,
+    CommandReport,
+    FeedbackLevel,
+    PromptSetting,
+    RepairHints,
+    initial_multi_round_prompt,
+    prompt_agent_conversation,
+    render_generic_feedback,
+    render_no_feedback,
+    single_round_prompt,
+)
+
+HINTS = RepairHints(
+    location="fact 'F', constraint 1",
+    fix_description="The quantifier of this constraint seems wrong.",
+    passing_assertion="Safe",
+)
+
+SPEC = "sig A {}\nfact F { some A }"
+
+
+def _user_text(conversation):
+    return "\n".join(m.content for m in conversation.messages if m.role == "user")
+
+
+class TestSingleRoundSettings:
+    def test_loc_fix_includes_both(self):
+        text = _user_text(single_round_prompt(SPEC, PromptSetting.LOC_FIX, HINTS))
+        assert "Bug location:" in text and "Fix description:" in text
+        assert "assertion" not in text.lower() or "pass" not in text
+
+    def test_loc_only(self):
+        text = _user_text(single_round_prompt(SPEC, PromptSetting.LOC, HINTS))
+        assert "Bug location:" in text
+        assert "Fix description:" not in text
+
+    def test_pass_only(self):
+        text = _user_text(single_round_prompt(SPEC, PromptSetting.PASS, HINTS))
+        assert "'Safe' pass" in text
+        assert "Bug location:" not in text
+
+    def test_none_has_no_hints(self):
+        text = _user_text(single_round_prompt(SPEC, PromptSetting.NONE, HINTS))
+        assert "Bug location:" not in text
+        assert "Fix description:" not in text
+        assert "'Safe'" not in text
+
+    def test_loc_pass(self):
+        text = _user_text(single_round_prompt(SPEC, PromptSetting.LOC_PASS, HINTS))
+        assert "Bug location:" in text and "'Safe' pass" in text
+
+    def test_spec_embedded_in_fence(self):
+        text = _user_text(single_round_prompt(SPEC, PromptSetting.NONE, HINTS))
+        assert "```alloy" in text and "sig A {}" in text
+
+    def test_system_prompt_present(self):
+        conversation = single_round_prompt(SPEC, PromptSetting.NONE, HINTS)
+        assert conversation.messages[0].role == "system"
+
+    def test_missing_hints_omitted(self):
+        empty = RepairHints()
+        text = _user_text(single_round_prompt(SPEC, PromptSetting.LOC_FIX, empty))
+        assert "Bug location:" not in text
+
+
+class TestMultiRoundPrompts:
+    def test_initial_prompt_has_no_hints(self):
+        text = _user_text(initial_multi_round_prompt(SPEC))
+        assert "Bug location:" not in text and "```alloy" in text
+
+    def test_initial_prompt_with_pipeline_hint(self):
+        text = _user_text(initial_multi_round_prompt(SPEC, HINTS))
+        assert "Bug location:" in text
+
+
+def _report():
+    instance = make_instance({"A": {("A$0",)}})
+    return AnalyzerReport(
+        compiled=True,
+        commands=[
+            CommandReport(
+                name="ok", kind="run", expected_sat=True, actual_sat=True
+            ),
+            CommandReport(
+                name="Safe",
+                kind="check",
+                expected_sat=False,
+                actual_sat=True,
+                counterexamples=[instance],
+            ),
+        ],
+    )
+
+
+class TestFeedbackRendering:
+    def test_no_feedback_binary(self):
+        report = _report()
+        text = render_no_feedback(report)
+        assert "not correct" in text
+        assert "counterexample" not in text
+
+    def test_no_feedback_success(self):
+        report = AnalyzerReport(compiled=True, commands=[])
+        assert "correct" in render_no_feedback(report)
+
+    def test_generic_feedback_lists_commands(self):
+        text = render_generic_feedback(_report())
+        assert "check Safe" in text and "expected UNSAT, got SAT" in text
+        assert "A = {A$0}" in text  # counterexample body included
+
+    def test_generic_feedback_compile_error(self):
+        report = AnalyzerReport(compiled=False, error="syntax error at line 3")
+        text = render_generic_feedback(report)
+        assert "did not compile" in text and "line 3" in text
+
+    def test_prompt_agent_conversation_structure(self):
+        conversation = prompt_agent_conversation(SPEC, _report())
+        assert "debugging assistant" in conversation.messages[0].content
+        assert "Analyzer report" in conversation.messages[1].content
+
+    def test_all_pass_flag(self):
+        report = _report()
+        assert not report.all_pass
+        good = AnalyzerReport(
+            compiled=True,
+            commands=[
+                CommandReport(
+                    name="x", kind="run", expected_sat=True, actual_sat=True
+                )
+            ],
+        )
+        assert good.all_pass
+
+
+class TestFeedbackLevels:
+    def test_enum_values_match_paper(self):
+        assert [f.value for f in FeedbackLevel] == ["None", "Generic", "Auto"]
+
+    def test_prompt_settings_match_paper(self):
+        assert [s.value for s in PromptSetting] == [
+            "Loc+Fix",
+            "Loc",
+            "Pass",
+            "None",
+            "Loc+Pass",
+        ]

@@ -1,0 +1,137 @@
+"""Property-based tests: random ASTs round-trip through print/parse.
+
+A hypothesis strategy builds random well-formed modules over a fixed
+vocabulary; printing then re-parsing must be a fixpoint, and re-parsing must
+preserve the subtree-kernel fingerprint (the SM metric of a spec against
+itself is exactly 1).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloy.parser import parse_module
+from repro.alloy.pretty import print_module
+from repro.alloy.resolver import resolve_module
+from repro.metrics.syntax_match import syntax_match_modules
+
+SIGS = ["A", "B"]
+FIELDS = ["f", "g"]  # f: A -> set A, g: B -> lone A
+VARS = ["x", "y"]
+
+
+@st.composite
+def unary_expr(draw, depth=2, env=()):
+    choices = list(SIGS) + list(env) + ["none", "univ"]
+    if depth > 0:
+        kind = draw(st.sampled_from(["atom", "binop", "join"]))
+    else:
+        kind = "atom"
+    if kind == "atom":
+        return draw(st.sampled_from(choices))
+    if kind == "join":
+        left = draw(unary_expr(depth=depth - 1, env=env))
+        field = draw(st.sampled_from(FIELDS))
+        return f"({left}).{field}"
+    op = draw(st.sampled_from(["+", "-", "&"]))
+    left = draw(unary_expr(depth=depth - 1, env=env))
+    right = draw(unary_expr(depth=depth - 1, env=env))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def formula(draw, depth=2, env=()):
+    if depth > 0:
+        kind = draw(
+            st.sampled_from(["cmp", "mult", "not", "bin", "quant", "card"])
+        )
+    else:
+        kind = draw(st.sampled_from(["cmp", "mult", "card"]))
+    if kind == "cmp":
+        op = draw(st.sampled_from(["in", "=", "!="]))
+        left = draw(unary_expr(env=env))
+        right = draw(unary_expr(env=env))
+        return f"{left} {op} {right}"
+    if kind == "mult":
+        mult = draw(st.sampled_from(["no", "some", "lone", "one"]))
+        operand = draw(unary_expr(env=env))
+        return f"{mult} {operand}"
+    if kind == "card":
+        operand = draw(unary_expr(env=env))
+        bound = draw(st.integers(min_value=0, max_value=4))
+        op = draw(st.sampled_from(["<", "<=", "=", ">", ">="]))
+        return f"#({operand}) {op} {bound}"
+    if kind == "not":
+        inner = draw(formula(depth=depth - 1, env=env))
+        return f"not ({inner})"
+    if kind == "bin":
+        op = draw(st.sampled_from(["and", "or", "implies", "iff"]))
+        left = draw(formula(depth=depth - 1, env=env))
+        right = draw(formula(depth=depth - 1, env=env))
+        return f"({left}) {op} ({right})"
+    # quant
+    var = next(v for v in VARS if v not in env)
+    quant = draw(st.sampled_from(["all", "some", "no", "lone", "one"]))
+    bound = draw(st.sampled_from(SIGS))
+    body = draw(formula(depth=depth - 1, env=env + (var,)))
+    return f"{quant} {var}: {bound} | {body}"
+
+
+@st.composite
+def module_source(draw):
+    fact_bodies = draw(st.lists(formula(), min_size=1, max_size=3))
+    pred_body = draw(formula())
+    assert_body = draw(formula())
+    lines = [
+        "sig A { f: set A }",
+        "sig B { g: lone A }",
+        "fact Background {",
+        *[f"  {body}" for body in fact_bodies],
+        "}",
+        f"pred scenario {{ {pred_body} }}",
+        f"assert claim {{ {assert_body} }}",
+        "run scenario for 2",
+        "check claim for 2",
+    ]
+    return "\n".join(lines)
+
+
+class TestRoundTrip:
+    @given(module_source())
+    @settings(max_examples=80, deadline=None)
+    def test_print_parse_fixpoint(self, source):
+        module = parse_module(source)
+        printed = print_module(module)
+        reparsed = parse_module(printed)
+        assert print_module(reparsed) == printed
+
+    @given(module_source())
+    @settings(max_examples=60, deadline=None)
+    def test_reparse_preserves_syntax_fingerprint(self, source):
+        module = parse_module(source)
+        reparsed = parse_module(print_module(module))
+        assert syntax_match_modules(reparsed, module) == 1.0
+
+    @given(module_source())
+    @settings(max_examples=60, deadline=None)
+    def test_random_modules_resolve(self, source):
+        resolve_module(parse_module(source))
+
+
+class TestRandomModuleAnalysis:
+    @given(module_source())
+    @settings(max_examples=25, deadline=None)
+    def test_analyzer_never_crashes_and_agrees_with_evaluator(self, source):
+        from repro.alloy.errors import AlloyError
+        from repro.analyzer.analyzer import Analyzer
+        from repro.analyzer.evaluator import Evaluator
+
+        try:
+            analyzer = Analyzer(source)
+            command = analyzer.info.commands[0]
+            result = analyzer.run_command(command, max_instances=3)
+        except AlloyError:
+            return  # budget or semantic limits are acceptable outcomes
+        for instance in result.instances:
+            evaluator = Evaluator(analyzer.info, instance)
+            assert evaluator.facts_hold()
+            assert evaluator.pred_holds("scenario")

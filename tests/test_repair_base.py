@@ -1,0 +1,98 @@
+"""RepairTask / RepairResult / PropertyOracle unit tests."""
+
+import pytest
+
+from repro.alloy.errors import ParseError
+from repro.alloy.nodes import Command
+from repro.repair.base import (
+    PropertyOracle,
+    RepairResult,
+    RepairStatus,
+    RepairTask,
+    RepairTool,
+)
+
+
+class TestRepairTask:
+    def test_from_source(self, linked_list_spec):
+        task = RepairTask.from_source(linked_list_spec)
+        assert task.module.sigs and task.info.commands
+
+    def test_from_module(self, linked_list_spec):
+        from repro.alloy.parser import parse_module
+
+        module = parse_module(linked_list_spec)
+        task = RepairTask.from_module(module)
+        assert "sig Node" in task.source
+
+    def test_bad_source_raises(self):
+        with pytest.raises(ParseError):
+            RepairTask.from_source("sig {")
+
+
+class TestExpectedOutcome:
+    def test_expect_annotation_wins(self, linked_list_spec):
+        task = RepairTask.from_source(linked_list_spec)
+        oracle = PropertyOracle(task)
+        run_cmd = task.info.commands[0]
+        check_cmd = task.info.commands[1]
+        assert oracle.expected_outcome(run_cmd) is True
+        assert oracle.expected_outcome(check_cmd) is False
+
+    def test_defaults_without_annotation(self, linked_list_spec):
+        task = RepairTask.from_source(linked_list_spec)
+        oracle = PropertyOracle(task)
+        assert oracle.expected_outcome(Command(kind="run")) is True
+        assert oracle.expected_outcome(Command(kind="check")) is False
+
+
+class TestWitnesses:
+    def test_witnesses_from_expected_sat_commands(self, linked_list_spec):
+        task = RepairTask.from_source(linked_list_spec)
+        oracle = PropertyOracle(task)
+        witnesses = oracle.witnesses(task.module, max_instances=2)
+        assert witnesses  # the run command is satisfiable
+
+    def test_evaluate_module_rejects_broken_candidate(self, linked_list_spec):
+        from repro.alloy.parser import parse_module
+
+        task = RepairTask.from_source(linked_list_spec)
+        oracle = PropertyOracle(task)
+        # Candidate that dropped the predicate the run command targets.
+        broken = parse_module("sig Node { next: lone Node }")
+        ok, _ = oracle.evaluate_module(broken)
+        assert not ok
+
+
+class TestRepairToolWrapper:
+    def test_alloy_error_becomes_error_status(self, linked_list_spec):
+        class Exploding(RepairTool):
+            name = "Exploding"
+
+            def _repair(self, task):
+                from repro.alloy.errors import AlloyError
+
+                raise AlloyError("boom")
+
+        task = RepairTask.from_source(linked_list_spec)
+        result = Exploding().repair(task)
+        assert result.status is RepairStatus.ERROR
+        assert "boom" in result.detail
+        assert result.elapsed >= 0.0
+
+    def test_elapsed_recorded(self, linked_list_spec):
+        class Instant(RepairTool):
+            name = "Instant"
+
+            def _repair(self, task):
+                return RepairResult(
+                    status=RepairStatus.NOT_FIXED, technique=self.name
+                )
+
+        result = Instant().repair(RepairTask.from_source(linked_list_spec))
+        assert result.technique == "Instant"
+        assert result.elapsed >= 0.0
+
+    def test_base_repair_not_implemented(self, linked_list_spec):
+        with pytest.raises(NotImplementedError):
+            RepairTool()._repair(RepairTask.from_source(linked_list_spec))

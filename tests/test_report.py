@@ -1,0 +1,26 @@
+"""Study report assembly tests (on synthetic matrices, no heavy runs)."""
+
+import pytest
+
+from repro.benchmarks.stats import render_stats, summarize
+from repro.experiments.report import StudyReport
+
+
+class TestStudyReportDataclass:
+    def test_holds_matrices_and_text(self):
+        from repro.experiments.runner import ResultMatrix
+
+        matrix = ResultMatrix(benchmark="arepair", seed=0, scale=1.0)
+        report = StudyReport(arepair=matrix, alloy4fun=matrix, text="hello")
+        assert report.text == "hello"
+        assert report.arepair.benchmark == "arepair"
+
+
+class TestStatsRendering:
+    def test_stats_section_for_generated_suite(self):
+        from repro.benchmarks.suite import build_arepair
+
+        specs = build_arepair(seed=0)
+        text = render_stats(summarize(specs), "ARepair benchmark")
+        assert "38 specifications" in text
+        assert "per fault depth:" in text

@@ -1,0 +1,160 @@
+"""Resolver tests: symbol tables, hierarchy, and arity checking."""
+
+import pytest
+
+from repro.alloy.errors import AlloyTypeError, ResolutionError
+from repro.alloy.parser import parse_expr, parse_formula, parse_module
+from repro.alloy.resolver import INT_ARITY, arity_of, check_formula, resolve_module
+
+
+def resolve(source: str):
+    return resolve_module(parse_module(source))
+
+
+class TestSymbolTables:
+    def test_sig_hierarchy(self):
+        info = resolve(
+            "abstract sig A {}\nsig B extends A {}\nsig C extends A {}"
+        )
+        assert info.sigs["B"].parent == "A"
+        assert sorted(info.sigs["A"].children) == ["B", "C"]
+        assert info.root_of("B") == "A"
+        assert set(info.descendants("A")) == {"A", "B", "C"}
+
+    def test_ancestors(self):
+        info = resolve("sig A {}\nsig B extends A {}\nsig C extends B {}")
+        assert info.ancestors("C") == ["C", "B", "A"]
+
+    def test_field_columns(self):
+        info = resolve("sig A {}\nsig B { f: A -> lone A }")
+        assert info.fields["f"].columns == ("B", "A", "A")
+        assert info.fields["f"].arity == 3
+
+    def test_top_level_sigs(self):
+        info = resolve("sig A {}\nsig B extends A {}\nsig C {}")
+        assert [s.name for s in info.top_level_sigs()] == ["A", "C"]
+
+
+class TestResolutionErrors:
+    def test_duplicate_sig(self):
+        with pytest.raises(ResolutionError):
+            resolve("sig A {}\nsig A {}")
+
+    def test_unknown_parent(self):
+        with pytest.raises(ResolutionError):
+            resolve("sig B extends Missing {}")
+
+    def test_cyclic_hierarchy(self):
+        with pytest.raises(ResolutionError):
+            resolve("sig A extends B {}\nsig B extends A {}")
+
+    def test_duplicate_field_name(self):
+        with pytest.raises(ResolutionError):
+            resolve("sig A { f: A }\nsig B { f: B }")
+
+    def test_field_shadowing_sig(self):
+        with pytest.raises(ResolutionError):
+            resolve("sig A {}\nsig B { A: set A }")
+
+    def test_unknown_name_in_fact(self):
+        with pytest.raises(ResolutionError):
+            resolve("sig A {}\nfact { some missing }")
+
+    def test_run_target_must_be_pred(self):
+        with pytest.raises(ResolutionError):
+            resolve("sig A {}\nrun missing for 3")
+
+    def test_check_target_must_be_assert(self):
+        with pytest.raises(ResolutionError):
+            resolve("sig A {}\ncheck missing for 3")
+
+    def test_run_target_with_params_rejected(self):
+        with pytest.raises(ResolutionError):
+            resolve("sig A {}\npred p[x: A] { some x }\nrun p for 3")
+
+    def test_scope_on_unknown_sig(self):
+        with pytest.raises(ResolutionError):
+            resolve("sig A {}\npred p { some A }\nrun p for 3 but 2 Missing")
+
+
+class TestArity:
+    @pytest.fixture
+    def info(self):
+        return resolve(
+            "sig A { f: set A, r: A -> set A }\npred helper { some A }"
+        )
+
+    def test_sig_arity(self, info):
+        assert arity_of(info, parse_expr("A"), {}) == 1
+
+    def test_field_arities(self, info):
+        assert arity_of(info, parse_expr("f"), {}) == 2
+        assert arity_of(info, parse_expr("r"), {}) == 3
+
+    def test_join_arity(self, info):
+        assert arity_of(info, parse_expr("A.f"), {}) == 1
+        assert arity_of(info, parse_expr("f.f"), {}) == 2
+
+    def test_product_arity(self, info):
+        assert arity_of(info, parse_expr("A -> A"), {}) == 2
+
+    def test_cardinality_is_int(self, info):
+        assert arity_of(info, parse_expr("#A"), {}) == INT_ARITY
+
+    def test_int_addition(self, info):
+        assert arity_of(info, parse_expr("#A + 2"), {}) == INT_ARITY
+
+    def test_env_variables(self, info):
+        assert arity_of(info, parse_expr("x.f"), {"x": 1}) == 1
+
+    def test_transpose_requires_binary(self, info):
+        with pytest.raises(AlloyTypeError):
+            arity_of(info, parse_expr("~A"), {})
+
+    def test_union_arity_mismatch(self, info):
+        with pytest.raises(AlloyTypeError):
+            arity_of(info, parse_expr("A + f"), {})
+
+    def test_join_unary_unary_rejected(self, info):
+        with pytest.raises(AlloyTypeError):
+            arity_of(info, parse_expr("A.A"), {})
+
+    def test_mixed_int_relation_rejected(self, info):
+        with pytest.raises(AlloyTypeError):
+            arity_of(info, parse_expr("#A + A"), {})
+
+    def test_comprehension_arity(self, info):
+        assert arity_of(info, parse_expr("{ x, y: A | x in y.f }"), {}) == 2
+
+
+class TestFormulaChecking:
+    @pytest.fixture
+    def info(self):
+        return resolve("sig A { f: set A }\npred p[x: A] { some x.f }")
+
+    def test_in_requires_same_arity(self, info):
+        with pytest.raises(AlloyTypeError):
+            check_formula(info, parse_formula("A in f"), {})
+
+    def test_int_compare_requires_ints(self, info):
+        with pytest.raises(AlloyTypeError):
+            check_formula(info, parse_formula("A < 3"), {})
+
+    def test_pred_call_arity_checked(self, info):
+        with pytest.raises(AlloyTypeError):
+            check_formula(info, parse_formula("p[A, A]"), {})
+
+    def test_unknown_pred(self, info):
+        with pytest.raises(ResolutionError):
+            check_formula(info, parse_formula("q[A]"), {})
+
+    def test_valid_quantified(self, info):
+        check_formula(info, parse_formula("all x: A | some x.f"), {})
+
+    def test_eq_int_vs_relation_rejected(self, info):
+        with pytest.raises(AlloyTypeError):
+            check_formula(info, parse_formula("#A = A"), {})
+
+    def test_fun_body_arity_must_match(self):
+        with pytest.raises(AlloyTypeError):
+            resolve("sig A { f: set A }\nfun g: set A { f }")

@@ -1,0 +1,85 @@
+"""Dynamic technique selection tests (the paper's future-work extension)."""
+
+import pytest
+
+from repro.benchmarks.models import get_model
+from repro.llm.mock_gpt import GPT4_PROFILE, MockGPT
+from repro.metrics.rep import rep
+from repro.repair.base import RepairTask
+from repro.repair.selector import DynamicSelector, FaultProfile, characterize
+
+TRUTH = get_model("graphs_a").source
+FAULTY_UNDER = TRUTH.replace("n not in n.^adj", "n not in n.adj", 1)
+FAULTY_OVER = TRUTH.replace(
+    "pred connectedPair { some disj a, b: Node | b in a.adj }",
+    "pred connectedPair { some disj a, b: Node | b in a.adj and no Node }",
+)
+
+
+class TestCharacterize:
+    def test_underconstrained_fault_profile(self):
+        profile = characterize(RepairTask.from_source(FAULTY_UNDER))
+        assert profile.failing_commands >= 1
+        assert profile.has_counterexamples
+        assert profile.looks_underconstrained
+
+    def test_overconstrained_fault_profile(self):
+        profile = characterize(RepairTask.from_source(FAULTY_OVER))
+        assert profile.failing_commands >= 1
+        assert profile.looks_overconstrained
+
+    def test_correct_spec_profile(self):
+        profile = characterize(RepairTask.from_source(TRUTH))
+        assert profile.failing_commands == 0
+        assert profile.spec_size > 10
+
+
+class TestPlanning:
+    def test_concentrated_underconstraint_prefers_beafix(self):
+        selector = DynamicSelector(MockGPT(seed=0, profile=GPT4_PROFILE))
+        profile = FaultProfile(
+            failing_commands=1,
+            has_counterexamples=True,
+            top_location_score=1.0,
+            location_concentration=0.8,
+            spec_size=40,
+        )
+        plan = selector.plan(profile)
+        assert plan[0].name == "BeAFix"
+
+    def test_diffuse_underconstraint_prefers_atr(self):
+        selector = DynamicSelector(MockGPT(seed=0, profile=GPT4_PROFILE))
+        profile = FaultProfile(
+            failing_commands=2,
+            has_counterexamples=True,
+            top_location_score=0.5,
+            location_concentration=0.3,
+            spec_size=40,
+        )
+        assert selector.plan(profile)[0].name == "ATR"
+
+    def test_evidence_poor_fault_prefers_llm(self):
+        selector = DynamicSelector(MockGPT(seed=0, profile=GPT4_PROFILE))
+        profile = FaultProfile(
+            failing_commands=1,
+            has_counterexamples=False,
+            top_location_score=0.0,
+            location_concentration=0.0,
+            spec_size=40,
+        )
+        assert selector.plan(profile)[0].name.startswith("Multi-Round")
+
+
+class TestEndToEnd:
+    def test_selector_repairs_underconstraint(self):
+        selector = DynamicSelector(MockGPT(seed=1, profile=GPT4_PROFILE))
+        task = RepairTask.from_source(FAULTY_UNDER)
+        result = selector.repair(task)
+        assert result.fixed
+        assert rep(result.final_source(task), TRUTH) == 1
+        assert result.technique == "Dynamic-Selector"
+
+    def test_selector_reports_chain(self):
+        selector = DynamicSelector(MockGPT(seed=1, profile=GPT4_PROFILE))
+        result = selector.repair(RepairTask.from_source(FAULTY_UNDER))
+        assert "chain:" in result.detail

@@ -1,0 +1,77 @@
+"""Implicit-constraint synthesis tests (field multiplicities)."""
+
+import pytest
+
+from repro.alloy.errors import EvaluationError
+from repro.alloy.parser import parse_module
+from repro.alloy.pretty import print_formula
+from repro.alloy.resolver import resolve_module
+from repro.analyzer.semantics import field_constraints
+
+
+def constraints_for(source: str) -> list[str]:
+    info = resolve_module(parse_module(source))
+    return [print_formula(f) for f in field_constraints(info)]
+
+
+class TestUnaryFields:
+    def test_set_field_has_no_constraint(self):
+        assert constraints_for("sig A { f: set A }") == []
+
+    def test_one_field(self):
+        texts = constraints_for("sig A { f: A }")
+        assert len(texts) == 1
+        assert "one" in texts[0] and "this_" in texts[0]
+
+    def test_lone_field(self):
+        texts = constraints_for("sig A { f: lone A }")
+        assert "lone" in texts[0]
+
+    def test_some_field(self):
+        texts = constraints_for("sig A { f: some A }")
+        assert "some" in texts[0]
+
+
+class TestArrowFields:
+    def test_plain_arrow_no_constraints(self):
+        assert constraints_for("sig A {}\nsig B { f: A -> A }") == []
+
+    def test_right_multiplicity(self):
+        texts = constraints_for("sig A {}\nsig B { f: A -> lone A }")
+        assert len(texts) == 1
+        assert "lone" in texts[0]
+
+    def test_left_multiplicity(self):
+        texts = constraints_for("sig A {}\nsig B { f: A one -> A }")
+        assert len(texts) == 1
+        assert "one" in texts[0]
+
+    def test_both_multiplicities(self):
+        texts = constraints_for("sig A {}\nsig B { f: A some -> lone A }")
+        assert len(texts) == 2
+
+    def test_nested_arrow_all_set_allowed(self):
+        assert constraints_for("sig A {}\nsig B { f: A -> A -> A }") == []
+
+    def test_nested_arrow_with_mult_rejected(self):
+        with pytest.raises(EvaluationError):
+            constraints_for("sig A {}\nsig B { f: A -> A -> lone A }")
+
+
+class TestConstraintsAreWellFormed:
+    def test_constraints_resolve_against_module(self):
+        from repro.alloy.resolver import check_formula
+
+        source = "sig A {}\none sig M { r: A -> lone A, s: some A }"
+        info = resolve_module(parse_module(source))
+        for formula in field_constraints(info):
+            check_formula(info, formula, {})
+
+    def test_corpus_constraints_resolve(self):
+        from repro.alloy.resolver import check_formula
+        from repro.benchmarks.models import all_models
+
+        for model in all_models():
+            info = resolve_module(parse_module(model.source))
+            for formula in field_constraints(info):
+                check_formula(info, formula, {})

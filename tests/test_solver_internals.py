@@ -1,0 +1,87 @@
+"""White-box solver tests: watched-literal invariants, model completeness."""
+
+import random
+
+import pytest
+
+from repro.sat.solver import SatSolver
+
+
+def make_solver(num_vars, clauses):
+    solver = SatSolver()
+    for _ in range(num_vars):
+        solver.new_var()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver
+
+
+class TestModelCompleteness:
+    def test_model_assigns_every_variable(self):
+        solver = make_solver(6, [[1, 2], [-3, 4]])
+        assert solver.solve()
+        model_list = solver.model_list()
+        assert len(model_list) == 6
+        assert {abs(l) for l in model_list} == set(range(1, 7))
+
+    def test_model_list_consistent_with_model_set(self):
+        solver = make_solver(4, [[1], [-2], [3, 4]])
+        assert solver.solve()
+        trues = solver.model()
+        for lit in solver.model_list():
+            assert (abs(lit) in trues) == (lit > 0)
+
+
+class TestWatchInvariant:
+    def test_every_clause_watched_twice(self):
+        rng = random.Random(3)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randint(1, 8) for _ in range(3)]
+            for _ in range(30)
+        ]
+        solver = make_solver(8, clauses)
+        solver.solve()
+        watch_counts: dict[int, int] = {}
+        for lit, indices in solver._watches.items():
+            for index in indices:
+                watch_counts[index] = watch_counts.get(index, 0) + 1
+        for index, clause in enumerate(solver._clauses):
+            if len(clause) >= 2:
+                assert watch_counts.get(index, 0) == 2, (index, clause)
+
+    def test_watched_literals_are_clause_prefix(self):
+        solver = make_solver(5, [[1, 2, 3], [-1, -2, 4], [2, 3, 5]])
+        solver.solve()
+        for index, clause in enumerate(solver._clauses):
+            if len(clause) < 2:
+                continue
+            watchers = [
+                lit for lit, idxs in solver._watches.items() if index in idxs
+            ]
+            assert set(watchers) == {clause[0], clause[1]}
+
+
+class TestIncrementalStress:
+    def test_many_solve_cycles(self):
+        rng = random.Random(11)
+        solver = SatSolver()
+        for _ in range(10):
+            solver.new_var()
+        for round_index in range(40):
+            clause = [
+                rng.choice([1, -1]) * rng.randint(1, 10) for _ in range(3)
+            ]
+            solver.add_clause(clause)
+            result = solver.solve()
+            if not result:
+                break
+        # Whatever happened, the solver must stay usable.
+        solver.add_clause([1, -1])  # tautology is dropped
+        solver.solve()
+
+    def test_unsat_is_sticky(self):
+        solver = make_solver(1, [[1], [-1]])
+        assert not solver.solve()
+        assert not solver.solve()
+        solver.add_clause([1])
+        assert not solver.solve()

@@ -1,0 +1,46 @@
+"""Benchmark statistics tests."""
+
+from repro.benchmarks.stats import classify_fault, render_stats, summarize
+from repro.benchmarks.suite import build_arepair
+
+
+class TestClassification:
+    def test_quantifier(self):
+        assert classify_fault("quantifier all -> some") == "quantifier swap"
+
+    def test_compound_uses_first(self):
+        assert (
+            classify_fault("compare in -> =; name a -> b")
+            == "comparison operator"
+        )
+
+    def test_missing_constraint(self):
+        assert classify_fault("drop conjunct") == "missing constraint"
+
+    def test_unknown(self):
+        assert classify_fault("mystery edit") == "other"
+
+
+class TestSummarize:
+    def test_arepair_suite_stats(self):
+        specs = build_arepair(seed=0)
+        stats = summarize(specs)
+        assert stats.total == 38
+        assert sum(stats.by_domain.values()) == 38
+        assert sum(stats.by_depth.values()) == 38
+        assert sum(stats.by_class.values()) == 38
+        assert stats.spec_lines_min > 5
+        assert stats.spec_lines_mean >= stats.spec_lines_min
+
+    def test_depths_match_config(self):
+        specs = build_arepair(seed=0)
+        stats = summarize(specs)
+        # The ARepair-style config injects depths 1..3.
+        assert set(stats.by_depth) <= {1, 2, 3}
+        assert stats.by_depth[1] >= stats.by_depth.get(3, 0)
+
+    def test_render(self):
+        specs = build_arepair(seed=0)
+        text = render_stats(summarize(specs), "ARepair benchmark")
+        assert "per fault class:" in text
+        assert "Student" in text

@@ -1,0 +1,125 @@
+"""ATR template engine tests."""
+
+import pytest
+
+from repro.alloy.parser import parse_module
+from repro.alloy.pretty import print_module
+from repro.alloy.resolver import resolve_module
+from repro.repair.localization import formula_paths
+from repro.repair.mutation import mutation_points
+from repro.repair.templates import (
+    atomic_candidates,
+    expression_templates,
+    strengthening_candidates,
+    template_candidates,
+)
+
+SPEC = """
+sig Node { next: lone Node, marks: set Mark }
+sig Mark {}
+
+fact Shape {
+  all n: Node | n not in n.next
+}
+
+pred show { some Node }
+assert Deep { no n: Node | n in n.^next }
+
+run show for 3 expect 1
+check Deep for 3 expect 0
+"""
+
+
+@pytest.fixture
+def module():
+    return parse_module(SPEC)
+
+
+@pytest.fixture
+def info(module):
+    return resolve_module(module)
+
+
+class TestAtomicCandidates:
+    def test_unary_candidates_include_sigs(self, info):
+        names = {c.name for c in atomic_candidates(info, {}, 1)}
+        assert {"Node", "Mark"} <= names
+
+    def test_binary_candidates_include_fields(self, info):
+        names = {c.name for c in atomic_candidates(info, {}, 2)}
+        assert {"next", "marks"} <= names
+
+    def test_env_variables_included(self, info):
+        names = {c.name for c in atomic_candidates(info, {"x": 1}, 1)}
+        assert "x" in names
+
+
+class TestExpressionTemplates:
+    def _expr_path(self, module):
+        # Deepest expression inside the fact.
+        points = [
+            p
+            for p in mutation_points(module)
+            if p not in set(formula_paths(module))
+        ]
+        return max(points, key=len)
+
+    def test_templates_resolve(self, module, info):
+        path = self._expr_path(module)
+        produced = list(expression_templates(module, info, path))
+        assert produced
+        for candidate, _ in produced:
+            resolve_module(candidate)
+
+    def test_templates_include_closure(self, module, info):
+        path = self._expr_path(module)
+        descriptions = [d for _, d in expression_templates(module, info, path)]
+        # Binary expressions gain closure/transpose templates.
+        assert descriptions  # at minimum replacement templates exist
+
+
+class TestTemplateCandidates:
+    def test_deduplicated(self, module, info):
+        path = formula_paths(module)[0]
+        texts = [
+            print_module(m.module)
+            for m in template_candidates(module, info, path)
+        ]
+        assert len(texts) == len(set(texts))
+
+    def test_respects_cap(self, module, info):
+        path = formula_paths(module)[0]
+        produced = list(
+            template_candidates(module, info, path, max_per_location=5)
+        )
+        assert len(produced) <= 5
+
+
+class TestStrengthening:
+    def test_adds_fact_from_assertion(self, module, info):
+        produced = list(strengthening_candidates(module, info))
+        assert produced
+        candidate, description = produced[0]
+        assert "Deep" in description
+        assert len(candidate.facts) == len(module.facts) + 1
+
+    def test_strengthened_module_resolves(self, module, info):
+        for candidate, _ in strengthening_candidates(module, info):
+            resolve_module(candidate)
+
+    def test_repairs_dropped_constraint(self):
+        """The signature scenario: a constraint was deleted; the assertion
+        still states it; strengthening recovers it."""
+        from repro.analyzer.analyzer import Analyzer
+
+        faulty = SPEC.replace("all n: Node | n not in n.next\n", "some Node\n")
+        module = parse_module(faulty)
+        info = resolve_module(module)
+        fixed = False
+        for candidate, _ in strengthening_candidates(module, info):
+            analyzer = Analyzer(candidate)
+            results = analyzer.execute_all()
+            if all(r.meets_expectation for r in results):
+                fixed = True
+                break
+        assert fixed

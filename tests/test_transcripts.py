@@ -1,0 +1,77 @@
+"""Transcript recording and replay tests."""
+
+import pytest
+
+from repro.llm.client import Conversation
+from repro.llm.mock_gpt import MockGPT
+from repro.llm.prompts import PromptSetting, RepairHints, single_round_prompt
+from repro.llm.transcripts import ReplayClient, TranscriptRecorder
+
+SPEC = "sig A { f: set A }\nfact F { some f }\npred p { some A }\nrun p for 2"
+
+
+def conversation():
+    return single_round_prompt(SPEC, PromptSetting.NONE, RepairHints())
+
+
+class TestRecorder:
+    def test_records_exchanges(self):
+        recorder = TranscriptRecorder(inner=MockGPT(seed=0))
+        response = recorder.complete(conversation())
+        assert len(recorder.exchanges) == 1
+        assert recorder.exchanges[0].response == response
+        assert recorder.exchanges[0].messages[0]["role"] == "system"
+
+    def test_passthrough_matches_inner(self):
+        direct = MockGPT(seed=5).complete(conversation())
+        recorded = TranscriptRecorder(inner=MockGPT(seed=5)).complete(
+            conversation()
+        )
+        assert direct == recorded
+
+    def test_save_and_load(self, tmp_path):
+        recorder = TranscriptRecorder(inner=MockGPT(seed=1))
+        recorder.complete(conversation())
+        path = tmp_path / "transcript.jsonl"
+        recorder.save(path)
+        loaded = TranscriptRecorder.load_exchanges(path)
+        assert len(loaded) == 1
+        assert loaded[0].response == recorder.exchanges[0].response
+
+
+class TestReplay:
+    def test_replays_recorded_response(self, tmp_path):
+        recorder = TranscriptRecorder(inner=MockGPT(seed=2))
+        original = recorder.complete(conversation())
+        path = tmp_path / "t.jsonl"
+        recorder.save(path)
+        replay = ReplayClient.from_file(path)
+        assert replay.complete(conversation()) == original
+
+    def test_unknown_conversation_raises(self):
+        replay = ReplayClient([])
+        with pytest.raises(KeyError):
+            replay.complete(conversation())
+
+    def test_repair_run_replays_identically(self, tmp_path):
+        """An entire multi-round repair replays bit-for-bit."""
+        from repro.llm.prompts import FeedbackLevel
+        from repro.repair import MultiRoundLLM, RepairTask
+
+        faulty = (
+            "sig Node { next: lone Node }\n"
+            "fact F { all n: Node | n in n.next }\n"
+            "pred p { some Node }\n"
+            "assert X { no n: Node | n in n.next }\n"
+            "run p for 2 expect 1\ncheck X for 2 expect 0\n"
+        )
+        task = RepairTask.from_source(faulty)
+        recorder = TranscriptRecorder(inner=MockGPT(seed=3))
+        first = MultiRoundLLM(recorder, FeedbackLevel.GENERIC).repair(task)
+        path = tmp_path / "run.jsonl"
+        recorder.save(path)
+
+        replay = ReplayClient.from_file(path)
+        second = MultiRoundLLM(replay, FeedbackLevel.GENERIC).repair(task)
+        assert first.status == second.status
+        assert first.candidate_source == second.candidate_source

@@ -1,0 +1,200 @@
+"""Translator tests: the SAT path must agree with the evaluator.
+
+The central property: every instance the analyzer produces satisfies the
+facts and target per the (independent) evaluator, and enumeration counts
+match brute-force expectations on small models.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloy.parser import parse_module
+from repro.analyzer.analyzer import Analyzer
+from repro.analyzer.evaluator import Evaluator
+
+
+def enumerate_all(source: str, command_index: int = 0, limit: int = 200):
+    analyzer = Analyzer(source)
+    command = analyzer.info.commands[command_index]
+    return analyzer, list(analyzer.run_command(command, max_instances=limit).instances)
+
+
+class TestSolverEvaluatorAgreement:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "some Node",
+            "all n: Node | lone n.next",
+            "some n: Node | n.next = n",
+            "no n: Node | n in n.^next",
+            "#Node = 2",
+            "#Node > #Edge",
+            "some disj a, b: Node | a.next = b",
+            "all n: Node | some n.next implies n not in n.next",
+            "some { n: Node | no n.next }",
+            "Node.next in Node",
+            "next.next in next implies some next",
+            "lone n: Node | some n.next",
+        ],
+    )
+    def test_every_instance_satisfies_target(self, body):
+        source = (
+            "sig Node { next: set Node }\nsig Edge {}\n"
+            f"pred target {{ {body} }}\nrun target for 2\n"
+        )
+        analyzer, instances = enumerate_all(source, limit=64)
+        assert instances, f"expected at least one instance for {body!r}"
+        for instance in instances:
+            evaluator = Evaluator(analyzer.info, instance)
+            assert evaluator.pred_holds("target"), instance.describe()
+
+    def test_facts_hold_in_every_instance(self):
+        source = (
+            "sig A { r: set A }\n"
+            "fact F { all a: A | a not in a.r  some A }\n"
+            "pred t { some r }\nrun t for 3\n"
+        )
+        analyzer, instances = enumerate_all(source, limit=64)
+        for instance in instances:
+            assert Evaluator(analyzer.info, instance).facts_hold()
+
+    def test_check_counterexample_violates_assertion(self):
+        source = (
+            "sig A { r: set A }\n"
+            "assert X { all a: A | a not in a.r }\n"
+            "check X for 2\n"
+        )
+        analyzer, instances = enumerate_all(source, limit=5)
+        assert instances
+        for instance in instances:
+            assert not Evaluator(analyzer.info, instance).assertion_holds("X")
+
+
+class TestEnumerationCounts:
+    def test_subset_count(self):
+        # One sig of exactly 2 atoms, one unary predicate set: 4 subsets of S.
+        source = (
+            "sig S {}\nsig P {}\n"
+            "pred t { P in P }\n"
+            "run t for exactly 2 S, 0 P\n"
+        )
+        analyzer, instances = enumerate_all(source, limit=100)
+        assert len(instances) == 1  # P empty, S fixed: unique instance
+
+    def test_function_count(self):
+        # f: S -> one S with exactly 2 S atoms: 4 total functions.
+        source = (
+            "sig S { f: S }\npred t { some S }\nrun t for exactly 2 S\n"
+        )
+        analyzer, instances = enumerate_all(source, limit=100)
+        assert len(instances) == 4
+
+    def test_lone_field_count(self):
+        # f: lone S over exactly 2 atoms: each atom maps to 0..2 -> 9 options.
+        source = (
+            "sig S { f: lone S }\npred t { some S }\nrun t for exactly 2 S\n"
+        )
+        analyzer, instances = enumerate_all(source, limit=100)
+        assert len(instances) == 9
+
+    def test_symmetry_breaking_reduces_presence_patterns(self):
+        # Without exact scope, sig sizes 0..2; presence is downward closed,
+        # so sizes {0,1,2} — three patterns, not four.
+        source = "sig S {}\npred t { no none }\nrun t for 2\n"
+        analyzer, instances = enumerate_all(source, limit=100)
+        sizes = sorted(len(i.relation("S")) for i in instances)
+        assert sizes == [0, 1, 2]
+
+    def test_unsat_run(self):
+        source = "sig S {}\npred t { some S and no S }\nrun t for 3\n"
+        analyzer, instances = enumerate_all(source, limit=5)
+        assert instances == []
+
+
+class TestHierarchyConstraints:
+    def test_abstract_sig_fully_partitioned(self):
+        source = (
+            "abstract sig P {}\nsig A extends P {}\nsig B extends P {}\n"
+            "pred t { some P }\nrun t for 3\n"
+        )
+        analyzer, instances = enumerate_all(source, limit=64)
+        for instance in instances:
+            parent = instance.relation("P")
+            assert parent == instance.relation("A") | instance.relation("B")
+            assert not (instance.relation("A") & instance.relation("B"))
+
+    def test_one_sig_has_exactly_one_atom(self):
+        source = "one sig S {}\nsig T {}\npred t { some T }\nrun t for 3\n"
+        analyzer, instances = enumerate_all(source, limit=64)
+        for instance in instances:
+            assert len(instance.relation("S")) == 1
+
+    def test_field_tuples_respect_column_sigs(self):
+        source = (
+            "abstract sig P {}\nsig A extends P { f: set B }\n"
+            "sig B extends P {}\npred t { some f }\nrun t for 3\n"
+        )
+        analyzer, instances = enumerate_all(source, limit=64)
+        assert instances
+        for instance in instances:
+            a_atoms = {t[0] for t in instance.relation("A")}
+            b_atoms = {t[0] for t in instance.relation("B")}
+            for owner, target in instance.relation("f"):
+                assert owner in a_atoms and target in b_atoms
+
+    def test_field_multiplicity_one_enforced(self):
+        source = "sig S { f: S }\npred t { some S }\nrun t for 3\n"
+        analyzer, instances = enumerate_all(source, limit=200)
+        for instance in instances:
+            atoms = {t[0] for t in instance.relation("S")}
+            for atom in atoms:
+                images = [t for t in instance.relation("f") if t[0] == atom]
+                assert len(images) == 1
+
+    def test_arrow_multiplicity_lone(self):
+        source = (
+            "sig A {}\none sig M { r: A -> lone A }\n"
+            "pred t { some M.r }\nrun t for 2\n"
+        )
+        analyzer, instances = enumerate_all(source, limit=200)
+        assert instances
+        for instance in instances:
+            for left in {t[1] for t in instance.relation("r")}:
+                images = {
+                    t[2] for t in instance.relation("r") if t[1] == left
+                }
+                assert len(images) <= 1
+
+
+@st.composite
+def small_formula(draw):
+    """Random formulas over a fixed two-relation vocabulary."""
+    atoms = ["A", "B", "A.r", "B.r", "r.A", "A + B", "A - B", "A & B"]
+    left = draw(st.sampled_from(atoms))
+    right = draw(st.sampled_from(atoms))
+    op = draw(st.sampled_from(["in", "=", "!="]))
+    shape = draw(st.sampled_from(["cmp", "some", "no", "all"]))
+    if shape == "cmp":
+        return f"{left} {op} {right}"
+    if shape == "some":
+        return f"some {left}"
+    if shape == "no":
+        return f"no {left} & {right}"
+    return f"all x: A | x in {left} + B"
+
+
+class TestPropertySolverVsEvaluator:
+    @given(small_formula())
+    @settings(max_examples=40, deadline=None)
+    def test_instances_always_satisfy_random_targets(self, body):
+        source = (
+            "sig A { r: set B }\nsig B {}\n"
+            f"pred target {{ {body} }}\nrun target for 2\n"
+        )
+        analyzer = Analyzer(source)
+        command = analyzer.info.commands[0]
+        result = analyzer.run_command(command, max_instances=8)
+        for instance in result.instances:
+            evaluator = Evaluator(analyzer.info, instance)
+            assert evaluator.pred_holds("target"), (body, instance.describe())

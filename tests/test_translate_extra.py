@@ -1,0 +1,193 @@
+"""Additional translator coverage: operators the core tests don't reach."""
+
+import pytest
+
+from repro.analyzer.analyzer import Analyzer
+from repro.analyzer.evaluator import Evaluator
+
+
+def solve_pred(source: str, limit: int = 32):
+    analyzer = Analyzer(source)
+    command = analyzer.info.commands[0]
+    result = analyzer.run_command(command, max_instances=limit)
+    return analyzer, result
+
+
+class TestOverrideAndRestrict:
+    def test_override_semantics(self):
+        source = (
+            "sig A { r: set A, s: set A }\n"
+            "pred t { some r and some s and (r ++ s) != r }\n"
+            "run t for 2\n"
+        )
+        analyzer, result = solve_pred(source)
+        assert result.sat
+        for instance in result.instances:
+            evaluator = Evaluator(analyzer.info, instance)
+            assert evaluator.pred_holds("t")
+
+    def test_domain_restriction(self):
+        source = (
+            "sig A { r: set A }\nsig B {}\n"
+            "pred t { some a: A | some (a <: r) and (a <: r) in r }\n"
+            "run t for 2\n"
+        )
+        analyzer, result = solve_pred(source)
+        assert result.sat
+
+    def test_range_restriction(self):
+        source = (
+            "sig A { r: set A }\n"
+            "pred t { some a: A | some (r :> a) }\n"
+            "run t for 2\n"
+        )
+        analyzer, result = solve_pred(source)
+        assert result.sat
+
+
+class TestIntegerTranslation:
+    def test_card_equality_between_relations(self):
+        source = (
+            "sig A {}\nsig B {}\n"
+            "pred t { #A = #B and some A }\n"
+            "run t for 3\n"
+        )
+        analyzer, result = solve_pred(source)
+        assert result.sat
+        for instance in result.instances:
+            assert len(instance.relation("A")) == len(instance.relation("B"))
+
+    def test_card_sum(self):
+        source = (
+            "sig A {}\nsig B {}\n"
+            "pred t { #A + #B = 3 }\n"
+            "run t for 3\n"
+        )
+        analyzer, result = solve_pred(source)
+        assert result.sat
+        for instance in result.instances:
+            total = len(instance.relation("A")) + len(instance.relation("B"))
+            assert total == 3
+
+    def test_card_neq(self):
+        source = "sig A {}\npred t { #A != 2 }\nrun t for 3\n"
+        analyzer, result = solve_pred(source, limit=8)
+        for instance in result.instances:
+            assert len(instance.relation("A")) != 2
+
+    def test_unsupported_int_minus_raises(self):
+        from repro.alloy.errors import AlloyError
+
+        source = "sig A {}\npred t { #A - 1 = 2 }\nrun t for 3\n"
+        analyzer = Analyzer(source)
+        with pytest.raises(AlloyError):
+            analyzer.execute_all()
+
+
+class TestLetAndCalls:
+    def test_let_binding(self):
+        source = (
+            "sig A { r: set A }\n"
+            "pred t { let x = A.r | some x }\n"
+            "run t for 2\n"
+        )
+        analyzer, result = solve_pred(source)
+        assert result.sat
+
+    def test_fun_inlining(self):
+        source = (
+            "sig A { r: set A }\n"
+            "fun image[x: A]: set A { x.r }\n"
+            "pred t { some a: A | some image[a] }\n"
+            "run t for 2\n"
+        )
+        analyzer, result = solve_pred(source)
+        assert result.sat
+
+    def test_pred_call_with_args(self):
+        source = (
+            "sig A { r: set A }\n"
+            "pred linked[x: A, y: A] { y in x.r }\n"
+            "pred t { some disj a, b: A | linked[a, b] }\n"
+            "run t for 2\n"
+        )
+        analyzer, result = solve_pred(source)
+        assert result.sat
+
+    def test_recursive_pred_rejected(self):
+        from repro.alloy.errors import AlloyError
+
+        source = (
+            "sig A {}\n"
+            "pred loop { loop }\n"
+            "run loop for 2\n"
+        )
+        analyzer = Analyzer(source)
+        with pytest.raises(AlloyError):
+            analyzer.execute_all()
+
+
+class TestQuantifierVariants:
+    @pytest.mark.parametrize("quant,expected_counts", [
+        ("lone", {0, 1}),
+        ("one", {1}),
+        ("no", {0}),
+    ])
+    def test_counting_quantifiers(self, quant, expected_counts):
+        source = (
+            "sig A { mark: lone A }\n"
+            f"pred t {{ {quant} a: A | a in a.mark }}\n"
+            "run t for 2\n"
+        )
+        analyzer, result = solve_pred(source, limit=64)
+        assert result.sat
+        for instance in result.instances:
+            self_marked = sum(
+                1
+                for (a,) in instance.relation("A")
+                if (a, a) in instance.relation("mark")
+            )
+            assert self_marked in expected_counts
+
+    def test_nested_quantifiers_with_dependent_bound(self):
+        source = (
+            "sig A { r: set A }\n"
+            "pred t { some a: A | all b: a.r | b != a }\n"
+            "run t for 2\n"
+        )
+        analyzer, result = solve_pred(source)
+        assert result.sat
+        for instance in result.instances:
+            evaluator = Evaluator(analyzer.info, instance)
+            assert evaluator.pred_holds("t")
+
+
+class TestTernaryFields:
+    def test_ternary_field_translation(self):
+        source = (
+            "sig S { t: S -> S }\n"
+            "pred p { some s: S | some s.t }\n"
+            "run p for 2\n"
+        )
+        analyzer, result = solve_pred(source)
+        assert result.sat
+        for instance in result.instances:
+            assert all(len(tup) == 3 for tup in instance.relation("t"))
+
+    def test_ternary_with_arrow_multiplicity(self):
+        source = (
+            "sig S { t: S -> lone S }\n"
+            "pred p { some t }\n"
+            "run p for 2\n"
+        )
+        analyzer, result = solve_pred(source, limit=64)
+        for instance in result.instances:
+            for owner, left in {
+                (tup[0], tup[1]) for tup in instance.relation("t")
+            }:
+                images = {
+                    tup[2]
+                    for tup in instance.relation("t")
+                    if tup[0] == owner and tup[1] == left
+                }
+                assert len(images) <= 1

@@ -1,0 +1,100 @@
+"""Universe/bounds tests: scope resolution and primary-variable layout."""
+
+import pytest
+
+from repro.alloy.errors import ScopeError
+from repro.alloy.nodes import Command, SigScope
+from repro.alloy.parser import parse_module
+from repro.alloy.resolver import resolve_module
+from repro.analyzer.universe import Bounds, Universe, resolve_scopes
+from repro.sat.circuit import TRUE, CircuitBuilder
+from repro.sat.solver import SatSolver
+
+SOURCE = """
+abstract sig P {}
+sig A extends P {}
+sig B extends P {}
+one sig Single {}
+sig Free { link: set Free }
+"""
+
+
+@pytest.fixture
+def info():
+    return resolve_module(parse_module(SOURCE))
+
+
+def command(default=3, scopes=()):
+    return Command(
+        kind="run",
+        block=None,
+        target=None,
+        default_scope=default,
+        sig_scopes=[SigScope(sig=s, bound=b, exact=e) for s, b, e in scopes],
+    )
+
+
+class TestResolveScopes:
+    def test_default_scope_applies_to_top_level(self, info):
+        scopes = resolve_scopes(info, command(default=4))
+        assert scopes["P"].size == 4
+        assert scopes["Free"].size == 4
+
+    def test_one_sig_forced_to_exactly_one(self, info):
+        scopes = resolve_scopes(info, command(default=5))
+        assert scopes["Single"].size == 1 and scopes["Single"].exact
+
+    def test_override(self, info):
+        scopes = resolve_scopes(info, command(scopes=[("Free", 2, True)]))
+        assert scopes["Free"].size == 2 and scopes["Free"].exact
+
+    def test_subsig_scope_rejected(self, info):
+        with pytest.raises(ScopeError):
+            resolve_scopes(info, command(scopes=[("A", 2, False)]))
+
+    def test_subsigs_have_no_own_pool(self, info):
+        scopes = resolve_scopes(info, command())
+        assert "A" not in scopes and "B" not in scopes
+
+
+class TestUniverse:
+    def test_atom_naming(self, info):
+        universe = Universe.build(info, resolve_scopes(info, command(default=2)))
+        assert universe.pools["P"] == ["P$0", "P$1"]
+
+    def test_pool_of_subsig_is_parent_pool(self, info):
+        universe = Universe.build(info, resolve_scopes(info, command(default=2)))
+        assert universe.pool_of(info, "A") == universe.pools["P"]
+
+    def test_atoms_flattened(self, info):
+        universe = Universe.build(info, resolve_scopes(info, command(default=1)))
+        assert len(universe.atoms) == 3  # P$0, Single$0, Free$0
+
+
+class TestBounds:
+    def _bounds(self, info, cmd=None):
+        solver = SatSolver()
+        builder = CircuitBuilder(solver)
+        return Bounds(info, cmd or command(default=2), builder)
+
+    def test_sig_vars_allocated_for_every_sig(self, info):
+        bounds = self._bounds(info)
+        assert set(bounds.sig_vars) == {"P", "A", "B", "Single", "Free"}
+
+    def test_one_sig_membership_is_constant_true(self, info):
+        bounds = self._bounds(info)
+        assert all(h == TRUE for h in bounds.sig_vars["Single"].values())
+
+    def test_exact_scope_pins_membership(self, info):
+        bounds = self._bounds(info, command(scopes=[("Free", 2, True)]))
+        assert all(h == TRUE for h in bounds.sig_vars["Free"].values())
+
+    def test_field_tuples_span_pools(self, info):
+        bounds = self._bounds(info)
+        assert len(bounds.field_vars["link"]) == 4  # 2 x 2 Free atoms
+
+    def test_primary_handles_include_sigs_and_fields(self, info):
+        bounds = self._bounds(info)
+        primary = bounds.primary_handles()
+        assert "link" in primary and "P" in primary
+        assert all(len(t) == 1 for t in primary["P"])
