@@ -21,6 +21,8 @@ from repro.analyzer.instance import Instance
 from repro.analyzer.semantics import field_constraints
 from repro.analyzer.translate import Translator
 from repro.analyzer.universe import Bounds
+from repro.runtime.budget import Budget
+from repro.runtime.errors import BudgetExhaustedError
 from repro.sat.circuit import CircuitBuilder
 from repro.sat.solver import BudgetExceeded, SatSolver
 
@@ -40,6 +42,9 @@ class CommandResult:
     sat: bool
     instances: list[Instance] = field(default_factory=list)
     solve_time: float = 0.0
+    truncated: bool = False
+    """Enumeration stopped early on a budget overrun; the instances listed
+    are valid but possibly incomplete."""
 
     @property
     def instance(self) -> Instance | None:
@@ -68,12 +73,17 @@ class Analyzer:
         self,
         module: Module | str,
         conflict_limit: int | None = DEFAULT_CONFLICT_LIMIT,
+        budget: Budget | None = None,
     ) -> None:
         if isinstance(module, str):
             module = parse_module(module)
         self.module = module
         self.info: ModuleInfo = resolve_module(module)
         self._conflict_limit = conflict_limit
+        self._budget = budget
+        """Optional session-wide budget, charged one step per solver call.
+        Lets a caller bound a whole analysis session (many commands, many
+        enumerated instances) rather than a single solve."""
 
     # -- command execution ------------------------------------------------------
 
@@ -88,10 +98,20 @@ class Analyzer:
         """Execute a single command, returning its result and instances."""
         start = time.perf_counter()
         instances: list[Instance] = []
-        for instance in self.solutions(command):
-            instances.append(instance)
-            if len(instances) >= max_instances:
-                break
+        truncated = False
+        try:
+            for instance in self.solutions(command):
+                instances.append(instance)
+                if len(instances) >= max_instances:
+                    break
+        except AnalysisBudgetError:
+            # A budget overrun part-way through enumeration does not void
+            # the instances already found: the SAT answer stands, only the
+            # enumeration is incomplete.  With zero instances we cannot
+            # distinguish UNSAT from "ran out of budget", so re-raise.
+            if not instances:
+                raise
+            truncated = True
         elapsed = time.perf_counter() - start
         name = command.target or f"{command.kind}#anonymous"
         return CommandResult(
@@ -101,6 +121,7 @@ class Analyzer:
             sat=bool(instances),
             instances=instances,
             solve_time=elapsed,
+            truncated=truncated,
         )
 
     def solutions(
@@ -145,6 +166,11 @@ class Analyzer:
             solver.add_clause(blocking)
 
     def _solve_within_budget(self, solver: SatSolver) -> bool:
+        if self._budget is not None:
+            try:
+                self._budget.charge(1, what="solver call")
+            except BudgetExhaustedError as error:
+                raise AnalysisBudgetError(str(error)) from error
         try:
             return solver.solve(conflict_limit=self._conflict_limit)
         except BudgetExceeded as error:

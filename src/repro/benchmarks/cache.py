@@ -11,9 +11,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 from pathlib import Path
 
 from repro.benchmarks.faults import FaultySpec
+from repro.runtime.errors import CacheCorruptionError
+from repro.runtime.persist import atomic_write_json, load_json
 from repro.benchmarks.suite import (
     ALLOY4FUN_COUNTS,
     AREPAIR_COUNTS,
@@ -24,6 +27,10 @@ from repro.benchmarks.suite import (
 from repro.llm.prompts import RepairHints
 
 _CACHE_ENV = "REPRO_CACHE_DIR"
+
+BENCHMARK_SCHEMA = "repro-benchmark/1"
+"""Stamped into every cache file; bump on any format change so stale
+caches read as misses instead of crashing (or silently skewing) a run."""
 
 
 def cache_dir() -> Path:
@@ -100,12 +107,34 @@ def load_benchmark(
 
     path = cache_dir() / _cache_key(benchmark, seed, counts)
     if use_cache and path.exists():
-        with path.open() as handle:
-            return [_from_json(item) for item in json.load(handle)]
+        try:
+            return _read_cached(path)
+        except CacheCorruptionError as error:
+            # A truncated or stale cache is a miss, never a crash: warn,
+            # discard, regenerate.
+            print(
+                f"warning: discarding unusable benchmark cache: {error}",
+                file=sys.stderr,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     specs = builder(seed=seed, counts=counts)
     if use_cache:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w") as handle:
-            json.dump([_to_json(spec) for spec in specs], handle)
+        atomic_write_json(
+            path, [_to_json(spec) for spec in specs], schema=BENCHMARK_SCHEMA
+        )
     return specs
+
+
+def _read_cached(path: Path) -> list[FaultySpec]:
+    payload = load_json(path, schema=BENCHMARK_SCHEMA)
+    try:
+        return [_from_json(item) for item in payload]
+    except (KeyError, TypeError) as error:
+        raise CacheCorruptionError(
+            f"malformed benchmark record in {path.name}: {error!r}",
+            context={"path": str(path)},
+        ) from error

@@ -18,17 +18,53 @@ from __future__ import annotations
 import argparse
 import sys
 
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_INPUT = 3
+"""The input (file, specification, cache) was unusable."""
+EXIT_INTERNAL = 4
+"""An unclassified crash — almost certainly a bug in this repository."""
+
+
+def _scale_arg(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"scale must be a number, got {text!r}")
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"scale must be in (0, 1], got {value}"
+        )
+    return value
+
+
+def _seed_arg(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"seed must be an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"seed must be non-negative, got {value}")
+    return value
+
 
 def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
-        type=float,
+        type=_scale_arg,
         default=0.05,
         help="fraction of the Alloy4Fun benchmark to run (1.0 = full)",
     )
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seed", type=_seed_arg, default=0)
     parser.add_argument(
         "--no-cache", action="store_true", help="ignore cached results"
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort on the first failing (spec, technique) cell instead of "
+        "isolating it and continuing",
     )
 
 
@@ -59,12 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="describe a generated benchmark")
     stats.add_argument("benchmark", choices=["arepair", "alloy4fun"])
-    stats.add_argument("--scale", type=float, default=0.05)
-    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--scale", type=_scale_arg, default=0.05)
+    stats.add_argument("--seed", type=_seed_arg, default=0)
 
     ablations = sub.add_parser("ablations", help="run the ablation sweeps")
     ablations.add_argument("--samples", type=int, default=5)
-    ablations.add_argument("--seed", type=int, default=0)
+    ablations.add_argument("--seed", type=_seed_arg, default=0)
 
     sub.add_parser("validate-corpus", help="check the ground-truth models")
     return parser
@@ -131,13 +167,14 @@ def _cmd_repair(args) -> int:
 def _matrices(args):
     from repro.experiments import run_matrix
 
+    fail_fast = getattr(args, "fail_fast", False)
     arepair = run_matrix(
         "arepair", scale=1.0, seed=args.seed,
-        use_cache=not args.no_cache, progress=True,
+        use_cache=not args.no_cache, progress=True, fail_fast=fail_fast,
     )
     alloy4fun = run_matrix(
         "alloy4fun", scale=args.scale, seed=args.seed,
-        use_cache=not args.no_cache, progress=True,
+        use_cache=not args.no_cache, progress=True, fail_fast=fail_fast,
     )
     return arepair, alloy4fun
 
@@ -162,6 +199,7 @@ def _cmd_experiment(args) -> int:
             seed=args.seed,
             use_cache=not args.no_cache,
             progress=True,
+            fail_fast=args.fail_fast,
         )
         print(report.text)
         with open("EXPERIMENTS-report.txt", "w") as handle:
@@ -229,8 +267,7 @@ def _cmd_validate_corpus() -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "analyze":
         return _cmd_analyze(args)
     if args.command == "repair":
@@ -242,6 +279,43 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "ablations":
         return _cmd_ablations(args)
     return _cmd_experiment(args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.alloy.errors import AlloyError
+    from repro.runtime.errors import ReproError, classify_exception
+
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: conventional silent exit.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return EXIT_OK
+    except FileNotFoundError as error:
+        print(f"error: no such file: {error.filename or error}", file=sys.stderr)
+        return EXIT_INPUT
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_INPUT
+    except AlloyError as error:
+        print(f"specification error: {error}", file=sys.stderr)
+        return EXIT_INPUT
+    except ReproError as error:
+        print(f"error [{error.code}]: {error}", file=sys.stderr)
+        return EXIT_INPUT
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as error:  # the last-resort guard: no tracebacks to users
+        print(
+            f"internal error [{classify_exception(error)}]: {error}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ from repro.experiments.figure3 import compute_figure3, render_figure3
 from repro.experiments.hybrid import compute_hybrid, render_figure4, render_table2
 from repro.experiments.runner import ResultMatrix, run_matrix
 from repro.experiments.table1 import compute_table1, render_table1
+from repro.runtime.guard import summarize_failures
 
 
 @dataclass
@@ -32,14 +33,17 @@ def generate_report(
     seed: int = 0,
     use_cache: bool = True,
     progress: bool = False,
+    fail_fast: bool = False,
 ) -> StudyReport:
     """Run both benchmarks and render the complete study report."""
     started = time.time()
     arepair = run_matrix(
-        "arepair", scale=1.0, seed=seed, use_cache=use_cache, progress=progress
+        "arepair", scale=1.0, seed=seed, use_cache=use_cache,
+        progress=progress, fail_fast=fail_fast,
     )
     alloy4fun = run_matrix(
-        "alloy4fun", scale=scale, seed=seed, use_cache=use_cache, progress=progress
+        "alloy4fun", scale=scale, seed=seed, use_cache=use_cache,
+        progress=progress, fail_fast=fail_fast,
     )
     matrices = [arepair, alloy4fun]
 
@@ -64,6 +68,19 @@ def generate_report(
     sections.append("")
     sections.append(render_figure4(analysis))
     sections.append("")
+    failures = arepair.failures + alloy4fun.failures
+    if failures:
+        # Crash-isolated cells are scored as misses; surfacing them keeps
+        # a degraded run honest about what it measured.
+        codes = ", ".join(
+            f"{code}×{count}"
+            for code, count in summarize_failures(failures).items()
+        )
+        sections.append(
+            f"WARNING: {len(failures)} (spec, technique) cells failed and "
+            f"were scored as unrepaired [{codes}]"
+        )
+        sections.append("")
     sections.append(f"report generated in {time.time() - started:.0f}s")
     return StudyReport(
         arepair=arepair, alloy4fun=alloy4fun, text="\n".join(sections)

@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sys
 import time
 from dataclasses import dataclass, field
 
 from repro.analyzer.analyzer import Analyzer
 from repro.benchmarks.cache import cache_dir, load_benchmark
 from repro.benchmarks.faults import FaultySpec
+from repro.llm.client import RetryingClient
 from repro.llm.mock_gpt import GPT35_PROFILE, GPT4_PROFILE, MockGPT
 from repro.llm.prompts import FeedbackLevel, PromptSetting
 from repro.metrics.bleu import token_match
@@ -28,7 +30,14 @@ from repro.repair.beafix import BeAFix
 from repro.repair.icebar import Icebar
 from repro.repair.multi_round import MultiRoundLLM
 from repro.repair.single_round import SingleRoundLLM
+from repro.runtime.errors import CacheCorruptionError
+from repro.runtime.guard import FailureRecord, capture_failure, summarize_failures
+from repro.runtime.persist import atomic_write_json, load_json
 from repro.testing.generation import generate_suite
+
+MATRIX_SCHEMA = "repro-matrix/2"
+"""Result-cache schema stamp; bump on any change to the outcome payload so
+old caches read as misses instead of crashing a run."""
 
 TRADITIONAL = ["ARepair", "ICEBAR", "BeAFix", "ATR"]
 SINGLE_ROUND = [f"Single-Round_{s.value}" for s in PromptSetting]
@@ -59,6 +68,9 @@ class ResultMatrix:
     specs: list[FaultySpec] = field(default_factory=list)
     outcomes: dict[str, dict[str, SpecOutcome]] = field(default_factory=dict)
     """spec_id -> technique -> outcome"""
+    failures: list[FailureRecord] = field(default_factory=list)
+    """Crash-isolated cell failures; the corresponding outcomes carry
+    ``status="crashed"`` and count as unrepaired."""
 
     def repaired_ids(self, technique: str) -> set[str]:
         return {
@@ -90,6 +102,10 @@ class ResultMatrix:
     def mean_similarity(self, technique: str, metric: str = "tm") -> float:
         series = self.similarity_series(technique, metric)
         return sum(series) / len(series) if series else 0.0
+
+    def failure_summary(self) -> dict[str, int]:
+        """Count of crash-isolated failures per error code."""
+        return summarize_failures(self.failures)
 
 
 def _seed_for(spec: FaultySpec, technique: str, seed: int) -> int:
@@ -140,11 +156,13 @@ def _make_tool(technique: str, spec: FaultySpec, seed: int):
         return Atr()
     if technique.startswith("Single-Round_"):
         setting = PromptSetting(technique.removeprefix("Single-Round_"))
-        client = MockGPT(seed=tool_seed, profile=GPT35_PROFILE)
+        # The retry wrapper is a pass-through over the offline mock but
+        # keeps the call path identical to a real-API deployment.
+        client = RetryingClient(MockGPT(seed=tool_seed, profile=GPT35_PROFILE))
         return SingleRoundLLM(client, setting, spec.hints)
     if technique.startswith("Multi-Round_"):
         feedback = FeedbackLevel(technique.removeprefix("Multi-Round_"))
-        client = MockGPT(seed=tool_seed, profile=GPT4_PROFILE)
+        client = RetryingClient(MockGPT(seed=tool_seed, profile=GPT4_PROFILE))
         return MultiRoundLLM(client, feedback)
     raise ValueError(f"unknown technique {technique!r}")
 
@@ -175,6 +193,19 @@ def run_spec(
     )
 
 
+def _crashed_outcome(spec: FaultySpec, technique: str) -> SpecOutcome:
+    """The sentinel outcome for a crash-isolated cell: scored as a miss."""
+    return SpecOutcome(
+        spec_id=spec.spec_id,
+        technique=technique,
+        rep=0,
+        tm=0.0,
+        sm=0.0,
+        status="crashed",
+        elapsed=0.0,
+    )
+
+
 def run_matrix(
     benchmark: str,
     scale: float = 1.0,
@@ -182,14 +213,29 @@ def run_matrix(
     techniques: list[str] | None = None,
     use_cache: bool = True,
     progress: bool = False,
+    fail_fast: bool = False,
 ) -> ResultMatrix:
-    """Run (or load from cache) the full technique × spec matrix."""
+    """Run (or load from cache) the full technique × spec matrix.
+
+    Every (spec, technique) cell is crash-isolated: an exception in one
+    cell is captured as a :class:`FailureRecord` plus a ``"crashed"``
+    outcome, and the run continues.  Pass ``fail_fast=True`` (the CI /
+    debugging mode) to propagate the first failure instead.
+    """
     techniques = techniques or ALL_TECHNIQUES
     specs = load_benchmark(benchmark, seed=seed, scale=scale)
     path = cache_dir() / _matrix_key(benchmark, seed, scale, techniques)
     matrix = ResultMatrix(benchmark=benchmark, seed=seed, scale=scale, specs=specs)
     if use_cache and path.exists():
-        _load_outcomes(matrix, path)
+        try:
+            _load_outcomes(matrix, path)
+        except CacheCorruptionError as error:
+            print(
+                f"warning: discarding unusable result cache: {error}",
+                file=sys.stderr,
+            )
+            matrix.outcomes.clear()
+            matrix.failures.clear()
         missing = [
             t
             for t in techniques
@@ -198,25 +244,53 @@ def run_matrix(
         if not missing:
             return matrix
 
-    truth_cache: dict[str, list[bool]] = {}
+    truth_cache: dict[str, list[bool] | None] = {}
     total = len(specs) * len(techniques)
     done = 0
     for spec in specs:
         row = matrix.outcomes.setdefault(spec.spec_id, {})
         if spec.truth_source not in truth_cache:
-            truth_cache[spec.truth_source] = truth_command_outcomes(
-                spec.truth_source
-            )
+            try:
+                truth_cache[spec.truth_source] = truth_command_outcomes(
+                    spec.truth_source
+                )
+            except Exception as error:
+                if fail_fast:
+                    raise
+                matrix.failures.append(
+                    capture_failure(f"{spec.spec_id}:truth-oracle", error)
+                )
+                truth_cache[spec.truth_source] = None
         for technique in techniques:
             if technique in row:
                 done += 1
                 continue
-            row[technique] = run_spec(
-                spec, technique, seed, truth_cache[spec.truth_source]
-            )
+            if truth_cache[spec.truth_source] is None:
+                # The ground truth itself would not analyze; every
+                # technique on this spec is unscorable.
+                row[technique] = _crashed_outcome(spec, technique)
+                done += 1
+                continue
+            try:
+                row[technique] = run_spec(
+                    spec, technique, seed, truth_cache[spec.truth_source]
+                )
+            except Exception as error:
+                if fail_fast:
+                    raise
+                matrix.failures.append(
+                    capture_failure(f"{spec.spec_id}:{technique}", error)
+                )
+                row[technique] = _crashed_outcome(spec, technique)
             done += 1
             if progress and done % 25 == 0:
                 print(f"  [{benchmark}] {done}/{total} outcomes", flush=True)
+    if progress and matrix.failures:
+        print(
+            f"  [{benchmark}] {len(matrix.failures)} isolated failures: "
+            f"{matrix.failure_summary()}",
+            flush=True,
+        )
     if use_cache:
         _save_outcomes(matrix, path)
     return matrix
@@ -234,40 +308,56 @@ def _matrix_key(
 
 
 def _save_outcomes(matrix: ResultMatrix, path) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
-        spec_id: {
-            technique: {
-                "rep": o.rep,
-                "tm": o.tm,
-                "sm": o.sm,
-                "status": o.status,
-                "elapsed": o.elapsed,
+        "outcomes": {
+            spec_id: {
+                technique: {
+                    "rep": o.rep,
+                    "tm": o.tm,
+                    "sm": o.sm,
+                    "status": o.status,
+                    "elapsed": o.elapsed,
+                }
+                for technique, o in row.items()
             }
-            for technique, o in row.items()
-        }
-        for spec_id, row in matrix.outcomes.items()
+            for spec_id, row in matrix.outcomes.items()
+        },
+        "failures": [record.to_json() for record in matrix.failures],
     }
-    with path.open("w") as handle:
-        json.dump(payload, handle)
+    atomic_write_json(path, payload, schema=MATRIX_SCHEMA)
 
 
 def _load_outcomes(matrix: ResultMatrix, path) -> None:
-    with path.open() as handle:
-        payload = json.load(handle)
-    for spec_id, row in payload.items():
-        matrix.outcomes[spec_id] = {
-            technique: SpecOutcome(
-                spec_id=spec_id,
-                technique=technique,
-                rep=data["rep"],
-                tm=data["tm"],
-                sm=data["sm"],
-                status=data["status"],
-                elapsed=data["elapsed"],
-            )
-            for technique, data in row.items()
-        }
+    """Populate ``matrix`` from a cache file.
+
+    Raises :class:`CacheCorruptionError` for anything unusable — a
+    truncated file, a pre-versioning cache, a record missing fields —
+    so the caller regenerates instead of crashing (or worse, reporting
+    on partial garbage).
+    """
+    payload = load_json(path, schema=MATRIX_SCHEMA)
+    try:
+        for spec_id, row in payload["outcomes"].items():
+            matrix.outcomes[spec_id] = {
+                technique: SpecOutcome(
+                    spec_id=spec_id,
+                    technique=technique,
+                    rep=data["rep"],
+                    tm=data["tm"],
+                    sm=data["sm"],
+                    status=data["status"],
+                    elapsed=data["elapsed"],
+                )
+                for technique, data in row.items()
+            }
+        matrix.failures.extend(
+            FailureRecord.from_json(record) for record in payload["failures"]
+        )
+    except (KeyError, TypeError, AttributeError) as error:
+        raise CacheCorruptionError(
+            f"malformed result record in {path.name}: {error!r}",
+            context={"path": str(path)},
+        ) from error
 
 
 def combined_matrices(

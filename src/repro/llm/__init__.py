@@ -1,6 +1,15 @@
 """LLM substrate: client protocol, prompts, response parsing, simulated GPT-4."""
 
-from repro.llm.client import Conversation, LLMClient, Message, UsageStats
+from repro.llm.client import (
+    Conversation,
+    LLMClient,
+    LLMProtocolError,
+    Message,
+    RetryingClient,
+    TransientLLMError,
+    UnreliableClient,
+    UsageStats,
+)
 from repro.llm.extract import (
     ExtractionError,
     extract_module,
@@ -29,12 +38,16 @@ __all__ = [
     "ExtractionError",
     "FeedbackLevel",
     "LLMClient",
+    "LLMProtocolError",
     "Message",
     "MockGPT",
     "PromptSetting",
     "ReplayClient",
+    "RetryingClient",
     "TranscriptRecorder",
+    "TransientLLMError",
     "RepairHints",
+    "UnreliableClient",
     "UsageStats",
     "extract_module",
     "initial_multi_round_prompt",

@@ -9,7 +9,10 @@ be substituted without touching the repair pipelines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Callable, Protocol
+
+from repro.runtime.errors import ReproError, TransientError
+from repro.runtime.retry import RetryPolicy, call_with_retry
 
 
 @dataclass(frozen=True)
@@ -60,3 +63,73 @@ class UsageStats:
         self.requests += 1
         self.prompt_chars += sum(len(m.content) for m in conversation.messages)
         self.completion_chars += len(completion)
+
+
+class TransientLLMError(TransientError):
+    """A retryable transport failure: rate limit, dropped connection,
+    empty completion.  Real API adapters raise this; the retrying client
+    absorbs it."""
+
+    code = "llm.transient"
+
+
+class LLMProtocolError(ReproError):
+    """A non-retryable protocol violation (e.g. a non-string completion)."""
+
+    code = "llm.protocol"
+
+
+@dataclass
+class RetryingClient:
+    """An :class:`LLMClient` decorator adding deterministic retry.
+
+    Wraps any client; transparently retries :class:`TransientError`
+    completions on the policy's backoff schedule.  Over the offline
+    :class:`~repro.llm.mock_gpt.MockGPT` it is a zero-cost pass-through;
+    over a real API adapter it is the production resilience layer.  An
+    empty or non-string completion is treated as transient — the
+    most common real-API glitch — and retried like a dropped connection.
+    """
+
+    inner: LLMClient
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    sleep: Callable[[float], None] | None = None
+    retries: int = 0
+    """Total retries performed, across all requests."""
+
+    def complete(self, conversation: Conversation) -> str:
+        def attempt() -> str:
+            completion = self.inner.complete(conversation)
+            if not isinstance(completion, str):
+                raise LLMProtocolError(
+                    f"completion is {type(completion).__name__}, not str"
+                )
+            if not completion.strip():
+                raise TransientLLMError("empty completion")
+            return completion
+
+        def count(attempt_no: int, delay: float, error: BaseException) -> None:
+            self.retries += 1
+
+        return call_with_retry(
+            attempt, policy=self.policy, sleep=self.sleep, on_retry=count
+        )
+
+
+@dataclass
+class UnreliableClient:
+    """Deterministic chaos injection for tests and resilience drills:
+    every ``failure_period``-th request raises :class:`TransientLLMError`
+    before reaching the wrapped client."""
+
+    inner: LLMClient
+    failure_period: int = 3
+    requests: int = 0
+
+    def complete(self, conversation: Conversation) -> str:
+        self.requests += 1
+        if self.failure_period > 0 and self.requests % self.failure_period == 0:
+            raise TransientLLMError(
+                f"injected transport failure on request {self.requests}"
+            )
+        return self.inner.complete(conversation)

@@ -7,8 +7,10 @@ prose, or emit fragments.  This module reproduces that parser: it tries,
 in order,
 
 1. fenced code blocks (``` with any language tag),
-2. the longest brace-balanced region that starts with an Alloy keyword,
-3. the whole response,
+2. the tail of an *unterminated* fence (models truncated mid-response
+   routinely open a fence and never close it),
+3. the longest brace-balanced region that starts with an Alloy keyword,
+4. the whole response,
 
 and validates each candidate by actually parsing it.
 """
@@ -32,19 +34,44 @@ class ExtractionError(Exception):
     """Raised when no parseable specification can be recovered."""
 
 
+def _unterminated_fence_tail(response: str) -> str | None:
+    """The text after a trailing fence that was opened but never closed.
+
+    An odd number of ``` markers means the last one opens a fence that
+    runs to the end of the response — the signature of a completion cut
+    off by a token limit.  The language tag on the opening line (if any)
+    is dropped.
+    """
+    marks = [m.end() for m in re.finditer(r"```", response)]
+    if len(marks) % 2 == 0:
+        return None
+    tail = response[marks[-1] :]
+    if "\n" in tail:
+        first_line, rest = tail.split("\n", 1)
+        # A bare tag like "alloy" belongs to the fence; anything with
+        # spaces or punctuation is already content.
+        if re.fullmatch(r"[a-zA-Z0-9_+-]*", first_line.strip()):
+            tail = rest
+    return tail if tail.strip() else None
+
+
 def candidate_regions(response: str) -> list[str]:
     """Textual regions that might contain a specification, best-first."""
-    regions: list[str] = []
-    for match in _FENCE_PATTERN.finditer(response):
-        regions.append(match.group(1))
+    # Longest fenced candidates first keeps full specs ahead of snippets
+    # quoted in the explanation.
+    regions = sorted(
+        (match.group(1) for match in _FENCE_PATTERN.finditer(response)),
+        key=len,
+        reverse=True,
+    )
+    tail = _unterminated_fence_tail(response)
+    if tail is not None:
+        regions.append(tail)
     keyword_match = _KEYWORD_PATTERN.search(response)
     if keyword_match is not None:
         regions.append(response[keyword_match.start() :])
     regions.append(response)
-    # Longest candidates first within each tier keeps full specs ahead of
-    # snippets quoted in the explanation.
-    fenced = sorted(regions[: len(regions) - 2], key=len, reverse=True)
-    return fenced + regions[len(fenced) :]
+    return regions
 
 
 def extract_module(response: str) -> Module:

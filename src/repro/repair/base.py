@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.alloy.errors import AlloyError
 from repro.alloy.nodes import Module
+from repro.runtime.errors import classify_exception
 from repro.alloy.parser import parse_module
 from repro.alloy.pretty import print_module
 from repro.alloy.resolver import ModuleInfo, resolve_module
@@ -189,9 +190,14 @@ class RepairTool:
         start = time.perf_counter()
         try:
             result = self._repair(task)
-        except (AlloyError, RecursionError) as error:
+        except Exception as error:
+            # Crash isolation: one pathological spec (or a tool bug) must
+            # cost one repair attempt, not the whole benchmark run.  The
+            # error code keeps the failure classifiable downstream.
             result = RepairResult(
-                status=RepairStatus.ERROR, technique=self.name, detail=str(error)
+                status=RepairStatus.ERROR,
+                technique=self.name,
+                detail=f"[{classify_exception(error)}] {error}",
             )
         result.elapsed = time.perf_counter() - start
         result.technique = self.name

@@ -1,0 +1,37 @@
+"""Cross-cutting resilience runtime.
+
+The production-facing substrate every layer leans on: a unified error
+taxonomy (:mod:`~repro.runtime.errors`), cooperative resource budgets
+(:mod:`~repro.runtime.budget`), deterministic retry
+(:mod:`~repro.runtime.retry`), crash isolation
+(:mod:`~repro.runtime.guard`), and durable atomic persistence
+(:mod:`~repro.runtime.persist`).
+"""
+
+from repro.runtime.budget import Budget
+from repro.runtime.errors import (
+    BudgetExhaustedError,
+    CacheCorruptionError,
+    ReproError,
+    TransientError,
+    classify_exception,
+)
+from repro.runtime.guard import FailureRecord, capture_failure, summarize_failures
+from repro.runtime.persist import atomic_write_json, load_json
+from repro.runtime.retry import RetryPolicy, call_with_retry
+
+__all__ = [
+    "Budget",
+    "BudgetExhaustedError",
+    "CacheCorruptionError",
+    "FailureRecord",
+    "ReproError",
+    "RetryPolicy",
+    "TransientError",
+    "atomic_write_json",
+    "call_with_retry",
+    "capture_failure",
+    "classify_exception",
+    "load_json",
+    "summarize_failures",
+]

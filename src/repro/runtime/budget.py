@@ -1,0 +1,85 @@
+"""Cooperative resource budgets.
+
+The SAT engine already bounds *one* solve call with a conflict limit; a
+:class:`Budget` bounds a whole computation — an analyzer session, a repair
+attempt, a benchmark row — across arbitrarily many solve calls.  Budgets
+are charged in deterministic *steps* (so runs reproduce bit-for-bit) and
+may additionally carry a wall-clock deadline for deployments where
+determinism matters less than latency SLOs.
+
+Charging an exhausted budget raises
+:class:`~repro.runtime.errors.BudgetExhaustedError`; holders that prefer
+to degrade gracefully probe :attr:`Budget.exhausted` instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.runtime.errors import BudgetExhaustedError
+
+
+class Budget:
+    """A deterministic step budget with an optional wall-clock deadline.
+
+    ``steps=None`` means unlimited steps (only the deadline applies);
+    ``wall_seconds=None`` means no deadline.  A budget with neither is
+    legal and never exhausts — useful as a null object.
+    """
+
+    def __init__(
+        self,
+        steps: int | None = None,
+        wall_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if steps is not None and steps < 0:
+            raise ValueError("steps must be non-negative")
+        if wall_seconds is not None and wall_seconds < 0:
+            raise ValueError("wall_seconds must be non-negative")
+        self._steps = steps
+        self._clock = clock
+        self._deadline = clock() + wall_seconds if wall_seconds is not None else None
+        self.spent = 0
+
+    @property
+    def steps(self) -> int | None:
+        return self._steps
+
+    @property
+    def remaining(self) -> int | None:
+        """Steps left, or ``None`` when the step dimension is unlimited."""
+        if self._steps is None:
+            return None
+        return max(self._steps - self.spent, 0)
+
+    @property
+    def exhausted(self) -> bool:
+        """Non-raising probe; does not consume anything."""
+        if self._steps is not None and self.spent >= self._steps:
+            return True
+        if self._deadline is not None and self._clock() >= self._deadline:
+            return True
+        return False
+
+    def charge(self, units: int = 1, what: str = "step") -> None:
+        """Consume ``units`` steps, raising once the budget is exceeded.
+
+        The charge is recorded even when it overruns, so ``spent`` reflects
+        attempted work in failure reports.
+        """
+        self.spent += units
+        if self._steps is not None and self.spent > self._steps:
+            raise BudgetExhaustedError(
+                f"budget exhausted after {self.spent} {what}s (limit {self._steps})",
+                context={"spent": self.spent, "limit": self._steps, "what": what},
+            )
+        if self._deadline is not None and self._clock() > self._deadline:
+            raise BudgetExhaustedError(
+                f"budget deadline passed after {self.spent} {what}s",
+                context={"spent": self.spent, "what": what},
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Budget(spent={self.spent}, steps={self._steps})"

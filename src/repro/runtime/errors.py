@@ -1,0 +1,136 @@
+"""Unified error taxonomy for the whole pipeline.
+
+Every layer of the reproduction has historically raised its own exception
+family (the Alloy front end raises :class:`~repro.alloy.errors.AlloyError`,
+the SAT engine raises :class:`~repro.sat.solver.BudgetExceeded`, the LLM
+response parser raises ``ExtractionError``, ...).  At scale — millions of
+repair attempts across a fleet — the operational question is never "which
+Python type was raised" but "which *class of failure* happened, and how
+often".  This module provides:
+
+- :class:`ReproError`, a base class whose instances carry a stable, dotted
+  *error code* (``"cache.corrupt"``, ``"budget.exhausted"``) plus an
+  arbitrary context mapping for structured logging;
+- :func:`classify_exception`, which maps *any* exception — ours or a
+  stdlib one — onto that code space so failure records aggregate cleanly.
+
+Error codes are dotted paths, most-general segment first.  The first
+segment is the failure domain:
+
+========== ==========================================================
+``spec``    the input specification is malformed (lex/parse/resolve)
+``analysis`` the bounded analyzer could not finish (scope, budget, eval)
+``solver``  the SAT engine itself gave up (conflict budget)
+``llm``     the LLM protocol failed (extraction, transient transport)
+``cache``   persisted state is unreadable
+``io``      the operating system said no
+``runtime`` the Python runtime hit a hard limit (recursion, memory)
+``internal`` anything else — almost always a bug in this repository
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+
+class ReproError(Exception):
+    """Base class for structured errors raised by this repository.
+
+    Subclasses set ``code`` as a class attribute; instances may override it
+    and attach a ``context`` mapping that failure records serialize.
+    """
+
+    code = "internal"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str | None = None,
+        context: Mapping[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+        self.context: dict[str, Any] = dict(context or {})
+
+
+class BudgetExhaustedError(ReproError):
+    """A cooperative resource budget ran out (see :mod:`repro.runtime.budget`)."""
+
+    code = "budget.exhausted"
+
+
+class CacheCorruptionError(ReproError):
+    """A persisted cache file could not be read back.
+
+    Callers treat this as "the cache does not exist": discard and
+    regenerate.  It must never abort a run — a half-written file from a
+    killed process is an expected state, not an invariant violation.
+    """
+
+    code = "cache.corrupt"
+
+
+class TransientError(ReproError):
+    """A failure that is expected to succeed on retry (network blips,
+    rate limits, empty completions).  :mod:`repro.runtime.retry` treats
+    this class — and nothing else — as retryable by default."""
+
+    code = "transient"
+
+
+_ALLOY_CODES = {
+    "LexError": "spec.lex",
+    "ParseError": "spec.parse",
+    "ResolutionError": "spec.resolve",
+    "AlloyTypeError": "spec.type",
+    "ScopeError": "analysis.scope",
+    "AnalysisBudgetError": "analysis.budget",
+    "EvaluationError": "analysis.eval",
+    "AlloyError": "spec.other",
+}
+
+
+def classify_exception(error: BaseException) -> str:
+    """Map any exception onto the stable error-code space.
+
+    Total: every input produces a code; unknown types land in
+    ``internal.<typename>`` so new failure modes surface in aggregates
+    instead of vanishing.
+    """
+    if isinstance(error, ReproError):
+        return error.code
+    name = type(error).__name__
+    # The Alloy front end's hierarchy is matched by name walking the MRO so
+    # that subclasses inherit their nearest ancestor's code.
+    for klass in type(error).__mro__:
+        if klass.__name__ in _ALLOY_CODES and _is_alloy_error(error):
+            return _ALLOY_CODES[klass.__name__]
+    if name == "BudgetExceeded":
+        return "solver.budget"
+    if name == "ExtractionError":
+        return "llm.extract"
+    if isinstance(error, RecursionError):
+        return "runtime.recursion"
+    if isinstance(error, MemoryError):
+        return "runtime.memory"
+    if isinstance(error, json.JSONDecodeError):
+        return "cache.corrupt"
+    if isinstance(error, (FileNotFoundError, PermissionError)):
+        return "io.missing" if isinstance(error, FileNotFoundError) else "io.denied"
+    if isinstance(error, OSError):
+        return "io.error"
+    if isinstance(error, (KeyboardInterrupt, SystemExit)):
+        return "runtime.interrupt"
+    return f"internal.{name}"
+
+
+def _is_alloy_error(error: BaseException) -> bool:
+    try:
+        from repro.alloy.errors import AlloyError
+    except ImportError:  # pragma: no cover - the front end always imports
+        return False
+    return isinstance(error, AlloyError)

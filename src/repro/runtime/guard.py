@@ -1,0 +1,81 @@
+"""Crash isolation: turn exceptions into structured failure records.
+
+A benchmark run is thousands of independent (specification, technique)
+cells; one pathological mutant must cost one cell, not the whole matrix.
+:func:`capture_failure` freezes an exception into a :class:`FailureRecord`
+— error code, type, message, and the tail of the traceback — which the
+runner accumulates and the report surfaces, so failures are *visible*
+without being *fatal*.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+
+from repro.runtime.errors import classify_exception
+
+
+@dataclass
+class FailureRecord:
+    """One captured failure, serializable for caches and reports."""
+
+    where: str
+    """Which unit of work failed, e.g. ``"arepair/addr_1:BeAFix"``."""
+    code: str
+    exception: str
+    message: str
+    traceback_tail: str = ""
+    context: dict = field(default_factory=dict)
+
+    def brief(self) -> str:
+        return f"{self.where}: [{self.code}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "where": self.where,
+            "code": self.code,
+            "exception": self.exception,
+            "message": self.message,
+            "traceback_tail": self.traceback_tail,
+            "context": self.context,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FailureRecord":
+        return cls(
+            where=data["where"],
+            code=data["code"],
+            exception=data["exception"],
+            message=data["message"],
+            traceback_tail=data.get("traceback_tail", ""),
+            context=data.get("context", {}),
+        )
+
+
+def capture_failure(
+    where: str, error: BaseException, tail_lines: int = 4
+) -> FailureRecord:
+    """Freeze ``error`` into a record; never raises."""
+    tail = ""
+    tb = error.__traceback__
+    if tb is not None:
+        frames = traceback.format_tb(tb)
+        tail = "".join(frames[-tail_lines:]).rstrip()
+    context = dict(getattr(error, "context", {}) or {})
+    return FailureRecord(
+        where=where,
+        code=classify_exception(error),
+        exception=type(error).__name__,
+        message=str(error) or type(error).__name__,
+        traceback_tail=tail,
+        context=context,
+    )
+
+
+def summarize_failures(failures: list[FailureRecord]) -> dict[str, int]:
+    """Aggregate count per error code — the ops-dashboard view."""
+    counts: dict[str, int] = {}
+    for record in failures:
+        counts[record.code] = counts.get(record.code, 0) + 1
+    return dict(sorted(counts.items()))

@@ -1,0 +1,78 @@
+"""Durable JSON persistence: atomic writes, schema stamps, tolerant reads.
+
+Both cache layers (generated benchmarks, result matrices) share the same
+failure modes: a process killed mid-write leaves a truncated file; a
+format change leaves an incompatible one.  The contract here is
+
+- :func:`atomic_write_json` never exposes a half-written file — it writes
+  to a temporary sibling and atomically renames over the target;
+- :func:`load_json` never returns garbage — anything unreadable,
+  unparsable, or stamped with a different schema raises
+  :class:`~repro.runtime.errors.CacheCorruptionError`, which callers
+  treat as a cache miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.runtime.errors import CacheCorruptionError
+
+_SCHEMA_KEY = "schema"
+_DATA_KEY = "data"
+
+
+def atomic_write_json(path: Path, payload: Any, schema: str | None = None) -> None:
+    """Serialize ``payload`` to ``path`` without ever exposing a partial file.
+
+    With ``schema``, the payload is wrapped in an envelope that
+    :func:`load_json` verifies on the way back in.
+    """
+    if schema is not None:
+        payload = {_SCHEMA_KEY: schema, _DATA_KEY: payload}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with tmp.open("w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # only on a failed dump/replace
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+
+def load_json(path: Path, schema: str | None = None) -> Any:
+    """Read JSON back, raising :class:`CacheCorruptionError` on any defect.
+
+    "Defect" covers unreadable files, invalid JSON, and — when ``schema``
+    is given — a missing envelope or a different schema stamp (an *old*
+    cache is as unusable as a corrupt one).
+    """
+    try:
+        with path.open() as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise CacheCorruptionError(
+            f"unreadable cache file {path.name}: {error}",
+            context={"path": str(path)},
+        ) from error
+    if schema is None:
+        return payload
+    if not isinstance(payload, dict) or _SCHEMA_KEY not in payload:
+        raise CacheCorruptionError(
+            f"cache file {path.name} has no schema stamp",
+            context={"path": str(path), "expected": schema},
+        )
+    found = payload[_SCHEMA_KEY]
+    if found != schema:
+        raise CacheCorruptionError(
+            f"cache file {path.name} has schema {found!r}, expected {schema!r}",
+            context={"path": str(path), "found": found, "expected": schema},
+        )
+    return payload.get(_DATA_KEY)

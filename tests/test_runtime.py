@@ -1,0 +1,238 @@
+"""Unit tests for the resilience runtime: errors, budgets, retry, guard,
+persistence."""
+
+import json
+
+import pytest
+
+from repro.alloy.errors import (
+    AnalysisBudgetError,
+    LexError,
+    ParseError,
+    ResolutionError,
+)
+from repro.llm.extract import ExtractionError
+from repro.runtime import (
+    Budget,
+    BudgetExhaustedError,
+    CacheCorruptionError,
+    FailureRecord,
+    ReproError,
+    RetryPolicy,
+    TransientError,
+    atomic_write_json,
+    call_with_retry,
+    capture_failure,
+    classify_exception,
+    load_json,
+    summarize_failures,
+)
+from repro.sat.solver import BudgetExceeded
+
+
+class TestClassifyException:
+    @pytest.mark.parametrize(
+        "error, code",
+        [
+            (LexError("bad char"), "spec.lex"),
+            (ParseError("unexpected token"), "spec.parse"),
+            (ResolutionError("unknown name"), "spec.resolve"),
+            (AnalysisBudgetError("over budget"), "analysis.budget"),
+            (BudgetExceeded("too many conflicts"), "solver.budget"),
+            (ExtractionError("nothing parsed"), "llm.extract"),
+            (RecursionError(), "runtime.recursion"),
+            (MemoryError(), "runtime.memory"),
+            (FileNotFoundError("gone"), "io.missing"),
+            (ValueError("odd"), "internal.ValueError"),
+        ],
+    )
+    def test_known_types(self, error, code):
+        assert classify_exception(error) == code
+
+    def test_repro_error_uses_its_own_code(self):
+        assert classify_exception(CacheCorruptionError("x")) == "cache.corrupt"
+        assert classify_exception(ReproError("x", code="custom.code")) == "custom.code"
+
+    def test_json_decode_error(self):
+        try:
+            json.loads("{nope")
+        except json.JSONDecodeError as error:
+            assert classify_exception(error) == "cache.corrupt"
+
+    def test_total_over_unknown_types(self):
+        class Weird(Exception):
+            pass
+
+        assert classify_exception(Weird()) == "internal.Weird"
+
+
+class TestBudget:
+    def test_charges_until_exhausted(self):
+        budget = Budget(steps=3)
+        budget.charge()
+        budget.charge(2)
+        assert budget.remaining == 0
+        with pytest.raises(BudgetExhaustedError):
+            budget.charge()
+        assert budget.spent == 4
+
+    def test_unlimited_budget_never_exhausts(self):
+        budget = Budget()
+        for _ in range(1000):
+            budget.charge()
+        assert not budget.exhausted
+        assert budget.remaining is None
+
+    def test_exhausted_probe_does_not_consume(self):
+        budget = Budget(steps=1)
+        assert not budget.exhausted
+        budget.charge()
+        assert budget.exhausted
+        assert budget.spent == 1
+
+    def test_wall_deadline_with_injected_clock(self):
+        now = [0.0]
+        budget = Budget(wall_seconds=10.0, clock=lambda: now[0])
+        budget.charge()
+        now[0] = 11.0
+        assert budget.exhausted
+        with pytest.raises(BudgetExhaustedError):
+            budget.charge()
+
+    def test_rejects_negative_limits(self):
+        with pytest.raises(ValueError):
+            Budget(steps=-1)
+        with pytest.raises(ValueError):
+            Budget(wall_seconds=-0.1)
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientError("blip")
+            return "ok"
+
+        assert call_with_retry(flaky, policy=RetryPolicy(attempts=3)) == "ok"
+        assert len(calls) == 3
+
+    def test_exhausted_attempts_propagate_the_real_error(self):
+        def always_fails():
+            raise TransientError("persistent blip")
+
+        with pytest.raises(TransientError, match="persistent blip"):
+            call_with_retry(always_fails, policy=RetryPolicy(attempts=2))
+
+    def test_non_transient_errors_are_not_retried(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError):
+            call_with_retry(broken)
+        assert len(calls) == 1
+
+    def test_backoff_schedule_is_deterministic_and_capped(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.3)
+        assert policy.schedule() == [0.1, 0.2, 0.3, 0.3]
+
+    def test_sleep_and_hook_receive_the_schedule(self):
+        slept = []
+        seen = []
+
+        def flaky():
+            if len(slept) < 2:
+                raise TransientError("blip")
+            return 42
+
+        result = call_with_retry(
+            flaky,
+            policy=RetryPolicy(attempts=3, base_delay=1.0, multiplier=3.0,
+                               max_delay=10.0),
+            sleep=slept.append,
+            on_retry=lambda attempt, delay, error: seen.append((attempt, delay)),
+        )
+        assert result == 42
+        assert slept == [1.0, 3.0]
+        assert seen == [(1, 1.0), (2, 3.0)]
+
+    def test_policy_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+
+class TestGuard:
+    def test_capture_failure_freezes_code_type_and_message(self):
+        try:
+            raise ParseError("unexpected token")
+        except ParseError as error:
+            record = capture_failure("spec_1:BeAFix", error)
+        assert record.where == "spec_1:BeAFix"
+        assert record.code == "spec.parse"
+        assert record.exception == "ParseError"
+        assert "unexpected token" in record.message
+        assert "raise ParseError" in record.traceback_tail
+
+    def test_capture_failure_includes_context(self):
+        error = BudgetExhaustedError("over", context={"spent": 5, "limit": 3})
+        record = capture_failure("x", error)
+        assert record.context == {"spent": 5, "limit": 3}
+
+    def test_round_trips_through_json(self):
+        record = FailureRecord(
+            where="a:b", code="spec.parse", exception="ParseError",
+            message="boom", traceback_tail="tb", context={"k": 1},
+        )
+        assert FailureRecord.from_json(record.to_json()) == record
+
+    def test_summarize_counts_per_code(self):
+        records = [
+            FailureRecord("a", "spec.parse", "E", "m"),
+            FailureRecord("b", "spec.parse", "E", "m"),
+            FailureRecord("c", "solver.budget", "E", "m"),
+        ]
+        assert summarize_failures(records) == {"solver.budget": 1, "spec.parse": 2}
+
+
+class TestPersist:
+    def test_round_trip_with_schema(self, tmp_path):
+        path = tmp_path / "cache.json"
+        atomic_write_json(path, {"a": [1, 2]}, schema="test/1")
+        assert load_json(path, schema="test/1") == {"a": [1, 2]}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "cache.json"
+        atomic_write_json(path, [1, 2, 3])
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+
+    def test_truncated_file_raises_corruption(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text('{"schema": "test/1", "data": [1, 2')  # killed mid-write
+        with pytest.raises(CacheCorruptionError):
+            load_json(path, schema="test/1")
+
+    def test_wrong_schema_raises_corruption(self, tmp_path):
+        path = tmp_path / "cache.json"
+        atomic_write_json(path, [1], schema="test/1")
+        with pytest.raises(CacheCorruptionError, match="schema"):
+            load_json(path, schema="test/2")
+
+    def test_unstamped_file_raises_when_schema_expected(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("[1, 2, 3]")  # pre-versioning format
+        with pytest.raises(CacheCorruptionError, match="no schema stamp"):
+            load_json(path, schema="test/1")
+
+    def test_missing_file_raises_corruption_not_oserror(self, tmp_path):
+        with pytest.raises(CacheCorruptionError):
+            load_json(tmp_path / "absent.json")
+
+    def test_unwrapped_mode_round_trips(self, tmp_path):
+        path = tmp_path / "plain.json"
+        atomic_write_json(path, {"x": 1})
+        assert load_json(path) == {"x": 1}
