@@ -8,6 +8,8 @@ rows.
 
 ``REPRO_BENCH_SCALE`` (default 0.02) controls the Alloy4Fun sample used by
 the benchmark harness; set it to 1.0 to regenerate the paper-sized run.
+``REPRO_BENCH_JOBS`` (default 1) fans the matrix out over that many
+workers — results are identical, only wall-clock changes.
 """
 
 from __future__ import annotations
@@ -16,23 +18,33 @@ import os
 
 import pytest
 
-from repro.experiments.runner import run_matrix
+from repro.experiments.progress import ConsoleListener
+from repro.experiments.runner import RunConfig, run_matrix
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")
 def arepair_matrix():
     """The full ARepair-benchmark matrix (38 specs × 12 techniques)."""
-    return run_matrix("arepair", scale=1.0, seed=BENCH_SEED, progress=True)
+    return run_matrix(
+        RunConfig(
+            benchmark="arepair", scale=1.0, seed=BENCH_SEED,
+            jobs=BENCH_JOBS, listener=ConsoleListener(),
+        )
+    )
 
 
 @pytest.fixture(scope="session")
 def alloy4fun_matrix():
     """A scaled Alloy4Fun matrix (``REPRO_BENCH_SCALE`` of 1,936 specs)."""
     return run_matrix(
-        "alloy4fun", scale=BENCH_SCALE, seed=BENCH_SEED, progress=True
+        RunConfig(
+            benchmark="alloy4fun", scale=BENCH_SCALE, seed=BENCH_SEED,
+            jobs=BENCH_JOBS, listener=ConsoleListener(),
+        )
     )
 
 

@@ -9,8 +9,10 @@ Commands:
 - ``repro validate-corpus`` — check the ground-truth model corpus.
 
 Experiment commands accept ``--scale`` (fraction of the Alloy4Fun benchmark,
-default 0.05 for laptop-friendly runs; 1.0 is the paper-sized benchmark) and
-``--seed``.
+default 0.05 for laptop-friendly runs; 1.0 is the paper-sized benchmark),
+``--seed``, ``--jobs N`` (parallel workers; results are bit-identical to a
+serial run), ``--executor`` (force a backend), and ``--techniques`` (a
+comma-separated subset of registered techniques).
 """
 
 from __future__ import annotations
@@ -49,6 +51,31 @@ def _seed_arg(text: str) -> int:
     return value
 
 
+def _jobs_arg(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"jobs must be an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {value}")
+    return value
+
+
+def _techniques_arg(text: str) -> tuple[str, ...]:
+    from repro.repair import registry
+
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    if not names:
+        raise argparse.ArgumentTypeError("techniques list is empty")
+    unknown = [name for name in names if not registry.is_registered(name)]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown technique(s): {', '.join(unknown)} "
+            f"(registered: {', '.join(registry.names())})"
+        )
+    return names
+
+
 def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -65,6 +92,28 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="abort on the first failing (spec, technique) cell instead of "
         "isolating it and continuing",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help="parallel workers for the experiment engine (results are "
+        "bit-identical to a serial run)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process"],
+        default="auto",
+        help="execution backend; auto = serial for --jobs 1, "
+        "process pool otherwise",
+    )
+    parser.add_argument(
+        "--techniques",
+        type=_techniques_arg,
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated subset of registered techniques "
+        "(default: all twelve standard techniques)",
     )
 
 
@@ -84,8 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument(
         "--technique",
         default="ATR",
-        help="ATR, BeAFix, ARepair, ICEBAR, Single-Round_<setting>, "
-        "Multi-Round_<feedback>",
+        help="any registered technique: ATR, BeAFix, ARepair, ICEBAR, "
+        "Single-Round_<setting>, Multi-Round_<feedback>, Dynamic",
     )
     repair.add_argument("--seed", type=int, default=0)
 
@@ -101,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
     ablations = sub.add_parser("ablations", help="run the ablation sweeps")
     ablations.add_argument("--samples", type=int, default=5)
     ablations.add_argument("--seed", type=_seed_arg, default=0)
+    ablations.add_argument(
+        "--parallel",
+        action="store_true",
+        help="also sweep experiment-engine parallelism (times a small "
+        "matrix at --jobs 1/2/4)",
+    )
 
     sub.add_parser("validate-corpus", help="check the ground-truth models")
     return parser
@@ -121,40 +176,34 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_repair(args) -> int:
-    from repro.llm.mock_gpt import GPT35_PROFILE, GPT4_PROFILE, MockGPT
-    from repro.llm.prompts import FeedbackLevel, PromptSetting, RepairHints
-    from repro.repair import (
-        ARepair,
-        Atr,
-        BeAFix,
-        Icebar,
-        MultiRoundLLM,
-        RepairTask,
-        SingleRoundLLM,
-    )
-    from repro.analyzer import Analyzer
-    from repro.testing import generate_suite
+    from pathlib import Path
+
+    from repro.benchmarks.faults import FaultySpec
+    from repro.llm.prompts import RepairHints
+    from repro.repair import RepairTask, registry
 
     with open(args.file) as handle:
         source = handle.read()
     task = RepairTask.from_source(source)
     technique = args.technique
-    if technique == "ATR":
-        tool = Atr()
-    elif technique == "BeAFix":
-        tool = BeAFix()
-    elif technique in ("ARepair", "ICEBAR"):
-        suite = generate_suite(Analyzer(source), seed=args.seed)
-        tool = ARepair(suite) if technique == "ARepair" else Icebar(suite)
-    elif technique.startswith("Single-Round_"):
-        setting = PromptSetting(technique.removeprefix("Single-Round_"))
-        tool = SingleRoundLLM(
-            MockGPT(seed=args.seed, profile=GPT35_PROFILE), setting, RepairHints()
-        )
-    elif technique.startswith("Multi-Round_"):
-        feedback = FeedbackLevel(technique.removeprefix("Multi-Round_"))
-        tool = MultiRoundLLM(MockGPT(seed=args.seed, profile=GPT4_PROFILE), feedback)
-    else:
+    # An ad-hoc file has no separate ground truth and no curated hints:
+    # the spec doubles as its own oracle source (suite generation reads
+    # truth_source), hints stay empty.
+    name = Path(args.file).stem
+    spec = FaultySpec(
+        spec_id=name,
+        benchmark="adhoc",
+        domain="adhoc",
+        model_name=name,
+        faulty_source=source,
+        truth_source=source,
+        fault_description="",
+        depth=0,
+        hints=RepairHints(),
+    )
+    try:
+        tool = registry.create(technique, spec, args.seed)
+    except ValueError:
         print(f"unknown technique {technique!r}", file=sys.stderr)
         return 2
     result = tool.repair(task)
@@ -165,16 +214,22 @@ def _cmd_repair(args) -> int:
 
 
 def _matrices(args):
-    from repro.experiments import run_matrix
+    from repro.experiments import ConsoleListener, RunConfig, run_matrix
 
+    listener = ConsoleListener()
     fail_fast = getattr(args, "fail_fast", False)
-    arepair = run_matrix(
-        "arepair", scale=1.0, seed=args.seed,
-        use_cache=not args.no_cache, progress=True, fail_fast=fail_fast,
+    common = dict(
+        seed=args.seed,
+        techniques=args.techniques,
+        jobs=args.jobs,
+        executor=args.executor,
+        use_cache=not args.no_cache,
+        fail_fast=fail_fast,
+        listener=listener,
     )
+    arepair = run_matrix(RunConfig(benchmark="arepair", scale=1.0, **common))
     alloy4fun = run_matrix(
-        "alloy4fun", scale=args.scale, seed=args.seed,
-        use_cache=not args.no_cache, progress=True, fail_fast=fail_fast,
+        RunConfig(benchmark="alloy4fun", scale=args.scale, **common)
     )
     return arepair, alloy4fun
 
@@ -200,6 +255,8 @@ def _cmd_experiment(args) -> int:
             use_cache=not args.no_cache,
             progress=True,
             fail_fast=args.fail_fast,
+            jobs=args.jobs,
+            executor=args.executor,
         )
         print(report.text)
         with open("EXPERIMENTS-report.txt", "w") as handle:
@@ -208,13 +265,20 @@ def _cmd_experiment(args) -> int:
         return 0
 
     arepair, alloy4fun = _matrices(args)
+    techniques = list(args.techniques) if args.techniques else None
     sections: list[str] = []
     if args.command in ("table1", "all"):
-        sections.append(render_table1(compute_table1(arepair, alloy4fun)))
+        sections.append(
+            render_table1(compute_table1(arepair, alloy4fun, techniques))
+        )
     if args.command in ("figure2", "all"):
-        sections.append(render_figure2(compute_figure2([arepair, alloy4fun])))
+        sections.append(
+            render_figure2(compute_figure2([arepair, alloy4fun], techniques))
+        )
     if args.command in ("figure3", "all"):
-        sections.append(render_figure3(compute_figure3([arepair, alloy4fun])))
+        sections.append(
+            render_figure3(compute_figure3([arepair, alloy4fun], techniques))
+        )
     if args.command in ("hybrid", "all"):
         analysis = compute_hybrid([arepair, alloy4fun])
         sections.append(render_table2(analysis))
@@ -239,17 +303,21 @@ def _cmd_ablations(args) -> int:
         beafix_pruning_ablation,
         icebar_budget_ablation,
         multi_round_budget_ablation,
+        parallel_speedup_ablation,
         suite_size_ablation,
     )
 
     specs = load_benchmark("alloy4fun", seed=args.seed, scale=0.02)
     sample = specs[: args.samples]
-    for sweep in (
+    sweeps = [
         beafix_pruning_ablation(sample),
         icebar_budget_ablation(sample),
         multi_round_budget_ablation(sample, seed=args.seed),
         suite_size_ablation(sample),
-    ):
+    ]
+    if args.parallel:
+        sweeps.append(parallel_speedup_ablation(seed=args.seed))
+    for sweep in sweeps:
         print(sweep.render())
         print()
     return 0

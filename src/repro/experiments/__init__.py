@@ -1,5 +1,15 @@
 """Experiment drivers reproducing every table and figure of the paper."""
 
+from repro.experiments.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardResult,
+    ShardTask,
+    ThreadExecutor,
+    create_executor,
+    execute_shard,
+)
 from repro.experiments.figure2 import Figure2, compute_figure2, render_figure2
 from repro.experiments.figure3 import Figure3, compute_figure3, render_figure3
 from repro.experiments.hybrid import (
@@ -10,6 +20,11 @@ from repro.experiments.hybrid import (
     render_table2,
     sequential_hybrid,
 )
+from repro.experiments.progress import (
+    ConsoleListener,
+    NullListener,
+    ProgressListener,
+)
 from repro.experiments.report import StudyReport, generate_report
 from repro.experiments.runner import (
     ALL_TECHNIQUES,
@@ -17,6 +32,7 @@ from repro.experiments.runner import (
     SINGLE_ROUND,
     TRADITIONAL,
     ResultMatrix,
+    RunConfig,
     SpecOutcome,
     combined_matrices,
     run_matrix,
@@ -26,22 +42,34 @@ from repro.experiments.table1 import Table1, compute_table1, render_table1
 
 __all__ = [
     "ALL_TECHNIQUES",
+    "ConsoleListener",
+    "Executor",
     "Figure2",
     "Figure3",
     "HybridAnalysis",
     "HybridCell",
     "MULTI_ROUND",
+    "NullListener",
+    "ProcessExecutor",
+    "ProgressListener",
     "ResultMatrix",
+    "RunConfig",
     "SINGLE_ROUND",
+    "SerialExecutor",
+    "ShardResult",
+    "ShardTask",
     "SpecOutcome",
     "StudyReport",
     "TRADITIONAL",
     "Table1",
+    "ThreadExecutor",
     "combined_matrices",
     "compute_figure2",
     "compute_figure3",
     "compute_hybrid",
     "compute_table1",
+    "create_executor",
+    "execute_shard",
     "generate_report",
     "render_figure2",
     "render_figure3",

@@ -6,11 +6,14 @@ specifications and reports success/cost trade-offs:
 - :func:`beafix_pruning_ablation` — semantic pruning on/off;
 - :func:`icebar_budget_ablation` — refinement-budget sweep;
 - :func:`multi_round_budget_ablation` — dialogue round-budget sweep;
-- :func:`suite_size_ablation` — AUnit suite size vs. ARepair overfitting.
+- :func:`suite_size_ablation` — AUnit suite size vs. ARepair overfitting;
+- :func:`parallel_speedup_ablation` — experiment-engine ``jobs`` scaling
+  (and a determinism check: REP totals must not move with parallelism).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.analyzer.analyzer import Analyzer
@@ -35,6 +38,7 @@ class AblationPoint:
     total: int
     oracle_queries: int = 0
     candidates_explored: int = 0
+    elapsed: float = 0.0
 
     @property
     def rate(self) -> float:
@@ -57,6 +61,8 @@ class AblationResult:
                     f"  oracle-queries={point.oracle_queries}"
                     f"  candidates={point.candidates_explored}"
                 )
+            if point.elapsed:
+                extras += f"  elapsed={point.elapsed:.1f}s"
             lines.append(
                 f"  {point.label:<28}{point.repaired}/{point.total}"
                 f" ({point.rate:.0%}){extras}"
@@ -140,6 +146,46 @@ def multi_round_budget_ablation(
         sweep.points.append(
             AblationPoint(
                 label=f"max_rounds={budget}", repaired=repaired, total=len(specs)
+            )
+        )
+    return sweep
+
+
+def parallel_speedup_ablation(
+    benchmark: str = "arepair",
+    scale: float = 0.2,
+    jobs_values: tuple[int, ...] = (1, 2, 4),
+    techniques: tuple[str, ...] = ("ATR", "BeAFix"),
+    seed: int = 0,
+) -> AblationResult:
+    """Wall-clock scaling of the experiment engine over ``--jobs``.
+
+    Runs the same small matrix with each jobs value (cache disabled so
+    every point recomputes) and reports elapsed time.  The repaired
+    totals double as a determinism check: parallelism is an execution
+    detail and must never move a result.
+    """
+    from repro.experiments.runner import RunConfig, run_matrix
+
+    sweep = AblationResult(name=f"experiment engine parallelism ({benchmark})")
+    for jobs in jobs_values:
+        started = time.perf_counter()
+        matrix = run_matrix(
+            RunConfig(
+                benchmark=benchmark,
+                scale=scale,
+                seed=seed,
+                techniques=techniques,
+                jobs=jobs,
+                use_cache=False,
+            )
+        )
+        sweep.points.append(
+            AblationPoint(
+                label=f"jobs={jobs}",
+                repaired=sum(matrix.rep_count(t) for t in techniques),
+                total=len(matrix.specs) * len(techniques),
+                elapsed=time.perf_counter() - started,
             )
         )
     return sweep

@@ -1,0 +1,208 @@
+"""Pluggable execution backends for the experiment engine.
+
+The matrix computation is embarrassingly parallel: every (specification,
+technique) cell is deterministically seeded (see
+:func:`repro.repair.registry.cell_seed`) and crash-isolated, so cells can
+run in any order on any worker and still produce bit-identical results.
+This module supplies the machinery:
+
+- work is *sharded by specification* (:class:`ShardTask`), so the
+  expensive per-spec ground-truth oracle is computed once per shard and
+  shared by all of that spec's cells;
+- :func:`execute_shard` runs one shard anywhere — the calling thread, a
+  pool thread, or a forked worker process — and returns a picklable
+  :class:`ShardResult` whose failures are
+  :class:`~repro.runtime.guard.FailureRecord` values, so crash isolation
+  survives process boundaries where exceptions themselves may not pickle;
+- three :class:`Executor` implementations — :class:`SerialExecutor`,
+  :class:`ThreadExecutor`, :class:`ProcessExecutor` — all yield shard
+  results in *submission* order, which is what keeps parallel matrices
+  byte-identical to serial ones and lets the runner flush its cache
+  incrementally as shards land.
+
+:class:`ProcessExecutor` prefers the ``fork`` start method so in-process
+state (registered techniques, test monkeypatches) carries into workers;
+on platforms without ``fork`` it falls back to the default start method,
+where only importable (module-level) technique registrations are visible
+to workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, Sequence
+
+from repro.benchmarks.faults import FaultySpec
+from repro.metrics.rep import truth_command_outcomes
+from repro.runtime.guard import FailureRecord, capture_failure
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.runner import SpecOutcome
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One specification's pending cells — the unit of work distribution.
+
+    Carries everything a worker needs to re-hydrate the work: the full
+    :class:`FaultySpec`, the technique names (resolved against the
+    technique registry inside the worker), and the run seed.  The payload
+    is picklable by construction.
+    """
+
+    spec: FaultySpec
+    techniques: tuple[str, ...]
+    seed: int
+    fail_fast: bool = False
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard produced, in the shard's technique order."""
+
+    spec_id: str
+    outcomes: dict[str, "SpecOutcome"] = field(default_factory=dict)
+    failures: list[FailureRecord] = field(default_factory=list)
+
+
+def execute_shard(task: ShardTask) -> ShardResult:
+    """Run every cell of one shard, crash-isolating each.
+
+    The ground-truth command outcomes are computed once and shared by all
+    cells of the shard.  With ``fail_fast`` the first exception propagates
+    (re-raised by the executor in the coordinating thread); otherwise it is
+    frozen into a :class:`FailureRecord` plus a ``"crashed"`` outcome.
+    """
+    # Imported late: the runner imports this module, and binding run_spec
+    # at call time keeps test monkeypatches on the runner effective.
+    from repro.experiments import runner
+
+    spec = task.spec
+    result = ShardResult(spec_id=spec.spec_id)
+    truth: list[bool] | None
+    try:
+        truth = truth_command_outcomes(spec.truth_source)
+    except Exception as error:
+        if task.fail_fast:
+            raise
+        result.failures.append(
+            capture_failure(f"{spec.spec_id}:truth-oracle", error)
+        )
+        truth = None
+    for technique in task.techniques:
+        if truth is None:
+            # The ground truth itself would not analyze; every technique
+            # on this spec is unscorable.
+            result.outcomes[technique] = runner._crashed_outcome(spec, technique)
+            continue
+        try:
+            result.outcomes[technique] = runner.run_spec(
+                spec, technique, task.seed, truth
+            )
+        except Exception as error:
+            if task.fail_fast:
+                raise
+            result.failures.append(
+                capture_failure(f"{spec.spec_id}:{technique}", error)
+            )
+            result.outcomes[technique] = runner._crashed_outcome(spec, technique)
+    return result
+
+
+class Executor(Protocol):
+    """Runs shards and yields their results in submission order."""
+
+    def run(self, shards: Sequence[ShardTask]) -> Iterator[ShardResult]: ...
+
+
+class SerialExecutor:
+    """The in-thread baseline: shards run one after another."""
+
+    def run(self, shards: Sequence[ShardTask]) -> Iterator[ShardResult]:
+        for shard in shards:
+            yield execute_shard(shard)
+
+
+class ThreadExecutor:
+    """A thread pool.
+
+    The repair pipeline is pure Python, so threads mostly overlap I/O and
+    cache traffic rather than compute — but the backend is cheap to start
+    and shares the parent's memory, which makes it the right tool for
+    smoke tests and for deployments where tools shell out.
+    """
+
+    def __init__(self, jobs: int = 2) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, shards: Sequence[ShardTask]) -> Iterator[ShardResult]:
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            futures = [pool.submit(execute_shard, shard) for shard in shards]
+            for future in futures:
+                yield future.result()
+
+
+class ProcessExecutor:
+    """A multiprocessing pool — the backend for CPU-bound matrix runs.
+
+    Shard payloads are pickled to workers, which re-hydrate the spec and
+    techniques and return picklable results; a worker exception is already
+    a :class:`FailureRecord` inside the result, so crash isolation holds
+    across the process boundary.  If a worker dies without raising (a
+    hard kill), the broken pool is abandoned and the remaining shards
+    finish in-process rather than losing the run.
+    """
+
+    def __init__(self, jobs: int = 2) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    @staticmethod
+    def _context():
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    def run(self, shards: Sequence[ShardTask]) -> Iterator[ShardResult]:
+        with ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=self._context()
+        ) as pool:
+            futures = [pool.submit(execute_shard, shard) for shard in shards]
+            for index, future in enumerate(futures):
+                try:
+                    yield future.result()
+                except BrokenProcessPool:
+                    yield from self._finish_in_process(shards[index:])
+                    return
+
+    @staticmethod
+    def _finish_in_process(
+        remaining: Iterable[ShardTask],
+    ) -> Iterator[ShardResult]:
+        for shard in remaining:
+            yield execute_shard(shard)
+
+
+def create_executor(kind: str, jobs: int) -> Executor:
+    """Resolve an executor name (``auto``/``serial``/``thread``/``process``).
+
+    ``auto`` picks :class:`SerialExecutor` for ``jobs=1`` (no pool
+    overhead, exact legacy behaviour) and :class:`ProcessExecutor`
+    otherwise (the work is CPU-bound Python).
+    """
+    if kind == "auto":
+        kind = "serial" if jobs <= 1 else "process"
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(jobs)
+    if kind == "process":
+        return ProcessExecutor(jobs)
+    raise ValueError(f"unknown executor {kind!r}")

@@ -13,16 +13,20 @@ from repro.experiments.runner import ResultMatrix
 
 @dataclass
 class Figure2:
-    """Mean similarity per technique, across both benchmarks combined."""
+    """Mean similarity per technique, across both benchmarks combined.
+
+    Keys of ``tm``/``sm`` are the measured techniques, in column order."""
 
     tm: dict[str, float]
     sm: dict[str, float]
 
 
-def compute_figure2(matrices: list[ResultMatrix]) -> Figure2:
+def compute_figure2(
+    matrices: list[ResultMatrix], techniques: list[str] | None = None
+) -> Figure2:
     tm: dict[str, float] = {}
     sm: dict[str, float] = {}
-    for technique in TECHNIQUE_ORDER:
+    for technique in techniques or TECHNIQUE_ORDER:
         tm_values: list[float] = []
         sm_values: list[float] = []
         for matrix in matrices:
@@ -37,7 +41,7 @@ def render_figure2(figure: Figure2) -> str:
     """A text bar chart of the Figure 2 values."""
     lines = ["Figure 2 — similarity to ground truth (measured)", ""]
     lines.append(f"{'technique':<24}{'TM':>7}{'SM':>7}  bars (TM #, SM =)")
-    for technique in TECHNIQUE_ORDER:
+    for technique in figure.tm:
         tm = figure.tm[technique]
         sm = figure.sm[technique]
         tm_bar = "#" * round(tm * 30)
@@ -48,13 +52,19 @@ def render_figure2(figure: Figure2) -> str:
     lines.append("Paper highlights: ATR TM=0.985 SM=0.997; "
                  "Multi-Round_Generic TM=0.938 SM=0.943")
     for technique, values in PAPER_FIGURE2_HIGHLIGHTS.items():
+        if technique not in figure.tm:
+            continue
         lines.append(
             f"  measured {technique}: TM={figure.tm[technique]:.3f} "
             f"(paper {values['tm']:.3f}), SM={figure.sm[technique]:.3f} "
             f"(paper {values['sm']:.3f})"
         )
-    best_traditional = max(
-        ("ARepair", "ICEBAR", "BeAFix", "ATR"), key=lambda t: figure.sm[t]
-    )
-    lines.append(f"Best-SM traditional technique (measured): {best_traditional}")
+    traditional = [
+        t for t in ("ARepair", "ICEBAR", "BeAFix", "ATR") if t in figure.sm
+    ]
+    if traditional:
+        best_traditional = max(traditional, key=lambda t: figure.sm[t])
+        lines.append(
+            f"Best-SM traditional technique (measured): {best_traditional}"
+        )
     return "\n".join(lines)

@@ -19,6 +19,11 @@ class Figure3:
     """The correlation matrix plus cluster summaries."""
 
     correlations: dict[tuple[str, str], Correlation]
+    techniques: list[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.techniques is None:
+            self.techniques = list(TECHNIQUE_ORDER)
 
     def r(self, first: str, second: str) -> float:
         return self.correlations[(first, second)].r
@@ -36,54 +41,62 @@ class Figure3:
         return min(self.r(a, b) for a in first for b in second)
 
 
-def compute_figure3(matrices: list[ResultMatrix]) -> Figure3:
-    series: dict[str, list[float]] = {t: [] for t in TECHNIQUE_ORDER}
+def compute_figure3(
+    matrices: list[ResultMatrix], techniques: list[str] | None = None
+) -> Figure3:
+    order = list(techniques) if techniques else list(TECHNIQUE_ORDER)
+    series: dict[str, list[float]] = {t: [] for t in order}
     for matrix in matrices:
-        for technique in TECHNIQUE_ORDER:
+        for technique in order:
             series[technique].extend(matrix.similarity_series(technique, "tm"))
     correlations: dict[tuple[str, str], Correlation] = {}
-    for i, first in enumerate(TECHNIQUE_ORDER):
-        for second in TECHNIQUE_ORDER[i:]:
+    for i, first in enumerate(order):
+        for second in order[i:]:
             result = pearson(series[first], series[second])
             correlations[(first, second)] = result
             correlations[(second, first)] = result
-    return Figure3(correlations=correlations)
+    return Figure3(correlations=correlations, techniques=order)
 
 
 def render_figure3(figure: Figure3) -> str:
     """Text heatmap of pairwise correlations."""
-    short = {t: f"T{i:02d}" for i, t in enumerate(TECHNIQUE_ORDER)}
+    order = figure.techniques
+    short = {t: f"T{i:02d}" for i, t in enumerate(order)}
     lines = ["Figure 3 — Pearson correlation heatmap (measured)", ""]
     for t, code in short.items():
         lines.append(f"  {code} = {t}")
     lines.append("")
-    header = "     " + "".join(f"{short[t]:>6}" for t in TECHNIQUE_ORDER)
+    header = "     " + "".join(f"{short[t]:>6}" for t in order)
     lines.append(header)
-    for first in TECHNIQUE_ORDER:
-        cells = "".join(
-            f"{figure.r(first, second):>6.2f}" for second in TECHNIQUE_ORDER
-        )
+    for first in order:
+        cells = "".join(f"{figure.r(first, second):>6.2f}" for second in order)
         lines.append(f"{short[first]:<5}{cells}")
     lines.append("")
-    traditional = ["ARepair", "ICEBAR", "BeAFix", "ATR"]
-    single = [t for t in TECHNIQUE_ORDER if t.startswith("Single-Round")]
-    multi = [t for t in TECHNIQUE_ORDER if t.startswith("Multi-Round")]
-    lines.append(
-        f"traditional cluster min r = {figure.cluster_min(traditional):.3f} "
-        "(paper: >= 0.972)"
-    )
-    lines.append(
-        f"multi-round cluster min r = {figure.cluster_min(multi):.3f} "
-        "(paper: Generic~Auto r = 0.949)"
-    )
-    lines.append(
-        f"single-round vs others min r = "
-        f"{min(figure.cross_cluster_min(single, traditional), figure.cross_cluster_min(single, multi)):.3f} "
-        "(paper: as low as 0.644)"
-    )
-    lines.append(
-        f"ICEBAR~ATR r = {figure.r('ICEBAR', 'ATR'):.3f} (paper 0.983)"
-    )
+    traditional = [
+        t for t in ("ARepair", "ICEBAR", "BeAFix", "ATR") if t in order
+    ]
+    single = [t for t in order if t.startswith("Single-Round")]
+    multi = [t for t in order if t.startswith("Multi-Round")]
+    if len(traditional) > 1:
+        lines.append(
+            f"traditional cluster min r = {figure.cluster_min(traditional):.3f} "
+            "(paper: >= 0.972)"
+        )
+    if len(multi) > 1:
+        lines.append(
+            f"multi-round cluster min r = {figure.cluster_min(multi):.3f} "
+            "(paper: Generic~Auto r = 0.949)"
+        )
+    if single and traditional and multi:
+        lines.append(
+            f"single-round vs others min r = "
+            f"{min(figure.cross_cluster_min(single, traditional), figure.cross_cluster_min(single, multi)):.3f} "
+            "(paper: as low as 0.644)"
+        )
+    if "ICEBAR" in order and "ATR" in order:
+        lines.append(
+            f"ICEBAR~ATR r = {figure.r('ICEBAR', 'ATR'):.3f} (paper 0.983)"
+        )
     significant = sum(
         1
         for (a, b), c in figure.correlations.items()

@@ -15,12 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.paper_values import PAPER_TABLE2
-from repro.experiments.runner import (
-    MULTI_ROUND,
-    SINGLE_ROUND,
-    TRADITIONAL,
-    ResultMatrix,
-)
+from repro.experiments.runner import ResultMatrix
+from repro.repair.registry import MULTI_ROUND, SINGLE_ROUND, TRADITIONAL
 
 
 @dataclass(frozen=True)

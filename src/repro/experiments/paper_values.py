@@ -6,20 +6,12 @@ Values are transcribed from Table I, Figure 2, Figure 3, and Table II of
 
 from __future__ import annotations
 
-TECHNIQUE_ORDER = [
-    "ARepair",
-    "ICEBAR",
-    "BeAFix",
-    "ATR",
-    "Single-Round_Loc+Fix",
-    "Single-Round_Loc",
-    "Single-Round_Pass",
-    "Single-Round_None",
-    "Single-Round_Loc+Pass",
-    "Multi-Round_None",
-    "Multi-Round_Generic",
-    "Multi-Round_Auto",
-]
+from repro.repair.registry import MULTI_ROUND, SINGLE_ROUND, TRADITIONAL
+
+TECHNIQUE_ORDER = TRADITIONAL + SINGLE_ROUND + MULTI_ROUND
+"""The paper's column order — identical to the registry's standard
+technique order (traditional, then single-round settings, then
+multi-round feedback levels)."""
 
 # Table I: REP counts per benchmark (summary rows).
 PAPER_TABLE1_A4F_TOTAL = 1936

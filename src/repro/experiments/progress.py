@@ -1,0 +1,82 @@
+"""Progress reporting for experiment runs, as a callback protocol.
+
+The engine used to print progress straight to stderr, which made it
+unusable as a library (callers got uncontrollable console noise) and
+untestable (no way to observe progress programmatically).  Now the engine
+emits events to a :class:`ProgressListener`; the default is silent, the
+CLI installs :class:`ConsoleListener`, and tests install recorders.
+
+Listeners are invoked only from the coordinating thread — never from
+worker threads or processes — so implementations need no locking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.runtime.guard import FailureRecord, summarize_failures
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.runner import SpecOutcome
+
+
+class ProgressListener(Protocol):
+    """Receives engine events; all methods are fire-and-forget."""
+
+    def on_cell(
+        self, benchmark: str, outcome: "SpecOutcome", done: int, total: int
+    ) -> None:
+        """One (specification, technique) cell finished."""
+
+    def on_shard_done(
+        self, benchmark: str, spec_id: str, shards_done: int, total_shards: int
+    ) -> None:
+        """One specification's shard (all its pending cells) finished."""
+
+    def on_failure(self, benchmark: str, failure: FailureRecord) -> None:
+        """One cell was crash-isolated into a failure record."""
+
+
+class NullListener:
+    """The library default: complete silence."""
+
+    def on_cell(self, benchmark, outcome, done, total) -> None:
+        pass
+
+    def on_shard_done(self, benchmark, spec_id, shards_done, total_shards) -> None:
+        pass
+
+    def on_failure(self, benchmark, failure) -> None:
+        pass
+
+
+NULL_LISTENER = NullListener()
+
+
+class ConsoleListener:
+    """The CLI's listener: the engine's historical console output.
+
+    Prints a progress line every ``every`` completed cells and, when a
+    benchmark's last shard lands, a summary of any isolated failures.
+    Tracks state per benchmark so one instance can watch several runs.
+    """
+
+    def __init__(self, every: int = 25) -> None:
+        self._every = every
+        self._failures: dict[str, list[FailureRecord]] = {}
+
+    def on_cell(self, benchmark, outcome, done, total) -> None:
+        if done % self._every == 0:
+            print(f"  [{benchmark}] {done}/{total} outcomes", flush=True)
+
+    def on_shard_done(self, benchmark, spec_id, shards_done, total_shards) -> None:
+        failures = self._failures.get(benchmark, [])
+        if shards_done == total_shards and failures:
+            print(
+                f"  [{benchmark}] {len(failures)} isolated failures: "
+                f"{summarize_failures(failures)}",
+                flush=True,
+            )
+
+    def on_failure(self, benchmark, failure) -> None:
+        self._failures.setdefault(benchmark, []).append(failure)

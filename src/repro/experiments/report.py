@@ -14,7 +14,8 @@ from repro.benchmarks.stats import render_stats, summarize
 from repro.experiments.figure2 import compute_figure2, render_figure2
 from repro.experiments.figure3 import compute_figure3, render_figure3
 from repro.experiments.hybrid import compute_hybrid, render_figure4, render_table2
-from repro.experiments.runner import ResultMatrix, run_matrix
+from repro.experiments.progress import ConsoleListener, ProgressListener
+from repro.experiments.runner import ResultMatrix, RunConfig, run_matrix
 from repro.experiments.table1 import compute_table1, render_table1
 from repro.runtime.guard import summarize_failures
 
@@ -34,16 +35,27 @@ def generate_report(
     use_cache: bool = True,
     progress: bool = False,
     fail_fast: bool = False,
+    jobs: int = 1,
+    executor: str = "auto",
+    listener: ProgressListener | None = None,
 ) -> StudyReport:
     """Run both benchmarks and render the complete study report."""
     started = time.time()
+    if listener is None and progress:
+        listener = ConsoleListener()
     arepair = run_matrix(
-        "arepair", scale=1.0, seed=seed, use_cache=use_cache,
-        progress=progress, fail_fast=fail_fast,
+        RunConfig(
+            benchmark="arepair", scale=1.0, seed=seed, use_cache=use_cache,
+            fail_fast=fail_fast, jobs=jobs, executor=executor,
+            listener=listener,
+        )
     )
     alloy4fun = run_matrix(
-        "alloy4fun", scale=scale, seed=seed, use_cache=use_cache,
-        progress=progress, fail_fast=fail_fast,
+        RunConfig(
+            benchmark="alloy4fun", scale=scale, seed=seed, use_cache=use_cache,
+            fail_fast=fail_fast, jobs=jobs, executor=executor,
+            listener=listener,
+        )
     )
     matrices = [arepair, alloy4fun]
 

@@ -4,6 +4,16 @@ One pass produces a :class:`ResultMatrix` — per (specification, technique):
 the REP outcome against the ground truth plus TM/SM similarity of whatever
 text the technique produced.  Every table and figure of the paper is a
 projection of this matrix, so it is computed once and cached as JSON.
+
+A run is described by a :class:`RunConfig` and executed by a pluggable
+backend (:mod:`repro.experiments.executor`): work is sharded by
+specification, shards fan out over ``config.jobs`` workers, and each
+completed shard is flushed to the result cache — a killed run resumes
+from its completed shards.  Parallelism never changes the result: cells
+are seeded per (spec, technique) via
+:func:`repro.repair.registry.cell_seed`, so serial and parallel runs
+produce identical matrices, and the cache key deliberately excludes
+``jobs``/``executor``.
 """
 
 from __future__ import annotations
@@ -12,37 +22,83 @@ import hashlib
 import json
 import sys
 import time
+import warnings
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.analyzer.analyzer import Analyzer
 from repro.benchmarks.cache import cache_dir, load_benchmark
 from repro.benchmarks.faults import FaultySpec
-from repro.llm.client import RetryingClient
-from repro.llm.mock_gpt import GPT35_PROFILE, GPT4_PROFILE, MockGPT
-from repro.llm.prompts import FeedbackLevel, PromptSetting
+from repro.experiments.executor import ShardTask, create_executor
+from repro.experiments.progress import (
+    NULL_LISTENER,
+    ConsoleListener,
+    ProgressListener,
+)
 from repro.metrics.bleu import token_match
-from repro.metrics.rep import rep_outcome, truth_command_outcomes
+from repro.metrics.rep import rep_outcome
 from repro.metrics.syntax_match import syntax_match
-from repro.repair.arepair import ARepair
-from repro.repair.atr import Atr
+from repro.repair import registry
 from repro.repair.base import RepairTask
-from repro.repair.beafix import BeAFix
-from repro.repair.icebar import Icebar
-from repro.repair.multi_round import MultiRoundLLM
-from repro.repair.single_round import SingleRoundLLM
+from repro.repair.registry import (
+    MULTI_ROUND,
+    SINGLE_ROUND,
+    TRADITIONAL,
+    cell_seed,
+)
 from repro.runtime.errors import CacheCorruptionError
-from repro.runtime.guard import FailureRecord, capture_failure, summarize_failures
+from repro.runtime.guard import FailureRecord, summarize_failures
 from repro.runtime.persist import atomic_write_json, load_json
-from repro.testing.generation import generate_suite
 
-MATRIX_SCHEMA = "repro-matrix/2"
-"""Result-cache schema stamp; bump on any change to the outcome payload so
-old caches read as misses instead of crashing a run."""
+MATRIX_SCHEMA = "repro-matrix/3"
+"""Result-cache schema stamp; bump on any change to the outcome payload or
+the cache-key recipe so old caches read as misses instead of crashing (or
+silently colliding with) a run."""
 
-TRADITIONAL = ["ARepair", "ICEBAR", "BeAFix", "ATR"]
-SINGLE_ROUND = [f"Single-Round_{s.value}" for s in PromptSetting]
-MULTI_ROUND = [f"Multi-Round_{f.value}" for f in FeedbackLevel]
-ALL_TECHNIQUES = TRADITIONAL + SINGLE_ROUND + MULTI_ROUND
+ALL_TECHNIQUES = registry.all_techniques()
+"""The default matrix columns, derived from the technique registry."""
+
+_EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything that defines one matrix run.
+
+    Only ``benchmark``, ``scale``, ``seed``, and ``techniques`` affect the
+    *result* (and hence the cache key); the remaining fields steer how the
+    result is computed — parallelism, caching, failure policy, progress.
+    """
+
+    benchmark: str
+    scale: float = 1.0
+    seed: int = 0
+    techniques: tuple[str, ...] | None = None
+    """``None`` means every standard registry technique."""
+    jobs: int = 1
+    executor: str = "auto"
+    """``auto`` | ``serial`` | ``thread`` | ``process``; ``auto`` is serial
+    for ``jobs=1`` and a process pool otherwise."""
+    use_cache: bool = True
+    flush_every: int = 1
+    """Flush the result cache every N completed shards (1 = after each)."""
+    fail_fast: bool = False
+    listener: ProgressListener | None = None
+    """Progress callbacks; ``None`` is silent (the library default)."""
+
+    def __post_init__(self) -> None:
+        if self.techniques is not None:
+            object.__setattr__(self, "techniques", tuple(self.techniques))
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.executor not in _EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {_EXECUTOR_KINDS}, got {self.executor!r}"
+            )
+        if self.flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {self.flush_every}")
+
+    def technique_list(self) -> list[str]:
+        return list(self.techniques) if self.techniques else list(ALL_TECHNIQUES)
 
 
 @dataclass
@@ -109,62 +165,13 @@ class ResultMatrix:
 
 
 def _seed_for(spec: FaultySpec, technique: str, seed: int) -> int:
-    digest = hashlib.sha256(
-        f"{seed}:{spec.spec_id}:{technique}".encode()
-    ).digest()
-    return int.from_bytes(digest[:4], "big")
-
-
-def _arepair_suite_size(spec: FaultySpec) -> int:
-    """AUnit suite size for bare ARepair, per benchmark.
-
-    The ARepair benchmark ships with author-written AUnit suites (strong);
-    Alloy4Fun has none, so the study's ARepair runs there relied on minimal
-    generated suites — the source of ARepair's extreme overfitting."""
-    return 4 if spec.benchmark == "arepair" else 1
-
-
-def _icebar_suite_size(spec: FaultySpec) -> int:
-    """ICEBAR seeds its refinement loop with a moderate suite and grows it
-    from counterexamples, so its initial suite matters less."""
-    return 5 if spec.benchmark == "arepair" else 3
+    """Deprecated alias of :func:`repro.repair.registry.cell_seed`."""
+    return cell_seed(spec, technique, seed)
 
 
 def _make_tool(technique: str, spec: FaultySpec, seed: int):
-    tool_seed = _seed_for(spec, technique, seed)
-    if technique == "ARepair":
-        size = _arepair_suite_size(spec)
-        suite = generate_suite(
-            Analyzer(spec.truth_source),
-            positives=size,
-            negatives=size,
-            seed=tool_seed,
-        )
-        return ARepair(suite)
-    if technique == "ICEBAR":
-        size = _icebar_suite_size(spec)
-        suite = generate_suite(
-            Analyzer(spec.truth_source),
-            positives=size,
-            negatives=size,
-            seed=tool_seed,
-        )
-        return Icebar(suite)
-    if technique == "BeAFix":
-        return BeAFix()
-    if technique == "ATR":
-        return Atr()
-    if technique.startswith("Single-Round_"):
-        setting = PromptSetting(technique.removeprefix("Single-Round_"))
-        # The retry wrapper is a pass-through over the offline mock but
-        # keeps the call path identical to a real-API deployment.
-        client = RetryingClient(MockGPT(seed=tool_seed, profile=GPT35_PROFILE))
-        return SingleRoundLLM(client, setting, spec.hints)
-    if technique.startswith("Multi-Round_"):
-        feedback = FeedbackLevel(technique.removeprefix("Multi-Round_"))
-        client = RetryingClient(MockGPT(seed=tool_seed, profile=GPT4_PROFILE))
-        return MultiRoundLLM(client, feedback)
-    raise ValueError(f"unknown technique {technique!r}")
+    """Deprecated: use :func:`repro.repair.registry.create`."""
+    return registry.create(technique, spec, seed)
 
 
 def run_spec(
@@ -175,7 +182,7 @@ def run_spec(
 ) -> SpecOutcome:
     """Run one technique on one faulty specification and score the result."""
     start = time.perf_counter()
-    tool = _make_tool(technique, spec, seed)
+    tool = registry.create(technique, spec, seed)
     task = RepairTask.from_source(spec.faulty_source)
     result = tool.repair(task)
     final_text = result.final_source(task)
@@ -207,26 +214,82 @@ def _crashed_outcome(spec: FaultySpec, technique: str) -> SpecOutcome:
 
 
 def run_matrix(
-    benchmark: str,
-    scale: float = 1.0,
-    seed: int = 0,
+    config: RunConfig | str,
+    scale: float | None = None,
+    seed: int | None = None,
     techniques: list[str] | None = None,
-    use_cache: bool = True,
-    progress: bool = False,
-    fail_fast: bool = False,
+    use_cache: bool | None = None,
+    progress: bool | None = None,
+    fail_fast: bool | None = None,
+    jobs: int | None = None,
+    executor: str | None = None,
 ) -> ResultMatrix:
     """Run (or load from cache) the full technique × spec matrix.
 
+    The supported call shape is ``run_matrix(RunConfig(...))``.  The
+    legacy shape — a benchmark name plus loose keyword arguments — still
+    works through a deprecation shim that assembles the equivalent
+    :class:`RunConfig`.
+
     Every (spec, technique) cell is crash-isolated: an exception in one
     cell is captured as a :class:`FailureRecord` plus a ``"crashed"``
-    outcome, and the run continues.  Pass ``fail_fast=True`` (the CI /
+    outcome, and the run continues.  Set ``fail_fast=True`` (the CI /
     debugging mode) to propagate the first failure instead.
     """
-    techniques = techniques or ALL_TECHNIQUES
-    specs = load_benchmark(benchmark, seed=seed, scale=scale)
-    path = cache_dir() / _matrix_key(benchmark, seed, scale, techniques)
-    matrix = ResultMatrix(benchmark=benchmark, seed=seed, scale=scale, specs=specs)
-    if use_cache and path.exists():
+    if isinstance(config, RunConfig):
+        extras = (
+            scale, seed, techniques, use_cache, progress, fail_fast, jobs,
+            executor,
+        )
+        if any(value is not None for value in extras):
+            raise TypeError(
+                "run_matrix(RunConfig) takes no extra arguments; "
+                "put them in the RunConfig"
+            )
+        return _run(config)
+    if not isinstance(config, str):
+        raise TypeError(
+            f"run_matrix expects a RunConfig (or a legacy benchmark name), "
+            f"got {type(config).__name__}"
+        )
+    warnings.warn(
+        "run_matrix(benchmark, ...) with loose arguments is deprecated; "
+        "pass run_matrix(RunConfig(benchmark=...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run(
+        RunConfig(
+            benchmark=config,
+            scale=1.0 if scale is None else scale,
+            seed=0 if seed is None else seed,
+            techniques=tuple(techniques) if techniques else None,
+            jobs=1 if jobs is None else jobs,
+            executor="auto" if executor is None else executor,
+            use_cache=True if use_cache is None else use_cache,
+            fail_fast=bool(fail_fast),
+            listener=ConsoleListener() if progress else None,
+        )
+    )
+
+
+def _run(config: RunConfig) -> ResultMatrix:
+    listener = config.listener or NULL_LISTENER
+    techniques = config.technique_list()
+    unknown = [t for t in techniques if not registry.is_registered(t)]
+    if unknown:
+        raise ValueError(f"unknown technique(s): {', '.join(unknown)}")
+    specs = load_benchmark(config.benchmark, seed=config.seed, scale=config.scale)
+    path = cache_dir() / _matrix_key(
+        config.benchmark, config.seed, config.scale, techniques
+    )
+    matrix = ResultMatrix(
+        benchmark=config.benchmark,
+        seed=config.seed,
+        scale=config.scale,
+        specs=specs,
+    )
+    if config.use_cache and path.exists():
         try:
             _load_outcomes(matrix, path)
         except CacheCorruptionError as error:
@@ -236,72 +299,63 @@ def run_matrix(
             )
             matrix.outcomes.clear()
             matrix.failures.clear()
-        missing = [
-            t
-            for t in techniques
-            if any(t not in matrix.outcomes.get(s.spec_id, {}) for s in specs)
-        ]
-        if not missing:
-            return matrix
 
-    truth_cache: dict[str, list[bool] | None] = {}
+    # Shard by specification: each shard carries only that spec's missing
+    # techniques, so a resumed run re-executes nothing it already has.
     total = len(specs) * len(techniques)
     done = 0
+    shards: list[ShardTask] = []
     for spec in specs:
-        row = matrix.outcomes.setdefault(spec.spec_id, {})
-        if spec.truth_source not in truth_cache:
-            try:
-                truth_cache[spec.truth_source] = truth_command_outcomes(
-                    spec.truth_source
+        row = matrix.outcomes.get(spec.spec_id, {})
+        missing = tuple(t for t in techniques if t not in row)
+        done += len(techniques) - len(missing)
+        if missing:
+            shards.append(
+                ShardTask(
+                    spec=spec,
+                    techniques=missing,
+                    seed=config.seed,
+                    fail_fast=config.fail_fast,
                 )
-            except Exception as error:
-                if fail_fast:
-                    raise
-                matrix.failures.append(
-                    capture_failure(f"{spec.spec_id}:truth-oracle", error)
-                )
-                truth_cache[spec.truth_source] = None
-        for technique in techniques:
-            if technique in row:
-                done += 1
-                continue
-            if truth_cache[spec.truth_source] is None:
-                # The ground truth itself would not analyze; every
-                # technique on this spec is unscorable.
-                row[technique] = _crashed_outcome(spec, technique)
-                done += 1
-                continue
-            try:
-                row[technique] = run_spec(
-                    spec, technique, seed, truth_cache[spec.truth_source]
-                )
-            except Exception as error:
-                if fail_fast:
-                    raise
-                matrix.failures.append(
-                    capture_failure(f"{spec.spec_id}:{technique}", error)
-                )
-                row[technique] = _crashed_outcome(spec, technique)
+            )
+    if not shards:
+        return matrix
+
+    backend = create_executor(config.executor, config.jobs)
+    shards_done = 0
+    for result in backend.run(shards):
+        row = matrix.outcomes.setdefault(result.spec_id, {})
+        row.update(result.outcomes)
+        matrix.failures.extend(result.failures)
+        for failure in result.failures:
+            listener.on_failure(config.benchmark, failure)
+        for outcome in result.outcomes.values():
             done += 1
-            if progress and done % 25 == 0:
-                print(f"  [{benchmark}] {done}/{total} outcomes", flush=True)
-    if progress and matrix.failures:
-        print(
-            f"  [{benchmark}] {len(matrix.failures)} isolated failures: "
-            f"{matrix.failure_summary()}",
-            flush=True,
+            listener.on_cell(config.benchmark, outcome, done, total)
+        shards_done += 1
+        listener.on_shard_done(
+            config.benchmark, result.spec_id, shards_done, len(shards)
         )
-    if use_cache:
-        _save_outcomes(matrix, path)
+        if config.use_cache and (
+            shards_done % config.flush_every == 0 or shards_done == len(shards)
+        ):
+            # Incremental durability: a killed run resumes from the last
+            # flushed shard instead of losing everything.
+            _save_outcomes(matrix, path)
     return matrix
 
 
 def _matrix_key(
-    benchmark: str, seed: int, scale: float, techniques: list[str]
+    benchmark: str, seed: int, scale: float, techniques: Sequence[str]
 ) -> str:
+    # The key folds in the technique *set* (sorted: order cannot change
+    # outcomes) so a subset run and a full run never collide on one file.
+    # Execution parameters (jobs, executor) are deliberately excluded:
+    # they must not change the result.
     digest = hashlib.sha256(
         json.dumps(
-            {"b": benchmark, "s": seed, "sc": scale}, sort_keys=True
+            {"b": benchmark, "s": seed, "sc": scale, "t": sorted(techniques)},
+            sort_keys=True,
         ).encode()
     ).hexdigest()[:12]
     return f"matrix-{benchmark}-{seed}-{digest}.json"
@@ -361,9 +415,26 @@ def _load_outcomes(matrix: ResultMatrix, path) -> None:
 
 
 def combined_matrices(
-    scale: float = 1.0, seed: int = 0, progress: bool = False
+    scale: float = 1.0,
+    seed: int = 0,
+    progress: bool = False,
+    jobs: int = 1,
+    executor: str = "auto",
+    listener: ProgressListener | None = None,
 ) -> tuple[ResultMatrix, ResultMatrix]:
     """Both benchmarks' matrices (ARepair first, then Alloy4Fun)."""
-    arepair = run_matrix("arepair", scale=1.0, seed=seed, progress=progress)
-    alloy4fun = run_matrix("alloy4fun", scale=scale, seed=seed, progress=progress)
+    if listener is None and progress:
+        listener = ConsoleListener()
+    arepair = run_matrix(
+        RunConfig(
+            benchmark="arepair", scale=1.0, seed=seed,
+            jobs=jobs, executor=executor, listener=listener,
+        )
+    )
+    alloy4fun = run_matrix(
+        RunConfig(
+            benchmark="alloy4fun", scale=scale, seed=seed,
+            jobs=jobs, executor=executor, listener=listener,
+        )
+    )
     return arepair, alloy4fun

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.experiments.paper_values import (
     PAPER_TABLE1_A4F,
@@ -16,10 +16,17 @@ from repro.experiments.runner import ResultMatrix
 
 @dataclass
 class Table1:
-    """Computed Table I: per-domain and summary REP counts."""
+    """Computed Table I: per-domain and summary REP counts.
+
+    ``techniques`` defaults to the paper's twelve columns; a subset run
+    (``repro table1 --techniques ...``) renders only what it measured.
+    """
 
     arepair: ResultMatrix
     alloy4fun: ResultMatrix
+    techniques: list[str] = field(
+        default_factory=lambda: list(TECHNIQUE_ORDER)
+    )
 
     def domain_counts(self, matrix: ResultMatrix) -> dict[str, dict[str, int]]:
         domains: dict[str, dict[str, int]] = {}
@@ -27,32 +34,35 @@ class Table1:
             domains.setdefault(spec.domain, {})
         for domain in domains:
             row = {"total": sum(1 for s in matrix.specs if s.domain == domain)}
-            for technique in TECHNIQUE_ORDER:
+            for technique in self.techniques:
                 row[technique] = matrix.rep_count(technique, domain)
             domains[domain] = row
         return domains
 
     def summary(self, matrix: ResultMatrix) -> dict[str, int]:
         row = {"total": len(matrix.specs)}
-        for technique in TECHNIQUE_ORDER:
+        for technique in self.techniques:
             row[technique] = matrix.rep_count(technique)
         return row
 
     def summary_ratios(self) -> dict[str, float]:
-        """The §IV-A headline ratios, measured."""
+        """The §IV-A headline ratios, measured (0 for unmeasured columns)."""
         arepair = self.summary(self.arepair)
         alloy4fun = self.summary(self.alloy4fun)
         return {
             "multi_round_best_arepair": max(
-                arepair[f"Multi-Round_{k}"] for k in ("None", "Generic", "Auto")
+                arepair.get(f"Multi-Round_{k}", 0)
+                for k in ("None", "Generic", "Auto")
             )
             / max(arepair["total"], 1),
             "multi_round_best_a4f": max(
-                alloy4fun[f"Multi-Round_{k}"] for k in ("None", "Generic", "Auto")
+                alloy4fun.get(f"Multi-Round_{k}", 0)
+                for k in ("None", "Generic", "Auto")
             )
             / max(alloy4fun["total"], 1),
-            "atr_a4f": alloy4fun["ATR"] / max(alloy4fun["total"], 1),
-            "arepair_own_benchmark": arepair["ARepair"] / max(arepair["total"], 1),
+            "atr_a4f": alloy4fun.get("ATR", 0) / max(alloy4fun["total"], 1),
+            "arepair_own_benchmark": arepair.get("ARepair", 0)
+            / max(arepair["total"], 1),
         }
 
 
@@ -60,11 +70,12 @@ def render_table1(table: Table1) -> str:
     """Text rendering in the layout of the paper's Table I, with the
     published summary row alongside for shape comparison."""
     lines: list[str] = []
+    columns = table.techniques
     header = f"{'domain':<14}{'total':>7}" + "".join(
-        f"{name.split('_')[-1][:9]:>10}" for name in TECHNIQUE_ORDER
+        f"{name.split('_')[-1][:9]:>10}" for name in columns
     )
     lines.append("Table I — REP counts (measured)")
-    lines.append("Columns: " + ", ".join(TECHNIQUE_ORDER))
+    lines.append("Columns: " + ", ".join(columns))
     lines.append("")
     for benchmark_name, matrix, paper_summary, paper_total in (
         ("Alloy4Fun", table.alloy4fun, PAPER_TABLE1_A4F, PAPER_TABLE1_A4F_TOTAL),
@@ -73,14 +84,14 @@ def render_table1(table: Table1) -> str:
         lines.append(f"== {benchmark_name} benchmark ==")
         lines.append(header)
         for domain, row in sorted(table.domain_counts(matrix).items()):
-            cells = "".join(f"{row[t]:>10}" for t in TECHNIQUE_ORDER)
+            cells = "".join(f"{row[t]:>10}" for t in columns)
             lines.append(f"{domain:<14}{row['total']:>7}{cells}")
         summary = table.summary(matrix)
-        cells = "".join(f"{summary[t]:>10}" for t in TECHNIQUE_ORDER)
+        cells = "".join(f"{summary[t]:>10}" for t in columns)
         lines.append(f"{'SUMMARY':<14}{summary['total']:>7}{cells}")
         scale = summary["total"] / paper_total if paper_total else 1.0
         paper_cells = "".join(
-            f"{round(paper_summary[t] * scale):>10}" for t in TECHNIQUE_ORDER
+            f"{round(paper_summary.get(t, 0) * scale):>10}" for t in columns
         )
         lines.append(
             f"{'paper(scaled)':<14}{round(paper_total * scale):>7}{paper_cells}"
@@ -104,5 +115,13 @@ def render_table1(table: Table1) -> str:
     return "\n".join(lines)
 
 
-def compute_table1(arepair: ResultMatrix, alloy4fun: ResultMatrix) -> Table1:
-    return Table1(arepair=arepair, alloy4fun=alloy4fun)
+def compute_table1(
+    arepair: ResultMatrix,
+    alloy4fun: ResultMatrix,
+    techniques: list[str] | None = None,
+) -> Table1:
+    return Table1(
+        arepair=arepair,
+        alloy4fun=alloy4fun,
+        techniques=list(techniques) if techniques else list(TECHNIQUE_ORDER),
+    )

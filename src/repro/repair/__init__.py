@@ -22,6 +22,11 @@ from repro.repair.mutation import Mutant, Mutator, higher_order_mutants, mutatio
 from repro.repair.selector import DynamicSelector, FaultProfile, characterize
 from repro.repair.single_round import SingleRoundLLM
 
+# NOTE: repro.repair.registry is deliberately NOT imported here — it pulls
+# in the benchmark and LLM layers, which themselves import repair
+# submodules; importing it during package init would close that cycle.
+# Use ``from repro.repair import registry`` (a plain submodule import).
+
 __all__ = [
     "ARepair",
     "ARepairConfig",

@@ -6,10 +6,19 @@ cells; one pathological mutant must cost one cell, not the whole matrix.
 — error code, type, message, and the tail of the traceback — which the
 runner accumulates and the report surfaces, so failures are *visible*
 without being *fatal*.
+
+Records must travel: across JSON cache round-trips and — since the
+experiment engine fans out over a process pool — across pickle
+boundaries, where the original exception (possibly holding sockets,
+locks, or other unpicklable state) could not.  :func:`capture_failure`
+therefore flattens everything to plain strings and JSON-safe context
+values at capture time, in the worker, so a record is always safe to
+ship home.
 """
 
 from __future__ import annotations
 
+import json
 import traceback
 from dataclasses import dataclass, field
 
@@ -53,6 +62,15 @@ class FailureRecord:
         )
 
 
+def _jsonable(value):
+    """Coerce a context value to something JSON- and pickle-safe."""
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
 def capture_failure(
     where: str, error: BaseException, tail_lines: int = 4
 ) -> FailureRecord:
@@ -62,7 +80,10 @@ def capture_failure(
     if tb is not None:
         frames = traceback.format_tb(tb)
         tail = "".join(frames[-tail_lines:]).rstrip()
-    context = dict(getattr(error, "context", {}) or {})
+    context = {
+        str(key): _jsonable(value)
+        for key, value in dict(getattr(error, "context", {}) or {}).items()
+    }
     return FailureRecord(
         where=where,
         code=classify_exception(error),
