@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro import obs
 from repro.alloy.errors import AlloyError, AnalysisBudgetError, EvaluationError
 from repro.alloy.nodes import Block, Command, Formula, Module, Not, PredCall
 from repro.alloy.parser import parse_module
@@ -99,21 +100,27 @@ class Analyzer:
         start = time.perf_counter()
         instances: list[Instance] = []
         truncated = False
-        try:
-            for instance in self.solutions(command):
-                instances.append(instance)
-                if len(instances) >= max_instances:
-                    break
-        except AnalysisBudgetError:
-            # A budget overrun part-way through enumeration does not void
-            # the instances already found: the SAT answer stands, only the
-            # enumeration is incomplete.  With zero instances we cannot
-            # distinguish UNSAT from "ran out of budget", so re-raise.
-            if not instances:
-                raise
-            truncated = True
-        elapsed = time.perf_counter() - start
         name = command.target or f"{command.kind}#anonymous"
+        with obs.span("analyzer.command", command=name, kind=command.kind) as span:
+            try:
+                for instance in self.solutions(command):
+                    instances.append(instance)
+                    if len(instances) >= max_instances:
+                        break
+            except AnalysisBudgetError:
+                # A budget overrun part-way through enumeration does not void
+                # the instances already found: the SAT answer stands, only the
+                # enumeration is incomplete.  With zero instances we cannot
+                # distinguish UNSAT from "ran out of budget", so re-raise.
+                if not instances:
+                    raise
+                truncated = True
+            metrics = obs.get_metrics()
+            if metrics.enabled:
+                obs.counter("analyzer.commands").inc()
+                obs.counter("analyzer.instances").inc(len(instances))
+            span.set(sat=bool(instances), instances=len(instances))
+        elapsed = time.perf_counter() - start
         return CommandResult(
             command=command,
             name=name,
@@ -147,6 +154,14 @@ class Analyzer:
         for formula in extra_formulas or []:
             builder.assert_true(translator.formula(formula))
 
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            # Translation size: how big a CNF this command grounded to.
+            obs.histogram("analyzer.translation_vars").observe(solver.num_vars)
+            obs.histogram("analyzer.translation_clauses").observe(
+                solver.num_clauses
+            )
+
         primary = bounds.primary_handles()
         while self._solve_within_budget(solver):
             true_vars = solver.model()
@@ -166,6 +181,8 @@ class Analyzer:
             solver.add_clause(blocking)
 
     def _solve_within_budget(self, solver: SatSolver) -> bool:
+        if obs.get_metrics().enabled:
+            obs.counter("analyzer.solve_calls").inc()
         if self._budget is not None:
             try:
                 self._budget.charge(1, what="solver call")

@@ -7,12 +7,16 @@ Commands:
 - ``repro table1 | figure2 | figure3 | hybrid`` — regenerate a paper artifact.
 - ``repro all`` — regenerate everything and write EXPERIMENTS-report.txt.
 - ``repro validate-corpus`` — check the ground-truth model corpus.
+- ``repro trace <file.jsonl>`` — summarize a trace: top spans, slowest cells.
+- ``repro profile <file.jsonl>...`` — per-technique metric rollup.
 
 Experiment commands accept ``--scale`` (fraction of the Alloy4Fun benchmark,
 default 0.05 for laptop-friendly runs; 1.0 is the paper-sized benchmark),
 ``--seed``, ``--jobs N`` (parallel workers; results are bit-identical to a
-serial run), ``--executor`` (force a backend), and ``--techniques`` (a
-comma-separated subset of registered techniques).
+serial run), ``--executor`` (force a backend), ``--techniques`` (a
+comma-separated subset of registered techniques), ``--trace``/``--trace-out``
+(capture spans + metrics to a trace JSONL), and ``--verbose`` (per-shard
+timing lines).
 """
 
 from __future__ import annotations
@@ -115,6 +119,25 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
         help="comma-separated subset of registered techniques "
         "(default: all twelve standard techniques)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="capture spans and metrics for every executed cell and write "
+        "a trace JSONL per benchmark (inspect with `repro trace` / "
+        "`repro profile`); never changes results",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE.jsonl",
+        help="trace file destination (implies --trace); multi-benchmark "
+        "commands append the benchmark name to the stem",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print a one-line timing summary for every completed shard",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -155,6 +178,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also sweep experiment-engine parallelism (times a small "
         "matrix at --jobs 1/2/4)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="summarize a trace JSONL: top spans, slowest cells"
+    )
+    trace.add_argument("trace_file", help="a trace written by --trace")
+    trace.add_argument(
+        "--top", type=int, default=12, help="rows per section (default 12)"
+    )
+
+    profile = sub.add_parser(
+        "profile", help="per-technique metric rollup from trace files"
+    )
+    profile.add_argument(
+        "trace_files", nargs="+", help="one or more traces written by --trace"
     )
 
     sub.add_parser("validate-corpus", help="check the ground-truth models")
@@ -215,9 +253,12 @@ def _cmd_repair(args) -> int:
 
 def _matrices(args):
     from repro.experiments import ConsoleListener, RunConfig, run_matrix
+    from repro.experiments.runner import derive_trace_out
 
-    listener = ConsoleListener()
+    listener = ConsoleListener(verbose=getattr(args, "verbose", False))
     fail_fast = getattr(args, "fail_fast", False)
+    trace = getattr(args, "trace", False)
+    trace_out = getattr(args, "trace_out", None)
     common = dict(
         seed=args.seed,
         techniques=args.techniques,
@@ -227,11 +268,31 @@ def _matrices(args):
         fail_fast=fail_fast,
         listener=listener,
     )
-    arepair = run_matrix(RunConfig(benchmark="arepair", scale=1.0, **common))
-    alloy4fun = run_matrix(
-        RunConfig(benchmark="alloy4fun", scale=args.scale, **common)
-    )
-    return arepair, alloy4fun
+    matrices = []
+    for benchmark, scale in (("arepair", 1.0), ("alloy4fun", args.scale)):
+        matrix = run_matrix(
+            RunConfig(
+                benchmark=benchmark,
+                scale=scale,
+                trace=trace,
+                trace_out=derive_trace_out(trace_out, trace, benchmark, args.seed),
+                **common,
+            )
+        )
+        if matrix.telemetry is not None:
+            print(
+                f"  [{benchmark}] trace written to "
+                f"{matrix.telemetry['trace_path']}",
+                file=sys.stderr,
+            )
+        elif trace or trace_out:
+            print(
+                f"  [{benchmark}] fully cached run: nothing executed, no "
+                f"trace written (re-run with --no-cache to trace)",
+                file=sys.stderr,
+            )
+        matrices.append(matrix)
+    return tuple(matrices)
 
 
 def _cmd_experiment(args) -> int:
@@ -257,6 +318,9 @@ def _cmd_experiment(args) -> int:
             fail_fast=args.fail_fast,
             jobs=args.jobs,
             executor=args.executor,
+            trace=args.trace,
+            trace_out=args.trace_out,
+            verbose=args.verbose,
         )
         print(report.text)
         with open("EXPERIMENTS-report.txt", "w") as handle:
@@ -323,6 +387,27 @@ def _cmd_ablations(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.export import read_trace, render_trace
+
+    print(render_trace(read_trace(Path(args.trace_file)), top=args.top))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.export import merge_trace_data, read_trace, render_profile
+
+    data = merge_trace_data(
+        [read_trace(Path(f)) for f in args.trace_files]
+    )
+    print(render_profile(data))
+    return 0
+
+
 def _cmd_validate_corpus() -> int:
     from repro.benchmarks import validate_corpus
 
@@ -346,6 +431,10 @@ def _dispatch(args) -> int:
         return _cmd_stats(args)
     if args.command == "ablations":
         return _cmd_ablations(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     return _cmd_experiment(args)
 
 

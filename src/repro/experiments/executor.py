@@ -30,11 +30,13 @@ to workers.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, Sequence
 
+from repro import obs
 from repro.benchmarks.faults import FaultySpec
 from repro.metrics.rep import truth_command_outcomes
 from repro.runtime.guard import FailureRecord, capture_failure
@@ -57,6 +59,9 @@ class ShardTask:
     techniques: tuple[str, ...]
     seed: int
     fail_fast: bool = False
+    trace: bool = False
+    """Capture spans/metrics for this shard's cells.  Never affects the
+    outcomes — only whether the result carries telemetry payloads."""
 
 
 @dataclass
@@ -66,6 +71,13 @@ class ShardResult:
     spec_id: str
     outcomes: dict[str, "SpecOutcome"] = field(default_factory=dict)
     failures: list[FailureRecord] = field(default_factory=list)
+    elapsed: float = 0.0
+    """Wall-clock seconds this shard spent executing (always measured)."""
+    spans: list[dict] = field(default_factory=list)
+    """Finished root spans as JSON payloads — picklable, so worker-process
+    traces survive the trip back to the coordinator.  Empty when untraced."""
+    metrics: dict = field(default_factory=dict)
+    """A :meth:`~repro.obs.MetricsRegistry.snapshot`; empty when untraced."""
 
 
 def execute_shard(task: ShardTask) -> ShardResult:
@@ -75,16 +87,34 @@ def execute_shard(task: ShardTask) -> ShardResult:
     cells of the shard.  With ``fail_fast`` the first exception propagates
     (re-raised by the executor in the coordinating thread); otherwise it is
     frozen into a :class:`FailureRecord` plus a ``"crashed"`` outcome.
+
+    With ``task.trace``, a shard-local tracer/registry pair is installed
+    for the duration (thread-local, so pool threads never interleave) and
+    the result carries the spans and metric snapshot.
     """
+    if not task.trace:
+        return _execute_shard_cells(task)
+    tracer = obs.Tracer()
+    metrics = obs.MetricsRegistry()
+    with obs.scope(tracer, metrics):
+        result = _execute_shard_cells(task)
+    result.spans = [span.to_json() for span in tracer.roots()]
+    result.metrics = metrics.snapshot()
+    return result
+
+
+def _execute_shard_cells(task: ShardTask) -> ShardResult:
     # Imported late: the runner imports this module, and binding run_spec
     # at call time keeps test monkeypatches on the runner effective.
     from repro.experiments import runner
 
+    started = time.perf_counter()
     spec = task.spec
     result = ShardResult(spec_id=spec.spec_id)
     truth: list[bool] | None
     try:
-        truth = truth_command_outcomes(spec.truth_source)
+        with obs.span("truth-oracle", spec=spec.spec_id):
+            truth = truth_command_outcomes(spec.truth_source)
     except Exception as error:
         if task.fail_fast:
             raise
@@ -98,17 +128,19 @@ def execute_shard(task: ShardTask) -> ShardResult:
             # on this spec is unscorable.
             result.outcomes[technique] = runner._crashed_outcome(spec, technique)
             continue
-        try:
-            result.outcomes[technique] = runner.run_spec(
-                spec, technique, task.seed, truth
-            )
-        except Exception as error:
-            if task.fail_fast:
-                raise
-            result.failures.append(
-                capture_failure(f"{spec.spec_id}:{technique}", error)
-            )
-            result.outcomes[technique] = runner._crashed_outcome(spec, technique)
+        with obs.span("cell", spec=spec.spec_id, technique=technique) as span:
+            try:
+                outcome = runner.run_spec(spec, technique, task.seed, truth)
+            except Exception as error:
+                if task.fail_fast:
+                    raise
+                result.failures.append(
+                    capture_failure(f"{spec.spec_id}:{technique}", error)
+                )
+                outcome = runner._crashed_outcome(spec, technique)
+            span.set(status=outcome.status, rep=outcome.rep)
+        result.outcomes[technique] = outcome
+    result.elapsed = time.perf_counter() - started
     return result
 
 

@@ -36,6 +36,12 @@ class ProgressListener(Protocol):
     def on_failure(self, benchmark: str, failure: FailureRecord) -> None:
         """One cell was crash-isolated into a failure record."""
 
+    def on_metrics(self, benchmark: str, summary: dict) -> None:
+        """Per-shard timing/telemetry summary (optional; the engine invokes
+        it defensively, so listeners written before this event existed —
+        or that simply don't care — need not implement it).  ``summary``
+        carries ``spec_id``, ``elapsed`` (seconds), and ``cells``."""
+
 
 class NullListener:
     """The library default: complete silence."""
@@ -49,6 +55,9 @@ class NullListener:
     def on_failure(self, benchmark, failure) -> None:
         pass
 
+    def on_metrics(self, benchmark, summary) -> None:
+        pass
+
 
 NULL_LISTENER = NullListener()
 
@@ -59,10 +68,13 @@ class ConsoleListener:
     Prints a progress line every ``every`` completed cells and, when a
     benchmark's last shard lands, a summary of any isolated failures.
     Tracks state per benchmark so one instance can watch several runs.
+    With ``verbose``, every completed shard gets a one-line timing summary
+    (spec, cell count, elapsed) instead of finishing silently.
     """
 
-    def __init__(self, every: int = 25) -> None:
+    def __init__(self, every: int = 25, verbose: bool = False) -> None:
         self._every = every
+        self._verbose = verbose
         self._failures: dict[str, list[FailureRecord]] = {}
 
     def on_cell(self, benchmark, outcome, done, total) -> None:
@@ -80,3 +92,11 @@ class ConsoleListener:
 
     def on_failure(self, benchmark, failure) -> None:
         self._failures.setdefault(benchmark, []).append(failure)
+
+    def on_metrics(self, benchmark, summary) -> None:
+        if self._verbose:
+            print(
+                f"  [{benchmark}] shard {summary['spec_id']}: "
+                f"{summary['cells']} cells in {summary['elapsed']:.2f}s",
+                flush=True,
+            )

@@ -15,8 +15,18 @@ from repro.experiments.figure2 import compute_figure2, render_figure2
 from repro.experiments.figure3 import compute_figure3, render_figure3
 from repro.experiments.hybrid import compute_hybrid, render_figure4, render_table2
 from repro.experiments.progress import ConsoleListener, ProgressListener
-from repro.experiments.runner import ResultMatrix, RunConfig, run_matrix
+from repro.experiments.runner import (
+    ResultMatrix,
+    RunConfig,
+    derive_trace_out,
+    run_matrix,
+)
 from repro.experiments.table1 import compute_table1, render_table1
+from repro.obs.export import (
+    merge_trace_data,
+    render_profile,
+    trace_data_from_snapshot,
+)
 from repro.runtime.guard import summarize_failures
 
 
@@ -38,23 +48,33 @@ def generate_report(
     jobs: int = 1,
     executor: str = "auto",
     listener: ProgressListener | None = None,
+    trace: bool = False,
+    trace_out: str | None = None,
+    verbose: bool = False,
 ) -> StudyReport:
-    """Run both benchmarks and render the complete study report."""
+    """Run both benchmarks and render the complete study report.
+
+    With ``trace``, both matrix runs capture spans/metrics, write one
+    trace JSONL each, and the report gains a TELEMETRY section rolling up
+    the per-technique costs.
+    """
     started = time.time()
-    if listener is None and progress:
-        listener = ConsoleListener()
+    if listener is None and (progress or verbose):
+        listener = ConsoleListener(verbose=verbose)
     arepair = run_matrix(
         RunConfig(
             benchmark="arepair", scale=1.0, seed=seed, use_cache=use_cache,
             fail_fast=fail_fast, jobs=jobs, executor=executor,
-            listener=listener,
+            listener=listener, trace=trace,
+            trace_out=derive_trace_out(trace_out, trace, "arepair", seed),
         )
     )
     alloy4fun = run_matrix(
         RunConfig(
             benchmark="alloy4fun", scale=scale, seed=seed, use_cache=use_cache,
             fail_fast=fail_fast, jobs=jobs, executor=executor,
-            listener=listener,
+            listener=listener, trace=trace,
+            trace_out=derive_trace_out(trace_out, trace, "alloy4fun", seed),
         )
     )
     matrices = [arepair, alloy4fun]
@@ -80,6 +100,19 @@ def generate_report(
     sections.append("")
     sections.append(render_figure4(analysis))
     sections.append("")
+    telemetry = [m.telemetry for m in matrices if m.telemetry is not None]
+    if telemetry:
+        # The traced run's cost profile: where each technique spent its
+        # SAT/analyzer/LLM effort, rolled up across both benchmarks.
+        merged = merge_trace_data(
+            [trace_data_from_snapshot(t["metrics"]) for t in telemetry]
+        )
+        paths = ", ".join(t["trace_path"] for t in telemetry)
+        sections.append("TELEMETRY (traced run)")
+        sections.append(f"trace files: {paths}")
+        sections.append("")
+        sections.append(render_profile(merged))
+        sections.append("")
     failures = arepair.failures + alloy4fun.failures
     if failures:
         # Crash-isolated cells are scored as misses; surfacing them keeps

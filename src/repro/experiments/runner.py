@@ -24,9 +24,13 @@ import sys
 import time
 import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
+from repro import obs
 from repro.benchmarks.cache import cache_dir, load_benchmark
+from repro.obs.export import write_trace
+from repro.obs.trace import Span
 from repro.benchmarks.faults import FaultySpec
 from repro.experiments.executor import ShardTask, create_executor
 from repro.experiments.progress import (
@@ -84,6 +88,13 @@ class RunConfig:
     fail_fast: bool = False
     listener: ProgressListener | None = None
     """Progress callbacks; ``None`` is silent (the library default)."""
+    trace: bool = False
+    """Capture spans and metrics for every executed cell.  Never changes
+    the computed matrix — only whether telemetry is collected and a trace
+    file written."""
+    trace_out: str | None = None
+    """Trace file destination (implies ``trace``); default
+    ``trace-<benchmark>-seed<seed>.jsonl`` in the working directory."""
 
     def __post_init__(self) -> None:
         if self.techniques is not None:
@@ -99,6 +110,15 @@ class RunConfig:
 
     def technique_list(self) -> list[str]:
         return list(self.techniques) if self.techniques else list(ALL_TECHNIQUES)
+
+    @property
+    def tracing(self) -> bool:
+        return self.trace or self.trace_out is not None
+
+    def trace_path(self) -> Path:
+        if self.trace_out is not None:
+            return Path(self.trace_out)
+        return Path.cwd() / f"trace-{self.benchmark}-seed{self.seed}.jsonl"
 
 
 @dataclass
@@ -127,6 +147,10 @@ class ResultMatrix:
     failures: list[FailureRecord] = field(default_factory=list)
     """Crash-isolated cell failures; the corresponding outcomes carry
     ``status="crashed"`` and count as unrepaired."""
+    telemetry: dict | None = None
+    """Present only on traced runs: the merged metrics snapshot
+    (``"metrics"``) and the trace file path (``"trace_path"``).  Never
+    cached — cached cells produced no telemetry to begin with."""
 
     def repaired_ids(self, technique: str) -> set[str]:
         return {
@@ -162,6 +186,23 @@ class ResultMatrix:
     def failure_summary(self) -> dict[str, int]:
         """Count of crash-isolated failures per error code."""
         return summarize_failures(self.failures)
+
+
+def derive_trace_out(
+    trace_out: str | None, trace: bool, benchmark: str, seed: int
+) -> str | None:
+    """Per-benchmark trace destination for multi-benchmark drivers.
+
+    A single ``--trace-out`` cannot serve two matrices (the second would
+    clobber the first), so the benchmark name is folded into the stem;
+    with bare ``--trace`` the default ``trace-<benchmark>-seed<seed>``
+    naming already keeps the files apart.
+    """
+    if trace_out is None:
+        return f"trace-{benchmark}-seed{seed}.jsonl" if trace else None
+    path = Path(trace_out)
+    suffix = path.suffix or ".jsonl"
+    return str(path.with_name(f"{path.stem}-{benchmark}{suffix}"))
 
 
 def _seed_for(spec: FaultySpec, technique: str, seed: int) -> int:
@@ -305,6 +346,7 @@ def _run(config: RunConfig) -> ResultMatrix:
     total = len(specs) * len(techniques)
     done = 0
     shards: list[ShardTask] = []
+    tracing = config.tracing
     for spec in specs:
         row = matrix.outcomes.get(spec.spec_id, {})
         missing = tuple(t for t in techniques if t not in row)
@@ -316,10 +358,17 @@ def _run(config: RunConfig) -> ResultMatrix:
                     techniques=missing,
                     seed=config.seed,
                     fail_fast=config.fail_fast,
+                    trace=tracing,
                 )
             )
     if not shards:
         return matrix
+
+    # Run-level telemetry accumulators (only allocated when tracing):
+    # worker shards return picklable span/metric payloads, merged here so
+    # thread and process runs aggregate identically to serial ones.
+    run_spans: list[Span] = []
+    run_metrics = obs.MetricsRegistry() if tracing else None
 
     backend = create_executor(config.executor, config.jobs)
     shards_done = 0
@@ -336,12 +385,46 @@ def _run(config: RunConfig) -> ResultMatrix:
         listener.on_shard_done(
             config.benchmark, result.spec_id, shards_done, len(shards)
         )
+        # Defensive dispatch: on_metrics post-dates the listener protocol,
+        # and third-party listeners may not implement it.
+        on_metrics = getattr(listener, "on_metrics", None)
+        if on_metrics is not None:
+            on_metrics(
+                config.benchmark,
+                {
+                    "spec_id": result.spec_id,
+                    "elapsed": result.elapsed,
+                    "cells": len(result.outcomes),
+                },
+            )
+        if run_metrics is not None:
+            run_spans.extend(Span.from_json(payload) for payload in result.spans)
+            run_metrics.merge(result.metrics)
         if config.use_cache and (
             shards_done % config.flush_every == 0 or shards_done == len(shards)
         ):
             # Incremental durability: a killed run resumes from the last
             # flushed shard instead of losing everything.
             _save_outcomes(matrix, path)
+
+    if run_metrics is not None:
+        trace_path = config.trace_path()
+        write_trace(
+            trace_path,
+            run_spans,
+            run_metrics,
+            meta={
+                "benchmark": config.benchmark,
+                "seed": config.seed,
+                "scale": config.scale,
+                "jobs": config.jobs,
+                "executor": config.executor,
+            },
+        )
+        matrix.telemetry = {
+            "metrics": run_metrics.snapshot(),
+            "trace_path": str(trace_path),
+        }
     return matrix
 
 

@@ -11,8 +11,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
+from repro import obs
 from repro.runtime.errors import ReproError, TransientError
 from repro.runtime.retry import RetryPolicy, call_with_retry
+
+
+def estimate_tokens(text: str) -> int:
+    """A model-free token estimate (the usual ~4 chars/token heuristic).
+
+    The offline mock has no real tokenizer; this keeps prompt/completion
+    cost telemetry comparable in shape to what a billed API would report.
+    """
+    return max(1, len(text) // 4) if text else 0
 
 
 @dataclass(frozen=True)
@@ -110,10 +120,27 @@ class RetryingClient:
 
         def count(attempt_no: int, delay: float, error: BaseException) -> None:
             self.retries += 1
+            if obs.get_metrics().enabled:
+                obs.counter("llm.retries").inc()
 
-        return call_with_retry(
-            attempt, policy=self.policy, sleep=self.sleep, on_retry=count
-        )
+        with obs.span("llm.complete", messages=len(conversation.messages)) as span:
+            completion = call_with_retry(
+                attempt, policy=self.policy, sleep=self.sleep, on_retry=count
+            )
+            metrics = obs.get_metrics()
+            if metrics.enabled:
+                prompt_tokens = sum(
+                    estimate_tokens(m.content) for m in conversation.messages
+                )
+                completion_tokens = estimate_tokens(completion)
+                obs.counter("llm.requests").inc()
+                obs.counter("llm.prompt_tokens").inc(prompt_tokens)
+                obs.counter("llm.completion_tokens").inc(completion_tokens)
+                span.set(
+                    prompt_tokens=prompt_tokens,
+                    completion_tokens=completion_tokens,
+                )
+        return completion
 
 
 @dataclass

@@ -1,0 +1,134 @@
+"""``repro.obs`` — tracing, metrics, and profiling for the whole stack.
+
+The instrumented layers (SAT solver, analyzer, repair tools, LLM client)
+never receive a tracer explicitly; they ask this module for the *active*
+observability scope:
+
+    with obs.scope(Tracer(), MetricsRegistry()):
+        ...            # everything on this thread records spans/metrics
+
+    obs.span("sat.solve")              # context manager; no-op outside a scope
+    obs.counter("llm.requests").inc()  # ditto
+
+The scope is **thread-local**: each experiment shard installs its own
+tracer/registry inside its worker (thread or forked process), so parallel
+shards never interleave, and code outside any scope — the default for
+every library caller and the whole tier-1 suite — hits the shared
+:data:`~repro.obs.trace.NULL_TRACER` / :data:`~repro.obs.metrics.NULL_METRICS`
+no-op objects, keeping the untraced path allocation-light.
+
+:func:`labels` adds ambient metric labels: ``with obs.labels(technique="ATR")``
+makes every instrument created inside the block carry that label, which is
+how solver and LLM metrics get attributed to the repair technique that
+triggered them without threading names through every constructor.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    metric_key,
+    parse_key,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "counter",
+    "gauge",
+    "get_metrics",
+    "get_tracer",
+    "histogram",
+    "labels",
+    "metric_key",
+    "parse_key",
+    "scope",
+    "span",
+    "tracing_enabled",
+]
+
+_ACTIVE = threading.local()
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The calling thread's tracer (:data:`NULL_TRACER` outside a scope)."""
+    return getattr(_ACTIVE, "tracer", NULL_TRACER)
+
+
+def get_metrics() -> MetricsRegistry | NullMetrics:
+    """The calling thread's registry (:data:`NULL_METRICS` outside a scope)."""
+    return getattr(_ACTIVE, "metrics", NULL_METRICS)
+
+
+def tracing_enabled() -> bool:
+    return get_tracer().enabled
+
+
+@contextmanager
+def scope(
+    tracer: Tracer | NullTracer, metrics: MetricsRegistry | NullMetrics
+) -> Iterator[None]:
+    """Install an observability scope on the calling thread."""
+    previous = (
+        getattr(_ACTIVE, "tracer", NULL_TRACER),
+        getattr(_ACTIVE, "metrics", NULL_METRICS),
+        getattr(_ACTIVE, "labels", {}),
+    )
+    _ACTIVE.tracer = tracer
+    _ACTIVE.metrics = metrics
+    _ACTIVE.labels = {}
+    try:
+        yield
+    finally:
+        _ACTIVE.tracer, _ACTIVE.metrics, _ACTIVE.labels = previous
+
+
+@contextmanager
+def labels(**extra: Any) -> Iterator[None]:
+    """Merge ambient labels into every instrument created in the block."""
+    previous = getattr(_ACTIVE, "labels", {})
+    _ACTIVE.labels = {**previous, **extra}
+    try:
+        yield
+    finally:
+        _ACTIVE.labels = previous
+
+
+def _merged(explicit: dict[str, Any]) -> dict[str, Any]:
+    ambient = getattr(_ACTIVE, "labels", None)
+    if not ambient:
+        return explicit
+    return {**ambient, **explicit}
+
+
+def span(name: str, /, **attrs: Any):
+    """Open a span on the active tracer (no-op outside a scope)."""
+    return get_tracer().span(name, **attrs)
+
+
+def counter(name: str, **labels_: Any):
+    return get_metrics().counter(name, **_merged(labels_))
+
+
+def gauge(name: str, **labels_: Any):
+    return get_metrics().gauge(name, **_merged(labels_))
+
+
+def histogram(name: str, **labels_: Any):
+    return get_metrics().histogram(name, **_merged(labels_))

@@ -1,0 +1,173 @@
+"""Hierarchical spans: the tracing half of the observability subsystem.
+
+A :class:`Tracer` produces nested :class:`Span` records via the
+``span(name, **attrs)`` context manager.  Design constraints, in order:
+
+- **zero dependencies** — plain stdlib, picklable span payloads;
+- **cheap when disabled** — the default tracer is :data:`NULL_TRACER`,
+  whose ``span`` call returns a shared no-op context manager, so
+  instrumented hot paths (every solver call is one) pay only a method
+  call and a kwargs dict when tracing is off;
+- **thread-safe** — each thread keeps its own open-span stack in a
+  ``threading.local``; only the finished-roots list is shared (and
+  locked), so shards running on a thread pool can share one tracer
+  without interleaving their span trees.
+
+Timing uses ``time.perf_counter`` (monotonic); spans record durations,
+never wall-clock timestamps, so traces from different workers compare.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of work; children nest inside it."""
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    duration: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes after entry (e.g. counts known only at exit)."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_json(self) -> dict:
+        payload: dict[str, Any] = {"name": self.name, "duration": self.duration}
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.children:
+            payload["children"] = [child.to_json() for child in self.children]
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Span":
+        return cls(
+            name=payload["name"],
+            attrs=dict(payload.get("attrs", {})),
+            duration=payload["duration"],
+            children=[cls.from_json(c) for c in payload.get("children", [])],
+        )
+
+
+class _ActiveSpan:
+    """The context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span", "_start")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        self._start = time.perf_counter()
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        # Always closes, including on exceptions (UNSAT-by-assumption,
+        # budget overruns): the duration is whatever elapsed until unwind.
+        self._span.duration = time.perf_counter() - self._start
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Collects span trees; one instance per traced unit of work."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def span(self, name: str, /, **attrs: Any) -> _ActiveSpan:
+        """Open a span nested under the current thread's innermost span."""
+        return _ActiveSpan(self, Span(name=name, attrs=attrs))
+
+    def current(self) -> Span | None:
+        """The innermost open span on the calling thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def roots(self) -> list[Span]:
+        """Finished top-level spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def adopt(self, spans: list[Span]) -> None:
+        """Append already-finished root spans (merging worker traces)."""
+        with self._lock:
+            self._roots.extend(spans)
+
+    # -- stack management (called by _ActiveSpan) --------------------------
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._local.stack
+        assert stack and stack[-1] is span, "span stack corrupted"
+        stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+
+class NullSpan:
+    """The span handed out when tracing is off; absorbs everything."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict[str, Any] = {}
+    duration = 0.0
+    children: list[Span] = []
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+
+class _NullActiveSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+class NullTracer:
+    """The disabled tracer: every call is a constant-time no-op."""
+
+    enabled = False
+
+    def span(self, name: str, /, **attrs: Any) -> _NullActiveSpan:
+        return _NULL_ACTIVE_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def roots(self) -> list[Span]:
+        return []
+
+    def adopt(self, spans: list[Span]) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+_NULL_ACTIVE_SPAN = _NullActiveSpan()
+NULL_TRACER = NullTracer()

@@ -14,6 +14,7 @@ import enum
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.alloy.errors import AlloyError
 from repro.alloy.nodes import Module
 from repro.runtime.errors import classify_exception
@@ -65,6 +66,9 @@ class RepairResult:
     candidate_source: str | None = None
     iterations: int = 0
     candidates_explored: int = 0
+    candidates_pruned: int = 0
+    """Candidates discarded before oracle evaluation (BeAFix-style
+    semantic/duplicate pruning); zero for techniques that do not prune."""
     oracle_queries: int = 0
     elapsed: float = 0.0
     detail: str = ""
@@ -188,20 +192,45 @@ class RepairTool:
 
     def repair(self, task: RepairTask) -> RepairResult:
         start = time.perf_counter()
-        try:
-            result = self._repair(task)
-        except Exception as error:
-            # Crash isolation: one pathological spec (or a tool bug) must
-            # cost one repair attempt, not the whole benchmark run.  The
-            # error code keeps the failure classifiable downstream.
-            result = RepairResult(
-                status=RepairStatus.ERROR,
-                technique=self.name,
-                detail=f"[{classify_exception(error)}] {error}",
+        # Ambient technique label: solver/analyzer/LLM metrics recorded
+        # anywhere below this frame are attributed to this technique, which
+        # is what `repro profile` rolls up.
+        with obs.labels(technique=self.name), obs.span(
+            "repair", technique=self.name
+        ) as span:
+            try:
+                result = self._repair(task)
+            except Exception as error:
+                # Crash isolation: one pathological spec (or a tool bug) must
+                # cost one repair attempt, not the whole benchmark run.  The
+                # error code keeps the failure classifiable downstream.
+                result = RepairResult(
+                    status=RepairStatus.ERROR,
+                    technique=self.name,
+                    detail=f"[{classify_exception(error)}] {error}",
+                )
+            result.elapsed = time.perf_counter() - start
+            result.technique = self.name
+            span.set(
+                status=result.status.value,
+                iterations=result.iterations,
+                candidates=result.candidates_explored,
             )
-        result.elapsed = time.perf_counter() - start
-        result.technique = self.name
+            self._record_metrics(result)
         return result
+
+    def _record_metrics(self, result: RepairResult) -> None:
+        """Per-technique telemetry from one finished attempt."""
+        if not obs.get_metrics().enabled:
+            return
+        obs.counter("repair.attempts").inc()
+        if result.fixed:
+            obs.counter("repair.fixed").inc()
+        obs.counter("repair.iterations").inc(result.iterations)
+        obs.counter("repair.candidates").inc(result.candidates_explored)
+        obs.counter("repair.pruned").inc(result.candidates_pruned)
+        obs.counter("repair.oracle_calls").inc(result.oracle_queries)
+        obs.histogram("repair.seconds").observe(result.elapsed)
 
     def _repair(self, task: RepairTask) -> RepairResult:
         raise NotImplementedError

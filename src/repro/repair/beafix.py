@@ -93,6 +93,7 @@ class BeAFix(RepairTool):
                     candidate=mutant.module,
                     candidate_source=print_module(mutant.module),
                     candidates_explored=explored,
+                    candidates_pruned=pruned,
                     oracle_queries=oracle.queries,
                     detail=f"mutations: {mutant.description} (pruned {pruned})",
                 )
@@ -101,6 +102,7 @@ class BeAFix(RepairTool):
             status=RepairStatus.NOT_FIXED,
             technique=self.name,
             candidates_explored=explored,
+            candidates_pruned=pruned,
             oracle_queries=oracle.queries,
             detail=f"search exhausted; pruned {pruned} candidates",
         )

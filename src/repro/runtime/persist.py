@@ -47,6 +47,66 @@ def atomic_write_json(path: Path, payload: Any, schema: str | None = None) -> No
                 pass
 
 
+def atomic_write_jsonl(
+    path: Path, records: Any, schema: str | None = None
+) -> None:
+    """Write an iterable of JSON records, one per line, atomically.
+
+    With ``schema``, the first line is a header object ``{"schema": ...}``
+    that :func:`load_jsonl` verifies — the line-oriented analogue of the
+    envelope :func:`atomic_write_json` wraps around a single payload.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with tmp.open("w") as handle:
+            if schema is not None:
+                handle.write(json.dumps({_SCHEMA_KEY: schema}) + "\n")
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # only on a failed dump/replace
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+
+def load_jsonl(path: Path, schema: str | None = None) -> list[Any]:
+    """Read a JSONL file back, raising :class:`CacheCorruptionError` on any
+    defect (unreadable file, invalid line, missing or mismatched header)."""
+    try:
+        with path.open() as handle:
+            lines = [line for line in handle if line.strip()]
+    except (OSError, UnicodeDecodeError) as error:
+        raise CacheCorruptionError(
+            f"unreadable file {path.name}: {error}",
+            context={"path": str(path)},
+        ) from error
+    try:
+        records = [json.loads(line) for line in lines]
+    except json.JSONDecodeError as error:
+        raise CacheCorruptionError(
+            f"invalid JSONL in {path.name}: {error}",
+            context={"path": str(path)},
+        ) from error
+    if schema is None:
+        return records
+    if not records or not isinstance(records[0], dict) or _SCHEMA_KEY not in records[0]:
+        raise CacheCorruptionError(
+            f"file {path.name} has no schema header",
+            context={"path": str(path), "expected": schema},
+        )
+    found = records[0][_SCHEMA_KEY]
+    if found != schema:
+        raise CacheCorruptionError(
+            f"file {path.name} has schema {found!r}, expected {schema!r}",
+            context={"path": str(path), "found": found, "expected": schema},
+        )
+    return records[1:]
+
+
 def load_json(path: Path, schema: str | None = None) -> Any:
     """Read JSON back, raising :class:`CacheCorruptionError` on any defect.
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
+
 
 @dataclass
 class SolverStats:
@@ -28,6 +30,25 @@ class SolverStats:
     conflicts: int = 0
     learned_clauses: int = 0
     restarts: int = 0
+
+    def delta(self, since: "SolverStats") -> "SolverStats":
+        """The per-call view: counts accumulated after ``since``."""
+        return SolverStats(
+            decisions=self.decisions - since.decisions,
+            propagations=self.propagations - since.propagations,
+            conflicts=self.conflicts - since.conflicts,
+            learned_clauses=self.learned_clauses - since.learned_clauses,
+            restarts=self.restarts - since.restarts,
+        )
+
+    def copy(self) -> "SolverStats":
+        return SolverStats(
+            decisions=self.decisions,
+            propagations=self.propagations,
+            conflicts=self.conflicts,
+            learned_clauses=self.learned_clauses,
+            restarts=self.restarts,
+        )
 
 
 class Unsatisfiable(Exception):
@@ -73,6 +94,11 @@ class SatSolver:
         self._propagate_head = 0
         self._root_conflict = False
         self.stats = SolverStats()
+        self.last_solve = SolverStats()
+        """Counters for the most recent :meth:`solve` call only.  ``stats``
+        accumulates across the solver's lifetime (instance enumeration adds
+        clauses and re-solves), so per-call diagnostics must come from here
+        — reading ``stats`` after the second call double-counts."""
 
     # -- problem construction ------------------------------------------------
 
@@ -92,6 +118,11 @@ class SatSolver:
     @property
     def num_vars(self) -> int:
         return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Attached (non-unit) clauses, including learned ones."""
+        return len(self._clauses)
 
     def _ensure_vars(self, lits: list[int]) -> None:
         highest = max((abs(l) for l in lits), default=0)
@@ -295,6 +326,41 @@ class SatSolver:
         ``conflict_limit`` bounds this call's conflicts; exceeding it raises
         :class:`BudgetExceeded` (a deterministic stand-in for a timeout).
         """
+        before = self.stats.copy()
+        with obs.span("sat.solve") as span:
+            try:
+                sat = self._search(assumptions, conflict_limit)
+            finally:
+                # Per-call accounting must survive every exit — UNSAT by
+                # assumptions, root conflicts, and BudgetExceeded all
+                # unwind through here, so the span closes and last_solve
+                # is fresh even when this call aborts.
+                self.last_solve = delta = self.stats.delta(before)
+                metrics = obs.get_metrics()
+                if metrics.enabled:
+                    obs.counter("sat.solves").inc()
+                    obs.counter("sat.decisions").inc(delta.decisions)
+                    obs.counter("sat.propagations").inc(delta.propagations)
+                    obs.counter("sat.conflicts").inc(delta.conflicts)
+                    obs.counter("sat.learned_clauses").inc(delta.learned_clauses)
+                    obs.counter("sat.restarts").inc(delta.restarts)
+                    obs.histogram("sat.conflicts_per_solve").observe(
+                        delta.conflicts
+                    )
+                span.set(
+                    conflicts=delta.conflicts,
+                    decisions=delta.decisions,
+                    vars=self._num_vars,
+                    clauses=len(self._clauses),
+                )
+            span.set(sat=sat)
+            return sat
+
+    def _search(
+        self,
+        assumptions: list[int] | None,
+        conflict_limit: int | None,
+    ) -> bool:
         self._backtrack(0)
         if self._root_conflict:
             return False
@@ -303,7 +369,12 @@ class SatSolver:
             return False
 
         assumptions = list(assumptions or [])
-        conflicts_until_restart = 32 * _luby(self.stats.restarts + 1)
+        # Restart scheduling is per-call: a reused solver restarts the Luby
+        # sequence on every solve.  (It used to index the sequence with the
+        # lifetime restart count, so later calls on a reused solver began
+        # deep in the sequence with enormous restart intervals.)
+        restarts_this_call = 0
+        conflicts_until_restart = 32 * _luby(restarts_this_call + 1)
         conflicts_at_last_restart = self.stats.conflicts
         conflicts_at_start = self.stats.conflicts
 
@@ -342,8 +413,9 @@ class SatSolver:
                     >= conflicts_until_restart
                 ):
                     self.stats.restarts += 1
+                    restarts_this_call += 1
                     conflicts_at_last_restart = self.stats.conflicts
-                    conflicts_until_restart = 32 * _luby(self.stats.restarts + 1)
+                    conflicts_until_restart = 32 * _luby(restarts_this_call + 1)
                     self._backtrack(len(assumptions))
                 continue
 

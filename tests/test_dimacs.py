@@ -39,6 +39,19 @@ class TestRoundTrip:
         num_vars, parsed = parse_dimacs(text)
         assert num_vars == 3 and parsed == clauses
 
+    def test_parse_emit_parse_is_identity(self):
+        # Messy but legal input: comments, a clause split across lines, a
+        # trailing clause without its 0 terminator.  One parse → emit pass
+        # canonicalizes; after that the representation is a fixed point.
+        messy = "c header\np cnf 4 3\n1 -2\n3 0\nc mid\n-3 4 0\n2 -4\n"
+        num_vars, clauses = parse_dimacs(messy)
+        emitted = to_dimacs(num_vars, clauses)
+        assert parse_dimacs(emitted) == (num_vars, clauses)
+        assert parse_dimacs(to_dimacs(num_vars, clauses)) == (
+            num_vars,
+            clauses,
+        )
+
     def test_solver_from_dimacs_sat(self):
         solver = solver_from_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n")
         assert solver.solve()
