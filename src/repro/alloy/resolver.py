@@ -125,6 +125,24 @@ class ModuleInfo:
         """The top-level ancestor of signature ``name``."""
         return self.ancestors(name)[-1]
 
+    # -- type facts (consumed by repro.analysis) ---------------------------
+
+    def overlapping(self, a: str, b: str) -> bool:
+        """Can signatures ``a`` and ``b`` share an atom?
+
+        True iff one is an ancestor of the other — atoms belong to a single
+        chain of the hierarchy, so unrelated signatures are disjoint.
+        """
+        return a == b or a in self.ancestors(b) or b in self.ancestors(a)
+
+    def meet_sigs(self, a: str, b: str) -> str | None:
+        """The more specific of two overlapping signatures, else ``None``."""
+        if a == b or b in self.ancestors(a):
+            return a
+        if a in self.ancestors(b):
+            return b
+        return None
+
 
 class Resolver:
     """Performs resolution and arity checking for one module."""

@@ -1,0 +1,59 @@
+"""Static analysis over the Alloy AST: relational types, lint, pruning.
+
+Public surface:
+
+- :mod:`repro.analysis.reltypes` — bounding-type inference
+  (:class:`TypeInferencer`, :class:`RelType`)
+- :mod:`repro.analysis.diagnostics` — rule registry and findings
+  (:class:`Rule`, :class:`Diagnostic`, :class:`Severity`, :class:`LintError`)
+- :mod:`repro.analysis.lint` — the lint engine (:func:`lint_module`,
+  :func:`check_module`, :func:`render_diagnostics`)
+- :mod:`repro.analysis.prune` — candidate vetoes (:class:`CandidateFilter`,
+  :func:`pruning`, :func:`pruning_enabled`)
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintError,
+    Rule,
+    Severity,
+    all_rules,
+    rule_by_name,
+)
+from repro.analysis.lint import (
+    check_module,
+    lint_module,
+    lint_source,
+    render_diagnostics,
+)
+from repro.analysis.prune import CandidateFilter, pruning, pruning_enabled
+from repro.analysis.reltypes import (
+    INT_TYPE,
+    RelType,
+    TypeInferencer,
+    empty_type,
+    inferencer_for,
+    wildcard,
+)
+
+__all__ = [
+    "CandidateFilter",
+    "Diagnostic",
+    "INT_TYPE",
+    "LintError",
+    "RelType",
+    "Rule",
+    "Severity",
+    "TypeInferencer",
+    "all_rules",
+    "check_module",
+    "empty_type",
+    "inferencer_for",
+    "lint_module",
+    "lint_source",
+    "pruning",
+    "pruning_enabled",
+    "render_diagnostics",
+    "rule_by_name",
+    "wildcard",
+]

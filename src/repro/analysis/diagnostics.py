@@ -1,0 +1,226 @@
+"""Diagnostics: what the lint engine reports, and the rule registry.
+
+Every finding is a :class:`Diagnostic` — a stable rule code, a severity, a
+message, and the source position of the offending node — mirroring the
+shape of compiler diagnostics so the CLI, the CI corpus gate, and the LLM
+feedback renderer all consume the same records.
+
+Rules live in a registry keyed by stable code (``A201`` …) *and* by a
+kebab-case name (``disjoint-join``).  Codes are append-only: a rule may be
+retired but its code is never reused, so historical traces and error
+taxonomies stay interpretable.
+
+Severity doubles as policy:
+
+- ``ERROR`` — the construct is semantically dead (an always-empty join, a
+  quantifier over a provably empty domain).  Candidate pruning vetoes
+  mutants that *introduce* one of these.
+- ``WARNING`` — almost certainly unintended (tautological comparison,
+  shadowed binding); prunable when introduced by a mutation.
+- ``INFO`` — hygiene findings (unused declarations); reported, never
+  grounds for pruning a repair candidate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.alloy.errors import AlloyError, SourcePos
+
+
+class LintError(AlloyError):
+    """Raised when a caller asks for lint findings to be fatal.
+
+    Carries the diagnostics so programmatic callers (CI, the corpus
+    validator) can render them; :func:`repro.runtime.errors.classify_exception`
+    maps this class to the stable ``spec.lint`` error code.
+    """
+
+    def __init__(self, message: str, diagnostics: list["Diagnostic"]) -> None:
+        super().__init__(message, diagnostics[0].pos if diagnostics else None)
+        self.diagnostics = diagnostics
+
+
+class Severity(enum.IntEnum):
+    """Ordered so that ``severity >= threshold`` comparisons read naturally."""
+
+    INFO = 1
+    WARNING = 2
+    ERROR = 3
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r} (expected info, warning, or error)"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    code: str
+    """Stable identifier, e.g. ``A201``; append-only, never reused."""
+    name: str
+    """Kebab-case name, e.g. ``disjoint-join``."""
+    severity: Severity
+    description: str
+    prunes: bool = False
+    """Whether a candidate *introducing* this finding is semantically dead
+    and may be vetoed before translation/solving."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding with its source location."""
+
+    rule: Rule = field(compare=False)
+    message: str = ""
+    pos: SourcePos = field(default=SourcePos(0, 0), compare=False)
+    context: str = ""
+    """The enclosing paragraph, e.g. ``fact Marriage`` or ``pred lookup``."""
+
+    @property
+    def code(self) -> str:
+        return self.rule.code
+
+    @property
+    def severity(self) -> Severity:
+        return self.rule.severity
+
+    def key(self) -> tuple[str, str, str]:
+        """Position-independent identity, used to diff candidate findings
+        against a baseline (mutations shift positions, not meanings)."""
+        return (self.rule.code, self.context, self.message)
+
+    def render(self) -> str:
+        return (
+            f"{self.rule.code} {self.severity.name.lower():7s} "
+            f"{self.pos.line}:{self.pos.column}  {self.message}"
+            + (f"  [{self.context}]" if self.context else "")
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(
+    code: str,
+    name: str,
+    severity: Severity,
+    description: str,
+    *,
+    prunes: bool = False,
+) -> Rule:
+    """Register one rule; duplicate codes or names are a programming error."""
+    if code in _RULES:
+        raise ValueError(f"rule code {code!r} already registered")
+    if any(rule.name == name for rule in _RULES.values()):
+        raise ValueError(f"rule name {name!r} already registered")
+    rule = Rule(
+        code=code,
+        name=name,
+        severity=severity,
+        description=description,
+        prunes=prunes,
+    )
+    _RULES[code] = rule
+    return rule
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule in registration (= code) order."""
+    return list(_RULES.values())
+
+
+def rule_by_name(name: str) -> Rule:
+    """Look a rule up by code or kebab-case name."""
+    if name in _RULES:
+        return _RULES[name]
+    for rule in _RULES.values():
+        if rule.name == name:
+            return rule
+    raise KeyError(f"unknown lint rule {name!r}")
+
+
+# -- the built-in rule set ----------------------------------------------------
+# Codes are grouped by family: A2xx dead semantics, A3xx suspicious shapes,
+# A4xx hygiene.
+
+DISJOINT_JOIN = register_rule(
+    "A201",
+    "disjoint-join",
+    Severity.ERROR,
+    "a join whose column types never overlap: the expression is always empty",
+    prunes=True,
+)
+EMPTY_INTERSECTION = register_rule(
+    "A202",
+    "empty-intersection",
+    Severity.ERROR,
+    "an intersection of disjoint types: the expression is always empty",
+    prunes=True,
+)
+VACUOUS_QUANTIFIER = register_rule(
+    "A203",
+    "vacuous-quantifier",
+    Severity.ERROR,
+    "a quantifier or comprehension over a statically empty domain",
+    prunes=True,
+)
+CONTRADICTORY_MULT = register_rule(
+    "A204",
+    "contradictory-mult",
+    Severity.ERROR,
+    "a multiplicity constraint that a statically empty operand can never "
+    "satisfy (e.g. `some` over an always-empty expression)",
+    prunes=True,
+)
+TAUTOLOGY = register_rule(
+    "A301",
+    "tautology",
+    Severity.WARNING,
+    "a formula that is true in every instance (e.g. `e = e`, `no none`)",
+    prunes=True,
+)
+CONTRADICTION = register_rule(
+    "A302",
+    "contradiction",
+    Severity.WARNING,
+    "a formula that is false in every instance (e.g. `e != e`)",
+    prunes=True,
+)
+SHADOWED_BINDING = register_rule(
+    "A303",
+    "shadowed-binding",
+    Severity.WARNING,
+    "a binder that shadows an outer binder, signature, or field",
+)
+UNUSED_SIG = register_rule(
+    "A401",
+    "unused-sig",
+    Severity.INFO,
+    "a signature never referenced by any field, formula, or command",
+)
+UNUSED_FIELD = register_rule(
+    "A402",
+    "unused-field",
+    Severity.INFO,
+    "a field never referenced by any formula",
+)
+UNUSED_PRED = register_rule(
+    "A403",
+    "unused-pred",
+    Severity.INFO,
+    "a predicate never called and never targeted by a command",
+)
+UNUSED_FUN = register_rule(
+    "A404",
+    "unused-fun",
+    Severity.INFO,
+    "a function never applied in any formula",
+)

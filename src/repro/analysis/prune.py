@@ -1,0 +1,99 @@
+"""Static pruning of repair candidates.
+
+A candidate patch that *introduces* a semantically dead construct — a join
+that can never produce tuples, a quantifier over a provably empty domain, a
+tautological replacement — cannot change the meaning of the specification in
+a useful way, so translating and solving it is wasted budget.
+:class:`CandidateFilter` diffs a candidate's lint findings against the
+original module's and vetoes candidates whose *new* findings come from
+pruning-eligible rules (:attr:`~repro.analysis.diagnostics.Rule.prunes`).
+
+The diff is keyed on :meth:`Diagnostic.key`, which ignores source positions:
+mutations shift line numbers without changing meanings, and pre-existing
+findings in the faulty spec must never veto its own repair.
+
+Pruning is on by default and disabled ambiently via :func:`pruning`
+(a context manager) so the experiment engine can thread a single
+``--no-static-prune`` bit through serial, thread, and process executors
+without touching every tool signature.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.alloy.nodes import Module
+from repro.alloy.resolver import ModuleInfo, resolve_module
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.lint import lint_module
+
+_STATE = threading.local()
+
+
+def pruning_enabled() -> bool:
+    """Whether candidate-level static pruning is active on this thread."""
+    return getattr(_STATE, "enabled", True)
+
+
+@contextmanager
+def pruning(enabled: bool) -> Iterator[None]:
+    """Ambiently enable/disable static pruning for the current thread."""
+    previous = pruning_enabled()
+    _STATE.enabled = enabled
+    try:
+        yield
+    finally:
+        _STATE.enabled = previous
+
+
+class CandidateFilter:
+    """Vetoes repair candidates that introduce dead semantics.
+
+    One filter is built per faulty module (its baseline findings are computed
+    once) and consulted for every candidate the generators produce.
+    """
+
+    def __init__(self, module: Module, info: ModuleInfo | None = None) -> None:
+        if info is None:
+            info = resolve_module(module)
+        self._baseline: frozenset[tuple[str, str, str]] = frozenset(
+            d.key() for d in lint_module(module, info)
+        )
+
+    def veto(
+        self, candidate: Module, info: ModuleInfo | None = None
+    ) -> Diagnostic | None:
+        """The first *new* prunable finding in ``candidate``, else ``None``.
+
+        Respects the ambient :func:`pruning` switch: when disabled, every
+        candidate passes.  Lint failures never veto — a candidate the lint
+        engine cannot process falls through to the dynamic pipeline, which
+        is the layer equipped to report it.
+        """
+        if not pruning_enabled():
+            return None
+        try:
+            findings = lint_module(candidate, info)
+        except Exception:
+            return None
+        for diagnostic in findings:
+            if not diagnostic.rule.prunes:
+                continue
+            if diagnostic.key() in self._baseline:
+                continue
+            return diagnostic
+        return None
+
+
+def record_pruned(diagnostic: Diagnostic) -> None:
+    """Count one statically vetoed candidate under ``analysis.pruned_typed``.
+
+    The ``rule`` label carries the winning rule name; the ambient technique
+    label (installed by :class:`repro.repair.base.RepairTool`) attributes
+    the count to BeAFix/ATR/… in traces and ``repro profile``.
+    """
+    from repro import obs
+
+    obs.counter("analysis.pruned_typed", rule=diagnostic.rule.name).inc()

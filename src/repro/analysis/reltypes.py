@@ -1,0 +1,403 @@
+"""Relational type inference over the Alloy AST.
+
+The resolver (:mod:`repro.alloy.resolver`) checks *arity* — every expression
+gets an integer.  That is enough to reject `a.b` where the column counts do
+not line up, but it cannot see that ``Student.teaches`` is empty because no
+``Student`` atom ever appears in the first column of ``teaches``.  This
+module computes the richer fact: a *bounding type* for every expression — a
+set of column-wise products of signature names that over-approximates the
+tuples the expression can ever contain, in the spirit of Edwards, Jackson &
+Torlak's type system for Alloy.
+
+A :class:`RelType` is a union of products.  Each product is a tuple of
+column types, each column a signature name (or the :data:`UNIV` wildcard).
+The subsignature hierarchy supplies the lattice: two columns *overlap* when
+one names an ancestor of the other, and their *meet* is the more specific
+of the two.  An expression whose bounding type has no products is
+statically empty — the semantic core behind the lint rules that prune
+dead repair candidates before any solver call.
+
+Inference is total over resolved modules: anything the rules cannot track
+precisely widens to a product of :data:`UNIV` columns rather than failing,
+so the analysis never rejects an expression the resolver accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloy.nodes import (
+    ArrowType,
+    BinaryExpr,
+    BinOp,
+    CardExpr,
+    Comprehension,
+    Decl,
+    DeclType,
+    Expr,
+    FunCall,
+    IdenExpr,
+    IntLit,
+    NameExpr,
+    NoneExpr,
+    UnaryExpr,
+    UnaryType,
+    UnivExpr,
+    UnOp,
+)
+from repro.alloy.resolver import INT_ARITY, ModuleInfo
+
+UNIV = "univ"
+"""The wildcard column: overlaps every signature."""
+
+_MAX_PRODUCTS = 64
+"""Union-of-products cap; beyond it a type widens to one wildcard product.
+Keeps inference linear on pathological unions without losing soundness
+(widening only ever *grows* the bounding type)."""
+
+
+@dataclass(frozen=True)
+class RelType:
+    """A bounding type: an arity plus a union of column products.
+
+    ``arity == INT_ARITY`` marks an integer expression (no products).
+    A relational type with no products is *statically empty*: no instance
+    in any scope can put a tuple into the expression.
+    """
+
+    arity: int
+    products: frozenset[tuple[str, ...]]
+
+    @property
+    def is_int(self) -> bool:
+        return self.arity == INT_ARITY
+
+    @property
+    def empty(self) -> bool:
+        """Statically empty: provably no tuples in any instance."""
+        return self.arity != INT_ARITY and not self.products
+
+    def columns(self, index: int) -> set[str]:
+        """The set of signature names appearing in one column."""
+        return {product[index] for product in self.products}
+
+    def describe(self) -> str:
+        """Human-readable form used in diagnostics: ``{A->B + C->D}``."""
+        if self.is_int:
+            return "Int"
+        if self.empty:
+            return "{} (empty)"
+        rendered = sorted("->".join(product) for product in self.products)
+        return "{" + " + ".join(rendered) + "}"
+
+
+INT_TYPE = RelType(arity=INT_ARITY, products=frozenset())
+"""The type of every integer-valued expression."""
+
+
+def empty_type(arity: int) -> RelType:
+    return RelType(arity=arity, products=frozenset())
+
+
+def wildcard(arity: int) -> RelType:
+    """The widest type of a given arity (a single all-``univ`` product)."""
+    return RelType(arity=arity, products=frozenset({(UNIV,) * arity}))
+
+
+class TypeInferencer:
+    """Infers bounding types against one resolved module.
+
+    Instances are cheap; per-module caches (ancestor chains, sig types)
+    build lazily.  The same inferencer may be reused across many
+    expressions of the same module — the repair pipeline does exactly
+    that when vetting candidate batches.
+    """
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self._info = info
+        self._ancestors: dict[str, frozenset[str]] = {}
+
+    # -- the signature lattice ------------------------------------------------
+
+    def _ancestry(self, sig: str) -> frozenset[str]:
+        cached = self._ancestors.get(sig)
+        if cached is None:
+            cached = frozenset(self._info.ancestors(sig))
+            self._ancestors[sig] = cached
+        return cached
+
+    def overlaps(self, a: str, b: str) -> bool:
+        """Can columns ``a`` and ``b`` share an atom?
+
+        True iff one is an ancestor of the other (Alloy atoms belong to a
+        single top-level hierarchy chain), or either is :data:`UNIV`.
+        """
+        if a == b or a == UNIV or b == UNIV:
+            return True
+        return a in self._ancestry(b) or b in self._ancestry(a)
+
+    def meet(self, a: str, b: str) -> str | None:
+        """The more specific of two overlapping columns (else ``None``)."""
+        if a == b:
+            return a
+        if a == UNIV:
+            return b
+        if b == UNIV:
+            return a
+        if a in self._ancestry(b):
+            return b
+        if b in self._ancestry(a):
+            return a
+        return None
+
+    def sig_type(self, name: str) -> RelType:
+        """The unary bounding type of one signature.
+
+        An abstract signature with no children is statically empty — every
+        atom of an abstract signature must belong to some child.
+        """
+        info = self._info.sigs[name]
+        if info.abstract and not info.children:
+            return empty_type(1)
+        return RelType(arity=1, products=frozenset({(name,)}))
+
+    # -- inference ------------------------------------------------------------
+
+    def type_of(self, expr: Expr, env: dict[str, RelType] | None = None) -> RelType:
+        """The bounding type of ``expr`` under binder environment ``env``.
+
+        Total over resolved expressions: unknown constructs widen to a
+        wildcard of the resolver's arity instead of raising.
+        """
+        env = env or {}
+        if isinstance(expr, NameExpr):
+            return self._name_type(expr, env)
+        if isinstance(expr, NoneExpr):
+            return empty_type(1)
+        if isinstance(expr, UnivExpr):
+            return wildcard(1)
+        if isinstance(expr, IdenExpr):
+            return wildcard(2)
+        if isinstance(expr, (IntLit, CardExpr)):
+            return INT_TYPE
+        if isinstance(expr, UnaryExpr):
+            return self._unary_type(expr, env)
+        if isinstance(expr, BinaryExpr):
+            return self._binary_type(expr, env)
+        if isinstance(expr, FunCall):
+            return self._call_type(expr, env)
+        if isinstance(expr, Comprehension):
+            return self._comprehension_type(expr, env)
+        return self._widened(expr, env)
+
+    def decl_env(
+        self, decls: list[Decl], env: dict[str, RelType]
+    ) -> dict[str, RelType]:
+        """Extend ``env`` with quantifier/parameter binder types."""
+        inner = dict(env)
+        for decl in decls:
+            bound = self.type_of(decl.bound, inner)
+            for name in decl.names:
+                inner[name] = bound
+        return inner
+
+    def decl_type_products(self, decl_type: DeclType) -> RelType:
+        """The bounding type a declared field/result type denotes."""
+        if isinstance(decl_type, UnaryType):
+            if isinstance(decl_type.expr, NameExpr) and (
+                decl_type.expr.name in self._info.sigs
+            ):
+                return self.sig_type(decl_type.expr.name)
+            return wildcard(1)
+        if isinstance(decl_type, ArrowType):
+            return self._product(
+                self.decl_type_products(decl_type.left),
+                self.decl_type_products(decl_type.right),
+            )
+        return wildcard(1)
+
+    # -- per-node rules -------------------------------------------------------
+
+    def _name_type(self, expr: NameExpr, env: dict[str, RelType]) -> RelType:
+        name = expr.name
+        if name in env:
+            return env[name]
+        if name in self._info.sigs:
+            return self.sig_type(name)
+        if name in self._info.fields:
+            field = self._info.fields[name]
+            products = [self.sig_type(column) for column in field.columns]
+            if any(p.empty for p in products):
+                return empty_type(field.arity)
+            return RelType(
+                arity=field.arity, products=frozenset({field.columns})
+            )
+        if name in self._info.funs and not self._info.funs[name].params:
+            return self.decl_type_products(self._info.funs[name].result)
+        return wildcard(1)
+
+    def _unary_type(self, expr: UnaryExpr, env: dict[str, RelType]) -> RelType:
+        operand = self.type_of(expr.operand, env)
+        if operand.arity != 2:
+            return wildcard(2)
+        if expr.op is UnOp.TRANSPOSE:
+            return RelType(
+                arity=2,
+                products=frozenset(tuple(reversed(p)) for p in operand.products),
+            )
+        closed = self._closure(operand)
+        if expr.op is UnOp.CLOSURE:
+            return closed
+        # *r  =  ^r + iden: the identity contribution covers all of univ.
+        return self._union(closed, wildcard(2))
+
+    def _closure(self, operand: RelType) -> RelType:
+        """Fixpoint of ``T ∪ T.T`` over the finite product alphabet."""
+        products = set(operand.products)
+        while True:
+            grown = set(products)
+            for a in products:
+                for b in products:
+                    if self.overlaps(a[1], b[0]):
+                        grown.add((a[0], b[1]))
+            if grown == products:
+                return self._capped(RelType(arity=2, products=frozenset(products)))
+            products = grown
+
+    def _binary_type(self, expr: BinaryExpr, env: dict[str, RelType]) -> RelType:
+        left = self.type_of(expr.left, env)
+        right = self.type_of(expr.right, env)
+        op = expr.op
+        if op in (BinOp.UNION, BinOp.DIFF) and left.is_int and right.is_int:
+            return INT_TYPE  # integer add/sub share the +/- spelling
+        if left.is_int or right.is_int:
+            return wildcard(max(left.arity, right.arity, 1))
+        if op is BinOp.UNION:
+            return self._union(left, right)
+        if op is BinOp.DIFF:
+            return left  # removal cannot add tuples
+        if op is BinOp.INTERSECT:
+            return self.intersect(left, right)
+        if op is BinOp.OVERRIDE:
+            return self._union(left, right)
+        if op is BinOp.JOIN:
+            return self.join(left, right)
+        if op is BinOp.PRODUCT:
+            return self._product(left, right)
+        if op is BinOp.DOM_RESTRICT:
+            return self._restrict(left, right, domain=True)
+        if op is BinOp.RAN_RESTRICT:
+            return self._restrict(right, left, domain=False)
+        return wildcard(max(left.arity, right.arity))
+
+    def _call_type(self, expr: FunCall, env: dict[str, RelType]) -> RelType:
+        if expr.name in self._info.funs:
+            return self.decl_type_products(self._info.funs[expr.name].result)
+        # `name[a, b]` box-join sugar: b.(a.name) — fold joins on the left.
+        result = self._name_type(NameExpr(name=expr.name, pos=expr.pos), env)
+        for arg in expr.args:
+            arg_type = self.type_of(arg, env)
+            if arg_type.is_int or result.is_int:
+                return wildcard(1)
+            result = self.join(arg_type, result)
+        return result
+
+    def _comprehension_type(
+        self, expr: Comprehension, env: dict[str, RelType]
+    ) -> RelType:
+        inner = dict(env)
+        result: RelType | None = None
+        for decl in expr.decls:
+            bound = self.type_of(decl.bound, inner)
+            if bound.arity != 1:
+                bound = wildcard(1)
+            for name in decl.names:
+                inner[name] = bound
+                result = bound if result is None else self._product(result, bound)
+        return result if result is not None else wildcard(1)
+
+    def _widened(self, expr: Expr, env: dict[str, RelType]) -> RelType:
+        """Fallback: trust the resolver's arity, know nothing about columns."""
+        from repro.alloy.errors import AlloyError
+        from repro.alloy.resolver import arity_of
+
+        try:
+            arity = arity_of(
+                self._info, expr, {name: t.arity for name, t in env.items()}
+            )
+        except (AlloyError, RecursionError):
+            return wildcard(1)
+        if arity == INT_ARITY:
+            return INT_TYPE
+        return wildcard(arity)
+
+    # -- type algebra ---------------------------------------------------------
+
+    def _capped(self, rel: RelType) -> RelType:
+        if len(rel.products) > _MAX_PRODUCTS:
+            return wildcard(rel.arity)
+        return rel
+
+    def _union(self, left: RelType, right: RelType) -> RelType:
+        return self._capped(
+            RelType(
+                arity=left.arity or right.arity,
+                products=left.products | right.products,
+            )
+        )
+
+    def intersect(self, left: RelType, right: RelType) -> RelType:
+        """Column-wise meet of two bounding types; empty iff provably dead."""
+        met: set[tuple[str, ...]] = set()
+        for a in left.products:
+            for b in right.products:
+                if len(a) != len(b):
+                    continue
+                columns = [self.meet(x, y) for x, y in zip(a, b)]
+                if all(column is not None for column in columns):
+                    met.add(tuple(columns))  # type: ignore[arg-type]
+        return self._capped(RelType(arity=left.arity, products=frozenset(met)))
+
+    def join(self, left: RelType, right: RelType) -> RelType:
+        """Relational join on bounding types; empty iff provably dead."""
+        arity = left.arity + right.arity - 2
+        joined: set[tuple[str, ...]] = set()
+        for a in left.products:
+            for b in right.products:
+                if self.overlaps(a[-1], b[0]):
+                    joined.add(a[:-1] + b[1:])
+        return self._capped(RelType(arity=arity, products=frozenset(joined)))
+
+    def _product(self, left: RelType, right: RelType) -> RelType:
+        products = frozenset(
+            a + b for a in left.products for b in right.products
+        )
+        return self._capped(
+            RelType(arity=left.arity + right.arity, products=products)
+        )
+
+    def _restrict(
+        self, unary: RelType, rel: RelType, *, domain: bool
+    ) -> RelType:
+        """``s <: r`` (domain) or ``r :> s`` (range)."""
+        column = 0 if domain else rel.arity - 1
+        kept: set[tuple[str, ...]] = set()
+        for s in unary.products:
+            for t in rel.products:
+                met = self.meet(s[0], t[column])
+                if met is None:
+                    continue
+                refined = list(t)
+                refined[column] = met
+                kept.add(tuple(refined))
+        return self._capped(RelType(arity=rel.arity, products=frozenset(kept)))
+
+
+def inferencer_for(info: ModuleInfo) -> TypeInferencer:
+    """The inferencer for one resolved module, memoized on the info object
+    (its lattice caches are pure functions of the signature hierarchy)."""
+    cached = getattr(info, "_type_inferencer", None)
+    if cached is None:
+        cached = TypeInferencer(info)
+        info._type_inferencer = cached
+    return cached

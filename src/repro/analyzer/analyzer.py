@@ -161,6 +161,12 @@ class Analyzer:
             obs.histogram("analyzer.translation_clauses").observe(
                 solver.num_clauses
             )
+            # Peak gauges: the largest grounding of the run (gauges merge
+            # across shards as max, so the run-level value is the true peak).
+            peak_vars = obs.gauge("analyzer.peak_vars")
+            peak_vars.set(max(peak_vars.value, solver.num_vars))
+            peak_clauses = obs.gauge("analyzer.peak_clauses")
+            peak_clauses.set(max(peak_clauses.value, solver.num_clauses))
 
         primary = bounds.primary_handles()
         while self._solve_within_budget(solver):

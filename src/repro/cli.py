@@ -6,6 +6,7 @@ Commands:
 - ``repro repair <file.als> --technique ATR`` — repair one specification.
 - ``repro table1 | figure2 | figure3 | hybrid`` — regenerate a paper artifact.
 - ``repro all`` — regenerate everything and write EXPERIMENTS-report.txt.
+- ``repro lint <spec>`` — static analysis: type-based and structural lints.
 - ``repro validate-corpus`` — check the ground-truth model corpus.
 - ``repro trace <file.jsonl>`` — summarize a trace: top spans, slowest cells.
 - ``repro profile <file.jsonl>...`` — per-technique metric rollup.
@@ -138,6 +139,13 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print a one-line timing summary for every completed shard",
     )
+    parser.add_argument(
+        "--no-static-prune",
+        action="store_true",
+        help="disable the static type-based pruning of repair candidates "
+        "(the ablation arm; pruned counts appear in `repro profile` as "
+        "analysis.pruned_typed)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +168,35 @@ def build_parser() -> argparse.ArgumentParser:
         "Single-Round_<setting>, Multi-Round_<feedback>, Dynamic",
     )
     repair.add_argument("--seed", type=int, default=0)
+    repair.add_argument(
+        "--no-static-prune",
+        action="store_true",
+        help="disable static type-based pruning of repair candidates",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze specifications (type-based + structural "
+        "lints with source positions)",
+    )
+    lint.add_argument(
+        "targets",
+        nargs="*",
+        metavar="SPEC",
+        help="a .als file path or a registered ground-truth model name",
+    )
+    lint.add_argument(
+        "--all-models",
+        action="store_true",
+        help="lint every registered ground-truth model",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info"],
+        default="error",
+        help="minimum severity that makes the command exit non-zero "
+        "(default: error)",
+    )
 
     for name in ("table1", "figure2", "figure3", "hybrid", "all"):
         command = sub.add_parser(name, help=f"regenerate {name}")
@@ -244,7 +281,10 @@ def _cmd_repair(args) -> int:
     except ValueError:
         print(f"unknown technique {technique!r}", file=sys.stderr)
         return 2
-    result = tool.repair(task)
+    from repro.analysis import pruning
+
+    with pruning(not args.no_static_prune):
+        result = tool.repair(task)
     print(f"status: {result.status.value} ({result.detail})")
     if result.candidate_source:
         print(result.candidate_source)
@@ -267,6 +307,7 @@ def _matrices(args):
         use_cache=not args.no_cache,
         fail_fast=fail_fast,
         listener=listener,
+        static_prune=not getattr(args, "no_static_prune", False),
     )
     matrices = []
     for benchmark, scale in (("arepair", 1.0), ("alloy4fun", args.scale)):
@@ -321,6 +362,7 @@ def _cmd_experiment(args) -> int:
             trace=args.trace,
             trace_out=args.trace_out,
             verbose=args.verbose,
+            static_prune=not args.no_static_prune,
         )
         print(report.text)
         with open("EXPERIMENTS-report.txt", "w") as handle:
@@ -408,6 +450,50 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import os
+
+    from repro.analysis import Severity, lint_source, render_diagnostics
+    from repro.benchmarks.models import registry as model_registry
+
+    threshold = Severity.parse(args.fail_on)
+    targets: list[tuple[str, str]] = []  # (display name, source)
+    if args.all_models:
+        for model in model_registry.all_models():
+            targets.append((model.name, model.source))
+    for target in args.targets:
+        if os.path.exists(target):
+            with open(target) as handle:
+                targets.append((target, handle.read()))
+            continue
+        try:
+            model = model_registry.get_model(target)
+        except KeyError:
+            print(
+                f"error: {target!r} is neither a file nor a registered "
+                f"model", file=sys.stderr,
+            )
+            return EXIT_INPUT
+        targets.append((model.name, model.source))
+    if not targets:
+        print("error: nothing to lint (pass a spec or --all-models)",
+              file=sys.stderr)
+        return EXIT_USAGE
+    failing = 0
+    for name, source in targets:
+        diagnostics = lint_source(source)
+        print(f"== {name}")
+        print(render_diagnostics(diagnostics))
+        failing += sum(1 for d in diagnostics if d.severity >= threshold)
+    if failing:
+        print(
+            f"{failing} finding(s) at or above --fail-on={args.fail_on}",
+            file=sys.stderr,
+        )
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
 def _cmd_validate_corpus() -> int:
     from repro.benchmarks import validate_corpus
 
@@ -435,6 +521,8 @@ def _dispatch(args) -> int:
         return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_experiment(args)
 
 

@@ -62,6 +62,10 @@ class ShardTask:
     trace: bool = False
     """Capture spans/metrics for this shard's cells.  Never affects the
     outcomes — only whether the result carries telemetry payloads."""
+    static_prune: bool = True
+    """Whether the repair tools may veto statically dead candidates.
+    Installed ambiently (:func:`repro.analysis.prune.pruning`) around the
+    shard so the bit crosses thread and process boundaries with the task."""
 
 
 @dataclass
@@ -92,15 +96,18 @@ def execute_shard(task: ShardTask) -> ShardResult:
     for the duration (thread-local, so pool threads never interleave) and
     the result carries the spans and metric snapshot.
     """
-    if not task.trace:
-        return _execute_shard_cells(task)
-    tracer = obs.Tracer()
-    metrics = obs.MetricsRegistry()
-    with obs.scope(tracer, metrics):
-        result = _execute_shard_cells(task)
-    result.spans = [span.to_json() for span in tracer.roots()]
-    result.metrics = metrics.snapshot()
-    return result
+    from repro.analysis.prune import pruning
+
+    with pruning(task.static_prune):
+        if not task.trace:
+            return _execute_shard_cells(task)
+        tracer = obs.Tracer()
+        metrics = obs.MetricsRegistry()
+        with obs.scope(tracer, metrics):
+            result = _execute_shard_cells(task)
+        result.spans = [span.to_json() for span in tracer.roots()]
+        result.metrics = metrics.snapshot()
+        return result
 
 
 def _execute_shard_cells(task: ShardTask) -> ShardResult:

@@ -51,6 +51,7 @@ def generate_report(
     trace: bool = False,
     trace_out: str | None = None,
     verbose: bool = False,
+    static_prune: bool = True,
 ) -> StudyReport:
     """Run both benchmarks and render the complete study report.
 
@@ -67,6 +68,7 @@ def generate_report(
             fail_fast=fail_fast, jobs=jobs, executor=executor,
             listener=listener, trace=trace,
             trace_out=derive_trace_out(trace_out, trace, "arepair", seed),
+            static_prune=static_prune,
         )
     )
     alloy4fun = run_matrix(
@@ -75,6 +77,7 @@ def generate_report(
             fail_fast=fail_fast, jobs=jobs, executor=executor,
             listener=listener, trace=trace,
             trace_out=derive_trace_out(trace_out, trace, "alloy4fun", seed),
+            static_prune=static_prune,
         )
     )
     matrices = [arepair, alloy4fun]

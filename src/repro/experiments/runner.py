@@ -95,6 +95,11 @@ class RunConfig:
     trace_out: str | None = None
     """Trace file destination (implies ``trace``); default
     ``trace-<benchmark>-seed<seed>.jsonl`` in the working directory."""
+    static_prune: bool = True
+    """Let the repair tools veto statically dead candidates
+    (:mod:`repro.analysis`) before evaluator/solver work.  Part of the
+    cache key when disabled — turning it off changes candidate streams
+    and hence results (the ``--no-static-prune`` ablation)."""
 
     def __post_init__(self) -> None:
         if self.techniques is not None:
@@ -322,7 +327,11 @@ def _run(config: RunConfig) -> ResultMatrix:
         raise ValueError(f"unknown technique(s): {', '.join(unknown)}")
     specs = load_benchmark(config.benchmark, seed=config.seed, scale=config.scale)
     path = cache_dir() / _matrix_key(
-        config.benchmark, config.seed, config.scale, techniques
+        config.benchmark,
+        config.seed,
+        config.scale,
+        techniques,
+        static_prune=config.static_prune,
     )
     matrix = ResultMatrix(
         benchmark=config.benchmark,
@@ -359,6 +368,7 @@ def _run(config: RunConfig) -> ResultMatrix:
                     seed=config.seed,
                     fail_fast=config.fail_fast,
                     trace=tracing,
+                    static_prune=config.static_prune,
                 )
             )
     if not shards:
@@ -429,17 +439,25 @@ def _run(config: RunConfig) -> ResultMatrix:
 
 
 def _matrix_key(
-    benchmark: str, seed: int, scale: float, techniques: Sequence[str]
+    benchmark: str,
+    seed: int,
+    scale: float,
+    techniques: Sequence[str],
+    *,
+    static_prune: bool = True,
 ) -> str:
     # The key folds in the technique *set* (sorted: order cannot change
     # outcomes) so a subset run and a full run never collide on one file.
     # Execution parameters (jobs, executor) are deliberately excluded:
-    # they must not change the result.
+    # they must not change the result.  The static-prune bit *does* change
+    # candidate streams, so the ablation (``static_prune=False``) gets its
+    # own key; the default keeps the historical key shape so committed
+    # caches stay addressable.
+    payload = {"b": benchmark, "s": seed, "sc": scale, "t": sorted(techniques)}
+    if not static_prune:
+        payload["sp"] = False
     digest = hashlib.sha256(
-        json.dumps(
-            {"b": benchmark, "s": seed, "sc": scale, "t": sorted(techniques)},
-            sort_keys=True,
-        ).encode()
+        json.dumps(payload, sort_keys=True).encode()
     ).hexdigest()[:12]
     return f"matrix-{benchmark}-{seed}-{digest}.json"
 

@@ -115,6 +115,17 @@ class TraceData:
             f"{name}{{technique={technique}}}", 0
         )
 
+    def labelled_total(self, name: str, technique: str) -> float:
+        """Sum of one counter over every key carrying ``technique=...``,
+        regardless of extra labels (``analysis.pruned_typed`` also carries
+        the winning ``rule``, which an exact key lookup would miss)."""
+        total = 0.0
+        for key, value in self.counters.items():
+            base, labels = parse_key(key)
+            if base == name and labels.get("technique") == technique:
+                total += value
+        return total
+
 
 def read_trace(path: Path) -> TraceData:
     """Parse a trace file (raises ``CacheCorruptionError`` if unusable)."""
@@ -255,6 +266,7 @@ _PROFILE_COLUMNS = [
     ("cells", "repair.attempts"),
     ("cand", "repair.candidates"),
     ("pruned", "repair.pruned"),
+    ("typed", "analysis.pruned_typed"),
     ("iters", "repair.iterations"),
     ("oracle", "repair.oracle_calls"),
     ("solves", "sat.solves"),
@@ -285,7 +297,9 @@ def render_profile(data: TraceData) -> str:
                     "llm.prompt_tokens", technique
                 ) + data.labelled_counter("llm.completion_tokens", technique)
             else:
-                value = data.labelled_counter(base, technique)
+                # Summing lookup: some counters carry labels beyond
+                # technique (e.g. analysis.pruned_typed's rule).
+                value = data.labelled_total(base, technique)
             row.append(str(int(value)))
         rows.append(row)
     headers = ["technique"] + [header for header, _ in _PROFILE_COLUMNS]
@@ -323,6 +337,8 @@ def render_profile(data: TraceData) -> str:
         ("sat.restarts", "restarts"),
         ("analyzer.commands", "analyzer commands"),
         ("analyzer.instances", "instances enumerated"),
+        ("analysis.pruned_typed", "candidates pruned statically"),
+        ("analysis.lint_findings", "lint findings on LLM proposals"),
         ("llm.requests", "LLM requests"),
         ("llm.prompt_tokens", "LLM prompt tokens (est)"),
         ("llm.completion_tokens", "LLM completion tokens (est)"),
@@ -334,5 +350,38 @@ def render_profile(data: TraceData) -> str:
         if data.counter_total(name)
     ]
     sections.append("Global totals")
-    sections.append(_table(["metric", "total"], rows))
+    sections.append(_table(headers=["metric", "total"], rows=rows))
+
+    by_rule: dict[str, float] = {}
+    for key, value in data.counters.items():
+        base, labels = parse_key(key)
+        if base == "analysis.pruned_typed" and "rule" in labels:
+            by_rule[labels["rule"]] = by_rule.get(labels["rule"], 0) + value
+    if by_rule:
+        sections.append("")
+        sections.append("Static pruning by rule")
+        sections.append(
+            _table(
+                ["rule", "pruned"],
+                [
+                    [rule, str(int(count))]
+                    for rule, count in sorted(
+                        by_rule.items(), key=lambda kv: -kv[1]
+                    )
+                ],
+            )
+        )
+
+    if data.gauges:
+        sections.append("")
+        sections.append("Peak gauges (max across shards)")
+        sections.append(
+            _table(
+                ["gauge", "peak"],
+                [
+                    [key, f"{value:g}"]
+                    for key, value in sorted(data.gauges.items())
+                ],
+            )
+        )
     return "\n".join(sections)

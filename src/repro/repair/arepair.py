@@ -29,6 +29,9 @@ class ARepairConfig:
     plateau_moves: int = 2
     """How many sideways (equal-score) moves the greedy walk may take when
     no strictly improving mutation exists — multi-edit faults need them."""
+    static_prune: bool = True
+    """Veto statically dead mutants before scoring them against the suite
+    (gated by the ambient :func:`repro.analysis.prune.pruning` switch)."""
 
 
 class ARepair(RepairTool):
@@ -65,7 +68,7 @@ class ARepair(RepairTool):
             locations = localize(
                 module, info, discriminators, max_locations=self._config.max_locations
             )
-            mutator = Mutator(module, info)
+            mutator = Mutator(module, info, prune=self._config.static_prune)
             best_mutant = None
             best_mutant_score = best_score
             plateau_mutant = None
@@ -157,7 +160,14 @@ class ARepair(RepairTool):
             info = resolve_module(module)
         except Exception:  # noqa: BLE001
             return None
-        for mutant in higher_order_mutants(module, info, paths, depth=2, limit=80):
+        for mutant in higher_order_mutants(
+            module,
+            info,
+            paths,
+            depth=2,
+            limit=80,
+            prune=self._config.static_prune,
+        ):
             explored += 1
             if ";" not in mutant.description:
                 continue  # singles were already tried

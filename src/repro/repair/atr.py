@@ -44,6 +44,10 @@ class AtrConfig:
     max_candidates: int = 800
     max_oracle_queries: int = 45
     satisfying_instances: int = 2
+    static_prune: bool = True
+    """Veto template instantiations that introduce statically dead
+    constructs before the evaluator/oracle pipeline (also gated by the
+    ambient :func:`repro.analysis.prune.pruning` switch)."""
 
 
 class Atr(RepairTool):
@@ -72,10 +76,15 @@ class Atr(RepairTool):
         )
         explored = 0
         pruned = 0
+        candidate_filter = None
+        if self._config.static_prune:
+            from repro.analysis.prune import CandidateFilter
+
+            candidate_filter = CandidateFilter(task.module, task.info)
         # Strengthening templates first: they directly target synthesis-class
         # faults (a dropped constraint) and the batch is small.
         for candidate, description in strengthening_candidates(
-            task.module, task.info
+            task.module, task.info, candidate_filter=candidate_filter
         ):
             explored += 1
             if oracle.queries >= self._config.max_oracle_queries:
@@ -100,6 +109,7 @@ class Atr(RepairTool):
                 task.info,
                 location.path,
                 max_per_location=self._config.max_per_location,
+                candidate_filter=candidate_filter,
             ):
                 explored += 1
                 if explored > self._config.max_candidates:

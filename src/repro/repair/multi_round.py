@@ -173,9 +173,11 @@ class MultiRoundLLM(RepairTool):
 
     def _feedback_message(self, module: Module | None, report: AnalyzerReport) -> str:
         if self._feedback is FeedbackLevel.NONE:
+            # The study's No-feedback arm is defined by its binary signal:
+            # no analyzer output, no static analysis, just "try again".
             return render_no_feedback(report)
         if self._feedback is FeedbackLevel.GENERIC:
-            return render_generic_feedback(report)
+            return render_generic_feedback(report) + self._lint_section(module)
         candidate_text = print_module(module) if module is not None else "(none)"
         guidance = self._prompt_client.complete(
             prompt_agent_conversation(candidate_text, report)
@@ -183,5 +185,31 @@ class MultiRoundLLM(RepairTool):
         return (
             "The fix is not correct yet. A reviewer provided this guidance:\n"
             f"{guidance}\n"
-            "Please provide a corrected full specification."
+            + self._lint_section(module)
+            + "Please provide a corrected full specification."
+        )
+
+    @staticmethod
+    def _lint_section(module: Module | None) -> str:
+        """Static findings on the last proposal, rendered for the next
+        round's prompt (Generic/Auto feedback only).  Counted per rule
+        under ``analysis.lint_findings`` for the traces."""
+        if module is None:
+            return ""
+        from repro import obs
+        from repro.analysis import lint_module, render_diagnostics
+
+        try:
+            diagnostics = lint_module(module)
+        except Exception:  # noqa: BLE001 - unlintable proposals add nothing
+            return ""
+        for diagnostic in diagnostics:
+            obs.counter(
+                "analysis.lint_findings", rule=diagnostic.rule.name
+            ).inc()
+        if not diagnostics:
+            return ""
+        return (
+            "\nStatic analysis of your last proposal also found:\n"
+            f"{render_diagnostics(diagnostics)}\n"
         )

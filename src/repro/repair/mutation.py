@@ -182,14 +182,44 @@ def _candidate_names(
 
 
 class Mutator:
-    """Generates type-correct single mutations of one module."""
+    """Generates type-correct single mutations of one module.
 
-    def __init__(self, module: Module, info: ModuleInfo) -> None:
+    With ``prune=True`` (the repair tools opt in; fault injection and the
+    mock LLM do not, keeping their candidate streams byte-stable) each
+    resolving mutant is additionally vetted by the static lint engine:
+    mutants that *introduce* a semantically dead construct relative to the
+    base module are dropped before any translation or solver call, counted
+    under the ``analysis.pruned_typed`` metric.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        info: ModuleInfo,
+        *,
+        prune: bool = False,
+        candidate_filter: "object | None" = None,
+    ) -> None:
         self._module = module
         self._info = info
+        self._prune = prune or candidate_filter is not None
+        self._filter = candidate_filter
+
+    def _veto(self, mutated: Module) -> "object | None":
+        """The new prunable finding a mutant introduces, else ``None``."""
+        if not self._prune:
+            return None
+        from repro.analysis.prune import CandidateFilter, pruning_enabled
+
+        if not pruning_enabled():
+            return None
+        if self._filter is None:
+            self._filter = CandidateFilter(self._module, self._info)
+        return self._filter.veto(mutated)
 
     def mutants_at(self, path: Path) -> Iterator[Mutant]:
-        """All single mutations of the node at ``path`` that still resolve."""
+        """All single mutations of the node at ``path`` that still resolve
+        (and, when pruning, are not statically dead)."""
         node = get_at(self._module, path)
         for replacement, description in self._proposals(node, path):
             if replacement is _REMOVE:
@@ -202,6 +232,12 @@ class Mutator:
             try:
                 resolve_module(mutated)
             except (AlloyError, RecursionError):
+                continue
+            diagnostic = self._veto(mutated)
+            if diagnostic is not None:
+                from repro.analysis.prune import record_pruned
+
+                record_pruned(diagnostic)
                 continue
             yield Mutant(module=mutated, description=description, path=path)
 
@@ -358,13 +394,26 @@ def higher_order_mutants(
     paths: list[Path],
     depth: int,
     limit: int | None = None,
+    *,
+    prune: bool = False,
 ) -> Iterator[Mutant]:
     """Mutants combining up to ``depth`` single mutations at distinct points.
 
     This is BeAFix's bounded-exhaustive candidate space.  Combinations are
     generated by re-mutating each depth-(k-1) mutant at a strictly later
     point, so each combination is produced once.
+
+    With ``prune=True`` a statically dead depth-k mutant is dropped *and*
+    never enters the depth-(k+1) frontier, cutting the whole subtree it
+    would have rooted — the pruning that makes bounded-exhaustive search
+    tractable.  The veto baseline is the original module, so pre-existing
+    findings in the faulty spec never block its own repair.
     """
+    shared_filter = None
+    if prune:
+        from repro.analysis.prune import CandidateFilter
+
+        shared_filter = CandidateFilter(module, info)
     count = 0
     frontier: list[tuple[Module, int, str]] = [(module, -1, "")]
     for _ in range(depth):
@@ -374,7 +423,7 @@ def higher_order_mutants(
                 base_info = resolve_module(base)
             except (AlloyError, RecursionError):
                 continue
-            mutator = Mutator(base, base_info)
+            mutator = Mutator(base, base_info, candidate_filter=shared_filter)
             for point_index, path in enumerate(paths):
                 if point_index <= last_index:
                     continue

@@ -49,6 +49,10 @@ class SingleRoundLLM(RepairTool):
             )
         oracle = PropertyOracle(task)
         ok, _ = oracle.evaluate_module(module)
+        detail = "proposal meets oracle" if ok else "proposal fails oracle"
+        lint_note = self._lint_note(module)
+        if lint_note:
+            detail = f"{detail}; {lint_note}"
         return RepairResult(
             status=RepairStatus.FIXED if ok else RepairStatus.NOT_FIXED,
             technique=self.name,
@@ -56,5 +60,29 @@ class SingleRoundLLM(RepairTool):
             candidate_source=print_module(module),
             iterations=1,
             oracle_queries=oracle.queries,
-            detail="proposal meets oracle" if ok else "proposal fails oracle",
+            detail=detail,
         )
+
+    @staticmethod
+    def _lint_note(module) -> str:
+        """Summarize static findings in the proposal (counted per rule under
+        ``analysis.lint_findings``); single-round never feeds them back —
+        there is no next round — but the result detail and traces keep them
+        visible for the failure-mode analysis."""
+        from repro import obs
+        from repro.analysis import lint_module
+
+        try:
+            diagnostics = lint_module(module)
+        except Exception:  # noqa: BLE001 - unlintable proposals stay silent
+            return ""
+        for diagnostic in diagnostics:
+            obs.counter(
+                "analysis.lint_findings", rule=diagnostic.rule.name
+            ).inc()
+        if not diagnostics:
+            return ""
+        codes = ", ".join(
+            sorted({d.code for d in diagnostics})
+        )
+        return f"{len(diagnostics)} lint finding(s): {codes}"

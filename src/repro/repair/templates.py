@@ -50,9 +50,18 @@ def atomic_candidates(
 
 
 def expression_templates(
-    module: Module, info: ModuleInfo, path: Path
+    module: Module,
+    info: ModuleInfo,
+    path: Path,
+    *,
+    candidate_filter=None,
 ) -> Iterator[tuple[Module, str]]:
-    """Instantiate expression templates at ``path``; yields resolved modules."""
+    """Instantiate expression templates at ``path``; yields resolved modules.
+
+    ``candidate_filter`` (a :class:`repro.analysis.prune.CandidateFilter`)
+    additionally vetoes instantiations that introduce statically dead
+    constructs, counted under ``analysis.pruned_typed``.
+    """
     node = get_at(module, path)
     if not isinstance(node, Expr):
         return
@@ -109,23 +118,34 @@ def expression_templates(
             resolve_module(candidate)
         except (AlloyError, RecursionError):
             continue
+        if candidate_filter is not None:
+            diagnostic = candidate_filter.veto(candidate)
+            if diagnostic is not None:
+                from repro.analysis.prune import record_pruned
+
+                record_pruned(diagnostic)
+                continue
         yield candidate, description
 
 
 def formula_templates(
-    module: Module, info: ModuleInfo, path: Path
+    module: Module,
+    info: ModuleInfo,
+    path: Path,
+    *,
+    candidate_filter=None,
 ) -> Iterator[tuple[Module, str]]:
     """Formula-granularity templates (delegates to the mutation operators)."""
     node = get_at(module, path)
     if not isinstance(node, Formula):
         return
-    mutator = Mutator(module, info)
+    mutator = Mutator(module, info, candidate_filter=candidate_filter)
     for mutant in mutator.mutants_at(path):
         yield mutant.module, mutant.description
 
 
 def strengthening_candidates(
-    module: Module, info: ModuleInfo
+    module: Module, info: ModuleInfo, *, candidate_filter=None
 ) -> Iterator[tuple[Module, str]]:
     """Synthesis templates: conjoin assertion bodies into the facts.
 
@@ -152,6 +172,13 @@ def strengthening_candidates(
                 resolve_module(candidate)
             except (AlloyError, RecursionError):
                 continue
+            if candidate_filter is not None:
+                diagnostic = candidate_filter.veto(candidate)
+                if diagnostic is not None:
+                    from repro.analysis.prune import record_pruned
+
+                    record_pruned(diagnostic)
+                    continue
             yield candidate, f"strengthen facts with assertion {assert_name}[{index}]"
 
 
@@ -160,6 +187,8 @@ def template_candidates(
     info: ModuleInfo,
     path: Path,
     max_per_location: int = 120,
+    *,
+    candidate_filter=None,
 ) -> Iterator[Mutant]:
     """All template instantiations at one location (bounded, deduplicated)."""
     from repro.alloy.pretty import print_module
@@ -168,9 +197,13 @@ def template_candidates(
     count = 0
     node = get_at(module, path)
     if isinstance(node, Formula):
-        source = formula_templates(module, info, path)
+        source = formula_templates(
+            module, info, path, candidate_filter=candidate_filter
+        )
     else:
-        source = expression_templates(module, info, path)
+        source = expression_templates(
+            module, info, path, candidate_filter=candidate_filter
+        )
     for candidate, description in source:
         text = print_module(candidate)
         if text in seen:

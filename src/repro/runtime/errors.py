@@ -87,6 +87,7 @@ _ALLOY_CODES = {
     "ParseError": "spec.parse",
     "ResolutionError": "spec.resolve",
     "AlloyTypeError": "spec.type",
+    "LintError": "spec.lint",
     "ScopeError": "analysis.scope",
     "AnalysisBudgetError": "analysis.budget",
     "EvaluationError": "analysis.eval",

@@ -1,0 +1,45 @@
+// Purpose-built lint fixture: every class of diagnostic fires at least once.
+// Used by tests/test_cli_lint.py and the CI lint smoke step.
+
+abstract sig Node {
+  next: set Node
+}
+
+sig File extends Node {}
+
+sig Dir extends Node {
+  entries: set File
+}
+
+// A401: never referenced by any field, fact, pred, fun, or command.
+sig Orphan {}
+
+fact Wellformed {
+  // A201: File and Dir are disjoint subsigs, so the join is always empty.
+  some entries.(File <: next) implies some File.entries
+}
+
+pred vacuous {
+  // A203: quantifying over a provably empty domain.
+  all f: File & Dir | f in Node
+}
+
+pred contradictoryMult {
+  // A204: `some` over a statically empty expression.
+  some File & Dir
+}
+
+pred trivial {
+  // A301: both sides of the comparison are the same expression.
+  File = File
+}
+
+pred shadowed {
+  // A303: the inner binder reuses the outer binder's name.
+  all n: Node | all n: File | n in Node
+}
+
+run vacuous for 3
+run contradictoryMult for 3
+run trivial for 3
+run shadowed for 3

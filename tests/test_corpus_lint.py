@@ -1,0 +1,65 @@
+"""The corpus lint gate: every registered model's findings are pinned.
+
+A new finding means either a corpus regression or a lint-rule behaviour
+change — both need a human look, so this test fails on ANY drift from the
+expected baseline (unexpected findings AND vanished ones).  `classroom_a`
+deliberately keeps one redundant constraint (`all t: Teacher | no
+t.enrolled`, where `enrolled` lives on `Student`): it is the corpus's
+standing example of the statically-dead idiom the engine exists to catch,
+and it pins the disjoint-join rule against a real model.
+"""
+
+from repro.analysis import lint_source
+from repro.benchmarks.models.registry import all_models
+
+EXPECTED: dict[str, tuple[str, ...]] = {
+    "balancedBSt": ("A402",),
+    "cd": ("A402",),
+    "classroom_a": ("A201", "A301", "A401", "A404"),
+    "classroom_b": ("A403",),
+    "classroom_c": ("A403", "A404"),
+    "cv_a": ("A403",),
+    "cv_b": ("A403",),
+    "graphs_a": ("A403", "A404"),
+    "graphs_b": ("A403",),
+    "graphs_c": ("A401", "A403"),
+    "lts_a": ("A403",),
+    "lts_b": ("A403", "A404"),
+    "production_a": ("A403", "A404"),
+    "production_b": ("A403",),
+    "trash_a": ("A403", "A404"),
+    "trash_b": ("A403",),
+}
+"""Models with no entry are expected to lint clean."""
+
+
+def test_corpus_lint_findings_match_baseline():
+    actual = {}
+    for model in all_models():
+        findings = lint_source(model.source)
+        if findings:
+            actual[model.name] = tuple(sorted(d.code for d in findings))
+    unexpected = {
+        name: codes for name, codes in actual.items()
+        if codes != EXPECTED.get(name, ())
+    }
+    vanished = {
+        name: codes for name, codes in EXPECTED.items() if name not in actual
+    }
+    assert not unexpected and not vanished, (
+        f"corpus lint drift — unexpected: {unexpected}, vanished: {vanished}; "
+        f"update tests/test_corpus_lint.py only after reviewing the findings"
+    )
+
+
+def test_corpus_error_findings_are_exactly_the_known_ones():
+    # Error-severity findings in ground-truth models are corpus defects
+    # unless explicitly pinned here.
+    known_errors = {("classroom_a", "A201")}
+    errors = {
+        (model.name, d.code)
+        for model in all_models()
+        for d in lint_source(model.source)
+        if d.severity.name == "ERROR"
+    }
+    assert errors == known_errors

@@ -1,0 +1,287 @@
+"""Lint engine tests: every rule, positions, ordering, and the fatal path."""
+
+import pytest
+
+from repro.alloy.parser import parse_module
+from repro.analysis import (
+    LintError,
+    Severity,
+    all_rules,
+    check_module,
+    lint_source,
+    render_diagnostics,
+    rule_by_name,
+)
+from repro.analysis.diagnostics import register_rule
+from repro.runtime.errors import classify_exception
+
+
+def codes(source: str) -> list[str]:
+    return [d.code for d in lint_source(source)]
+
+
+CLEAN = """
+sig Node { next: set Node }
+pred hasNext { some n: Node | some n.next }
+run hasNext for 3
+"""
+
+
+class TestRules:
+    def test_clean_spec_has_no_findings(self):
+        assert lint_source(CLEAN) == []
+
+    def test_disjoint_join(self):
+        source = """
+        sig A {}
+        sig B { f: set A }
+        pred p { some A.f }
+        run p for 3
+        """
+        assert "A201" in codes(source)
+
+    def test_empty_intersection(self):
+        source = """
+        sig A {}
+        sig B {}
+        pred p { no A & B }
+        run p for 3
+        """
+        assert "A202" in codes(source)
+
+    def test_vacuous_quantifier(self):
+        source = """
+        sig A {}
+        sig B {}
+        pred p { all x: A & B | x in A }
+        run p for 3
+        """
+        assert "A203" in codes(source)
+
+    def test_contradictory_mult(self):
+        source = """
+        sig A {}
+        sig B {}
+        pred p { some A & B }
+        run p for 3
+        """
+        assert "A204" in codes(source)
+
+    def test_tautological_compare(self):
+        source = """
+        sig A {}
+        pred p { A = A }
+        run p for 3
+        """
+        assert "A301" in codes(source)
+
+    def test_contradictory_compare(self):
+        source = """
+        sig A {}
+        pred p { A != A }
+        run p for 3
+        """
+        assert "A302" in codes(source)
+
+    def test_shadowed_binding(self):
+        source = """
+        sig A {}
+        pred p { all a: A | all a: A | some a }
+        run p for 3
+        """
+        assert "A303" in codes(source)
+
+    def test_binder_shadowing_a_sig_name(self):
+        source = """
+        sig A {}
+        pred p { all A: A | some A }
+        run p for 3
+        """
+        assert "A303" in codes(source)
+
+    def test_unused_sig(self):
+        source = """
+        sig A {}
+        sig Orphan {}
+        pred p { some A }
+        run p for 3
+        """
+        assert "A401" in codes(source)
+
+    def test_unused_field(self):
+        source = """
+        sig A { f: set A }
+        pred p { some A }
+        run p for 3
+        """
+        assert "A402" in codes(source)
+
+    def test_unused_pred(self):
+        source = """
+        sig A {}
+        pred used { some A }
+        pred dead { no A }
+        run used for 3
+        """
+        findings = lint_source(source)
+        assert any(
+            d.code == "A403" and "dead" in d.message for d in findings
+        )
+
+    def test_unused_fun(self):
+        source = """
+        sig A {}
+        fun pick: A { A }
+        pred p { some A }
+        run p for 3
+        """
+        assert "A404" in codes(source)
+
+    def test_fun_used_via_call_is_not_flagged(self):
+        source = """
+        sig A {}
+        fun pick: A { A }
+        pred p { some pick }
+        run p for 3
+        """
+        assert "A404" not in codes(source)
+
+    def test_parent_sig_with_children_is_used(self):
+        source = """
+        abstract sig A {}
+        sig B extends A {}
+        pred p { some B }
+        run p for 3
+        """
+        assert "A401" not in codes(source)
+
+
+class TestPositionsAndOrdering:
+    def test_findings_carry_positions(self):
+        source = "sig A {}\nsig B {}\npred p { some A & B }\nrun p for 3"
+        findings = lint_source(source)
+        assert findings
+        for d in findings:
+            assert d.pos.line > 0 and d.pos.column > 0
+
+    def test_findings_sorted_by_position(self):
+        source = """
+        sig Orphan {}
+        sig A {}
+        sig B {}
+        pred p { some A & B }
+        pred q { no A & B }
+        run p for 3
+        run q for 3
+        """
+        findings = lint_source(source)
+        keys = [(d.pos.line, d.pos.column, d.code) for d in findings]
+        assert keys == sorted(keys)
+
+    def test_context_names_the_paragraph(self):
+        source = "sig A {}\nsig B {}\npred p { some A & B }\nrun p for 3"
+        finding = next(d for d in lint_source(source) if d.code == "A204")
+        assert finding.context == "pred p"
+
+    def test_render(self):
+        source = "sig A {}\nsig B {}\npred p { some A & B }\nrun p for 3"
+        rendered = render_diagnostics(lint_source(source))
+        assert "A204" in rendered and "pred p" in rendered
+
+    def test_render_empty(self):
+        assert "no findings" in render_diagnostics([])
+
+
+class TestFatalPath:
+    def test_check_module_raises_at_threshold(self):
+        module = parse_module(
+            "sig A {}\nsig B {}\npred p { some A & B }\nrun p for 3"
+        )
+        with pytest.raises(LintError) as exc:
+            check_module(module)
+        assert exc.value.diagnostics
+        assert classify_exception(exc.value) == "spec.lint"
+
+    def test_check_module_threshold_can_relax(self):
+        module = parse_module(
+            "sig A {}\nsig Orphan {}\npred p { some A }\nrun p for 3"
+        )
+        # Only INFO findings: the default ERROR threshold passes...
+        assert [d.code for d in check_module(module)] == ["A401"]
+        # ...while an INFO threshold is fatal.
+        with pytest.raises(LintError):
+            check_module(module, fail_on=Severity.INFO)
+
+
+class TestRegistry:
+    def test_rule_lookup_by_code_and_name(self):
+        assert rule_by_name("A201") is rule_by_name("disjoint-join")
+        with pytest.raises(KeyError):
+            rule_by_name("no-such-rule")
+
+    def test_codes_are_unique_and_stable(self):
+        rules = all_rules()
+        assert len({r.code for r in rules}) == len(rules)
+        assert {r.code for r in rules} >= {
+            "A201", "A202", "A203", "A204",
+            "A301", "A302", "A303",
+            "A401", "A402", "A403", "A404",
+        }
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_rule("A201", "dup", Severity.INFO, "dup")
+        with pytest.raises(ValueError):
+            register_rule("A999", "disjoint-join", Severity.INFO, "dup")
+
+    def test_severity_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("WARNING") is Severity.WARNING
+        with pytest.raises(ValueError):
+            Severity.parse("fatal")
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+
+class TestLLMLintFeedback:
+    """The lint surfaces the LLM tools attach to proposals."""
+
+    DIRTY = "sig A {}\nsig B {}\npred p { some A & B }\nrun p for 3"
+
+    def test_single_round_note_summarizes_codes(self):
+        from repro.repair.single_round import SingleRoundLLM
+
+        note = SingleRoundLLM._lint_note(parse_module(self.DIRTY))
+        assert "lint finding" in note
+        assert "A204" in note
+
+    def test_single_round_note_empty_for_clean_proposal(self):
+        from repro.repair.single_round import SingleRoundLLM
+
+        assert SingleRoundLLM._lint_note(parse_module(CLEAN)) == ""
+
+    def test_multi_round_section_renders_diagnostics(self):
+        from repro.repair.multi_round import MultiRoundLLM
+
+        section = MultiRoundLLM._lint_section(parse_module(self.DIRTY))
+        assert "Static analysis of your last proposal" in section
+        assert "A204" in section
+
+    def test_multi_round_section_empty_cases(self):
+        from repro.repair.multi_round import MultiRoundLLM
+
+        assert MultiRoundLLM._lint_section(None) == ""
+        assert MultiRoundLLM._lint_section(parse_module(CLEAN)) == ""
+
+    def test_findings_counted_in_metrics(self):
+        from repro import obs
+        from repro.repair.multi_round import MultiRoundLLM
+
+        registry = obs.MetricsRegistry()
+        with obs.scope(obs.Tracer(), registry):
+            MultiRoundLLM._lint_section(parse_module(self.DIRTY))
+        counters = registry.snapshot()["counters"]
+        assert any(
+            key.startswith("analysis.lint_findings") for key in counters
+        )

@@ -463,3 +463,69 @@ class TestOnMetricsListener:
             "arepair", {"spec_id": "s1", "elapsed": 0.5, "cells": 13}
         )
         assert capsys.readouterr().out == ""
+
+
+class TestProfileStaticAnalysisSections:
+    """The profile surfaces for the static-analysis subsystem."""
+
+    def _data(self) -> TraceData:
+        return TraceData(
+            counters={
+                "analyzer.solve_calls{technique=ATR}": 10,
+                "analysis.pruned_typed{rule=disjoint-join,technique=ATR}": 4,
+                "analysis.pruned_typed{rule=tautology,technique=ATR}": 2,
+                "analysis.pruned_typed{rule=disjoint-join,technique=BeAFix}": 1,
+                "analysis.lint_findings{rule=unused-sig,technique=Single-Round_0shot}": 3,
+            },
+            gauges={
+                "analyzer.peak_vars": 321,
+                "analyzer.peak_clauses{technique=ATR}": 999,
+            },
+        )
+
+    def test_labelled_total_sums_across_extra_labels(self):
+        data = self._data()
+        assert data.labelled_total("analysis.pruned_typed", "ATR") == 6
+        assert data.labelled_total("analysis.pruned_typed", "BeAFix") == 1
+        assert data.labelled_total("analysis.pruned_typed", "ICEBAR") == 0
+
+    def test_profile_renders_typed_column(self):
+        from repro.obs.export import render_profile
+
+        rendered = render_profile(self._data())
+        assert "typed" in rendered
+        header, atr_row = None, None
+        for line in rendered.splitlines():
+            if line.lstrip().startswith("technique"):
+                header = line.split()
+            if line.strip().startswith("ATR"):
+                atr_row = line.split()
+                break
+        assert header is not None and atr_row is not None
+        assert atr_row[header.index("typed")] == "6"
+
+    def test_profile_renders_pruning_by_rule(self):
+        from repro.obs.export import render_profile
+
+        rendered = render_profile(self._data())
+        assert "Static pruning by rule" in rendered
+        assert "disjoint-join" in rendered and "tautology" in rendered
+
+    def test_profile_renders_peak_gauges(self):
+        from repro.obs.export import render_profile
+
+        rendered = render_profile(self._data())
+        assert "Peak gauges" in rendered
+        assert "analyzer.peak_vars" in rendered and "321" in rendered
+
+    def test_gauges_section_absent_without_gauges(self):
+        from repro.obs.export import render_profile
+
+        data = TraceData(counters={"analyzer.solve_calls{technique=ATR}": 1})
+        assert "Peak gauges" not in render_profile(data)
+
+    def test_gauges_merge_as_max(self):
+        first = TraceData(gauges={"analyzer.peak_vars": 10})
+        second = TraceData(gauges={"analyzer.peak_vars": 30, "other": 1})
+        merged = merge_trace_data([first, second])
+        assert merged.gauges == {"analyzer.peak_vars": 30, "other": 1}

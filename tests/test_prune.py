@@ -1,0 +1,154 @@
+"""Static candidate pruning: the filter, the ambient switch, the wiring."""
+
+from repro import obs
+from repro.alloy.parser import parse_module
+from repro.alloy.resolver import resolve_module
+from repro.analysis import CandidateFilter, pruning, pruning_enabled
+from repro.analysis.prune import record_pruned
+from repro.repair.mutation import Mutator
+
+FAULTY = """
+sig A {}
+sig B { f: set A }
+pred p { some A.f }
+run p for 3
+"""
+
+DEAD_CANDIDATE = """
+sig A {}
+sig B { f: set A }
+pred p { some A.f }
+pred q { some A & B }
+run p for 3
+run q for 3
+"""
+
+CLEAN = """
+sig A {}
+sig B { f: set A }
+pred p { some B.f }
+run p for 3
+"""
+
+
+def modinfo(source: str):
+    module = parse_module(source)
+    return module, resolve_module(module)
+
+
+class TestCandidateFilter:
+    def test_preexisting_findings_never_veto(self):
+        module, info = modinfo(FAULTY)
+        filt = CandidateFilter(module, info)
+        # The baseline module itself (A201/A204 and all) passes untouched.
+        assert filt.veto(module, info) is None
+
+    def test_new_dead_construct_vetoes(self):
+        module, info = modinfo(CLEAN)
+        filt = CandidateFilter(module, info)
+        candidate, candidate_info = modinfo(DEAD_CANDIDATE)
+        diagnostic = filt.veto(candidate, candidate_info)
+        assert diagnostic is not None
+        assert diagnostic.rule.prunes
+
+    def test_info_findings_never_veto(self):
+        module, info = modinfo(CLEAN)
+        filt = CandidateFilter(module, info)
+        candidate, candidate_info = modinfo(
+            CLEAN + "\nsig Orphan {}"  # A401 only: hygiene, not dead
+        )
+        assert filt.veto(candidate, candidate_info) is None
+
+    def test_ambient_switch_disables_veto(self):
+        module, info = modinfo(CLEAN)
+        filt = CandidateFilter(module, info)
+        candidate, candidate_info = modinfo(DEAD_CANDIDATE)
+        with pruning(False):
+            assert filt.veto(candidate, candidate_info) is None
+        assert filt.veto(candidate, candidate_info) is not None
+
+    def test_pruning_context_nests_and_restores(self):
+        assert pruning_enabled()
+        with pruning(False):
+            assert not pruning_enabled()
+            with pruning(True):
+                assert pruning_enabled()
+            assert not pruning_enabled()
+        assert pruning_enabled()
+
+    def test_record_pruned_counts_by_rule(self):
+        module, info = modinfo(CLEAN)
+        filt = CandidateFilter(module, info)
+        candidate, candidate_info = modinfo(DEAD_CANDIDATE)
+        diagnostic = filt.veto(candidate, candidate_info)
+        registry = obs.MetricsRegistry()
+        with obs.scope(obs.Tracer(), registry):
+            record_pruned(diagnostic)
+        snapshot = registry.snapshot()
+        key = f"analysis.pruned_typed{{rule={diagnostic.rule.name}}}"
+        assert snapshot["counters"][key] == 1
+
+
+class TestMutatorPruning:
+    def test_pruned_stream_is_subset_of_unpruned(self):
+        module, info = modinfo(CLEAN)
+        unpruned = {
+            m.description for m in Mutator(module, info).all_mutants()
+        }
+        pruned = {
+            m.description
+            for m in Mutator(module, info, prune=True).all_mutants()
+        }
+        assert pruned <= unpruned
+
+    def test_pruned_mutants_introduce_no_new_dead_findings(self):
+        module, info = modinfo(CLEAN)
+        filt = CandidateFilter(module, info)
+        for mutant in Mutator(module, info, prune=True).all_mutants():
+            assert filt.veto(mutant.module) is None
+
+    def test_ambient_off_restores_full_stream(self):
+        module, info = modinfo(CLEAN)
+        unpruned = [
+            m.description for m in Mutator(module, info).all_mutants()
+        ]
+        with pruning(False):
+            gated = [
+                m.description
+                for m in Mutator(module, info, prune=True).all_mutants()
+            ]
+        assert gated == unpruned
+
+
+class TestExecutorPropagation:
+    def test_shard_task_carries_static_prune_bit(self, monkeypatch):
+        from repro.benchmarks.faults import FaultySpec
+        from repro.experiments import runner
+        from repro.experiments.executor import ShardTask, execute_shard
+        from repro.llm.prompts import RepairHints
+
+        spec = FaultySpec(
+            spec_id="s",
+            benchmark="adhoc",
+            domain="adhoc",
+            model_name="s",
+            faulty_source=CLEAN,
+            truth_source=CLEAN,
+            fault_description="",
+            depth=0,
+            hints=RepairHints(),
+        )
+        observed = {}
+
+        def fake_run_spec(spec, technique, seed, truth):
+            observed[technique] = pruning_enabled()
+            return runner._crashed_outcome(spec, technique)
+
+        monkeypatch.setattr(runner, "run_spec", fake_run_spec)
+        execute_shard(
+            ShardTask(spec=spec, techniques=("T1",), seed=0, static_prune=False)
+        )
+        execute_shard(
+            ShardTask(spec=spec, techniques=("T2",), seed=0, static_prune=True)
+        )
+        assert observed == {"T1": False, "T2": True}

@@ -1,0 +1,159 @@
+"""Relational type inference tests: the bounding-type lattice and algebra."""
+
+import pytest
+
+from repro.alloy.parser import parse_expr, parse_module
+from repro.alloy.resolver import INT_ARITY, resolve_module
+from repro.analysis import INT_TYPE, RelType, TypeInferencer, empty_type, inferencer_for, wildcard
+from repro.analysis.reltypes import UNIV
+
+HIERARCHY = """
+abstract sig Node { next: set Node }
+sig File extends Node {}
+sig Dir extends Node { entries: set File }
+sig Free {}
+"""
+
+
+def infer(source: str = HIERARCHY):
+    info = resolve_module(parse_module(source))
+    return info, TypeInferencer(info)
+
+
+def type_of(ti, info, text: str) -> RelType:
+    return ti.type_of(parse_expr(text))
+
+
+class TestLattice:
+    def test_overlaps_self_and_hierarchy(self):
+        _, ti = infer()
+        assert ti.overlaps("Node", "File")
+        assert ti.overlaps("File", "Node")
+        assert not ti.overlaps("File", "Dir")
+        assert not ti.overlaps("File", "Free")
+        assert ti.overlaps("File", UNIV)
+
+    def test_meet_picks_more_specific(self):
+        _, ti = infer()
+        assert ti.meet("Node", "File") == "File"
+        assert ti.meet("File", "Node") == "File"
+        assert ti.meet("File", "File") == "File"
+        assert ti.meet(UNIV, "Dir") == "Dir"
+        assert ti.meet("File", "Dir") is None
+
+    def test_abstract_sig_with_children_is_not_empty(self):
+        _, ti = infer()
+        assert not ti.sig_type("Node").empty
+
+    def test_abstract_sig_without_children_is_empty(self):
+        _, ti = infer("abstract sig Ghost {}\nsig A {}")
+        assert ti.sig_type("Ghost").empty
+
+
+class TestInference:
+    def test_sig_and_field_types(self):
+        info, ti = infer()
+        assert type_of(ti, info, "File").products == frozenset({("File",)})
+        entries = type_of(ti, info, "entries")
+        assert entries.arity == 2
+        assert entries.products == frozenset({("Dir", "File")})
+
+    def test_join_through_hierarchy(self):
+        info, ti = infer()
+        # Dir is a Node, so Dir.next is live.
+        assert not type_of(ti, info, "Dir.next").empty
+
+    def test_disjoint_join_is_empty(self):
+        info, ti = infer()
+        # entries' first column is Dir; File never overlaps it.
+        assert type_of(ti, info, "File.entries").empty
+
+    def test_intersection_of_disjoint_sigs_is_empty(self):
+        info, ti = infer()
+        assert type_of(ti, info, "File & Dir").empty
+        assert not type_of(ti, info, "File & Node").empty
+
+    def test_difference_keeps_left_type(self):
+        info, ti = infer()
+        assert type_of(ti, info, "File - Dir").products == frozenset({("File",)})
+
+    def test_transpose_reverses_columns(self):
+        info, ti = infer()
+        assert type_of(ti, info, "~entries").products == frozenset({("File", "Dir")})
+
+    def test_closure_grows_to_fixpoint(self):
+        info, ti = infer()
+        closed = type_of(ti, info, "^next")
+        assert closed.arity == 2
+        assert ("Node", "Node") in closed.products
+
+    def test_reflexive_closure_includes_identity(self):
+        info, ti = infer()
+        assert (UNIV, UNIV) in type_of(ti, info, "*next").products
+
+    def test_product_concatenates(self):
+        info, ti = infer()
+        product = type_of(ti, info, "File -> Dir")
+        assert product.arity == 2
+        assert product.products == frozenset({("File", "Dir")})
+
+    def test_restrictions_refine_columns(self):
+        info, ti = infer()
+        dom = type_of(ti, info, "Dir <: next")
+        assert dom.products == frozenset({("Dir", "Node")})
+        ran = type_of(ti, info, "next :> File")
+        assert ran.products == frozenset({("Node", "File")})
+        assert type_of(ti, info, "File <: entries").empty
+
+    def test_integers(self):
+        info, ti = infer()
+        assert type_of(ti, info, "#File") == INT_TYPE
+        assert type_of(ti, info, "1").is_int
+        assert type_of(ti, info, "1 + 2") == INT_TYPE
+
+    def test_constants(self):
+        info, ti = infer()
+        assert type_of(ti, info, "none").empty
+        assert type_of(ti, info, "univ") == wildcard(1)
+        assert type_of(ti, info, "iden") == wildcard(2)
+
+    def test_binder_environment(self):
+        info, ti = infer()
+        env = {"f": ti.sig_type("File")}
+        assert ti.type_of(parse_expr("f.entries"), env).empty
+        assert not ti.type_of(parse_expr("f.next"), env).empty
+
+
+class TestWideningAndCaps:
+    def test_product_cap_widens_to_wildcard(self):
+        _, ti = infer()
+        big = RelType(
+            arity=2,
+            products=frozenset((f"S{i}", f"S{i}") for i in range(100)),
+        )
+        assert ti._capped(big) == wildcard(2)
+
+    def test_empty_and_wildcard_helpers(self):
+        assert empty_type(2).empty
+        assert not wildcard(2).empty
+        assert wildcard(3).products == frozenset({(UNIV, UNIV, UNIV)})
+
+    def test_describe(self):
+        assert INT_TYPE.describe() == "Int"
+        assert empty_type(1).describe() == "{} (empty)"
+        assert "File" in RelType(1, frozenset({("File",)})).describe()
+
+    def test_int_arity_marker(self):
+        assert INT_TYPE.arity == INT_ARITY
+        assert INT_TYPE.is_int and not INT_TYPE.empty
+
+
+class TestMemoization:
+    def test_inferencer_for_is_memoized_per_info(self):
+        info, _ = infer()
+        assert inferencer_for(info) is inferencer_for(info)
+
+    def test_distinct_infos_get_distinct_inferencers(self):
+        info_a, _ = infer()
+        info_b, _ = infer()
+        assert inferencer_for(info_a) is not inferencer_for(info_b)

@@ -158,3 +158,67 @@ class TestFormulaChecking:
     def test_fun_body_arity_must_match(self):
         with pytest.raises(AlloyTypeError):
             resolve("sig A { f: set A }\nfun g: set A { f }")
+
+
+class TestArityEdgeCases:
+    """Edge cases of the arity pass the static-analysis layer builds upon."""
+
+    @pytest.fixture
+    def info(self):
+        return resolve("sig A { f: set A }")
+
+    def test_let_bound_to_integer_expression(self, info):
+        # The binder inherits INT_ARITY and composes with int comparisons...
+        check_formula(info, parse_formula("let n = #A | n > 0"), {})
+        # ...and is rejected where a relation is required.
+        with pytest.raises(AlloyTypeError):
+            check_formula(info, parse_formula("let n = #A | some n.f"), {})
+
+    def test_let_bound_integer_cannot_take_cardinality(self, info):
+        with pytest.raises(AlloyTypeError, match="cardinality of an integer"):
+            check_formula(info, parse_formula("let n = #A | #n > 0"), {})
+
+    def test_comprehension_multi_column_decl_rejected(self, info):
+        with pytest.raises(
+            AlloyTypeError, match="comprehension binders must range over unary"
+        ):
+            arity_of(info, parse_expr("{ p: A -> A | some p }"), {})
+
+    def test_comprehension_multi_name_decls_sum_arity(self, info):
+        assert arity_of(info, parse_expr("{ x: A, y: A | x in y.f }"), {}) == 2
+        assert (
+            arity_of(info, parse_expr("{ x, y: A, z: A | x in y.f }"), {}) == 3
+        )
+
+    def test_card_of_integer_reports_card_position(self, info):
+        expr = parse_expr("#(#A)")
+        with pytest.raises(AlloyTypeError) as exc:
+            arity_of(info, expr, {})
+        assert exc.value.pos == expr.pos
+
+    def test_card_of_relation_is_int(self, info):
+        assert arity_of(info, parse_expr("#f"), {}) == INT_ARITY
+
+
+class TestSigLattice:
+    """The overlap/meet queries exposed for the bounding-type inference."""
+
+    @pytest.fixture
+    def info(self):
+        return resolve(
+            "abstract sig A {}\nsig B extends A {}\nsig C extends A {}\nsig D {}"
+        )
+
+    def test_overlapping(self, info):
+        assert info.overlapping("A", "B")
+        assert info.overlapping("B", "A")
+        assert info.overlapping("B", "B")
+        assert not info.overlapping("B", "C")
+        assert not info.overlapping("A", "D")
+
+    def test_meet_sigs(self, info):
+        assert info.meet_sigs("A", "B") == "B"
+        assert info.meet_sigs("B", "A") == "B"
+        assert info.meet_sigs("B", "B") == "B"
+        assert info.meet_sigs("B", "C") is None
+        assert info.meet_sigs("A", "D") is None
