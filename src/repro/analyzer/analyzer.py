@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro import obs
+from repro import chaos, obs
 from repro.alloy.errors import AlloyError, AnalysisBudgetError, EvaluationError
 from repro.alloy.nodes import Block, Command, Formula, Module, Not, PredCall
 from repro.alloy.parser import parse_module
@@ -153,6 +153,15 @@ class Analyzer:
         builder.assert_true(self._target_handle(command, translator))
         for formula in extra_formulas or []:
             builder.assert_true(translator.formula(formula))
+
+        if chaos.fire("analyzer.explode", clauses=solver.num_clauses) is not None:
+            # Injected grounding blow-up: behaves exactly like a problem
+            # whose CNF outgrew the session budget — the partial-result /
+            # degradation paths downstream must absorb it.
+            raise AnalysisBudgetError(
+                "chaos: translation exploded past the clause budget "
+                f"({solver.num_clauses} clauses grounded)"
+            )
 
         metrics = obs.get_metrics()
         if metrics.enabled:

@@ -1,0 +1,45 @@
+"""``repro.chaos`` — deterministic, seeded fault injection for the stack.
+
+The resilience runtime (error taxonomy, budgets, retry, crash isolation,
+atomic persistence) only earns its keep if something exercises the failure
+paths on purpose.  This package enumerates the fault space instead of
+waiting for it:
+
+- :class:`FaultPlan` (:mod:`repro.chaos.plan`) — a picklable, seeded
+  schedule of which named injection sites fire and when;
+- :func:`fire` (:mod:`repro.chaos.inject`) — the ambient probe the
+  instrumented choke points call; a no-op outside an installed scope;
+- :mod:`repro.chaos.harness` (imported lazily — it pulls in the whole
+  experiment engine) — the ``repro chaos`` invariant drills that assert
+  the PR-1/PR-2 contracts under injected faults.
+"""
+
+from repro.chaos.inject import (
+    CRASH_CODES,
+    ChaosScope,
+    FireEvent,
+    active,
+    crash_exception,
+    fire,
+    garbled_completion,
+    install,
+    mangle_bytes,
+    truncated_completion,
+)
+from repro.chaos.plan import SITES, FaultPlan, SiteConfig
+
+__all__ = [
+    "CRASH_CODES",
+    "ChaosScope",
+    "FaultPlan",
+    "FireEvent",
+    "SITES",
+    "SiteConfig",
+    "active",
+    "crash_exception",
+    "fire",
+    "garbled_completion",
+    "install",
+    "mangle_bytes",
+    "truncated_completion",
+]

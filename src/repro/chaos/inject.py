@@ -1,0 +1,207 @@
+"""The injection runtime: ambient fault scopes and the ``fire`` probe.
+
+Instrumented choke points call :func:`fire` with their site name.  Outside
+an installed scope this is a single thread-local attribute read returning
+``None`` — the production path stays allocation-free, mirroring how
+:mod:`repro.obs` keeps untraced runs cheap.  Inside a scope, the plan
+decides deterministically whether the fault fires, and every fired fault
+is recorded as a :class:`FireEvent` so the invariant checker can replay
+the schedule and demand that each injected failure surfaced in the right
+place with the right error code.
+
+The scope is thread-local for the same reason the observability scope is:
+each experiment shard installs the plan fresh inside its worker (thread or
+forked process), so parallel shards never share trigger counters and the
+fault sequence a shard sees is independent of the executor.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro import obs
+from repro.chaos.plan import FaultPlan
+
+_ACTIVE = threading.local()
+
+_GARBAGE_LINES = (
+    "Sorry, I cannot help with that specification.",
+    "TODO(model): resume from checkpoint 0x%08x",
+    "<<<<<<< HEAD",
+    "{\"error\": \"content filter triggered\"}",
+    "lorem ipsum sig dolor sit amet",
+)
+
+
+@dataclass
+class FireEvent:
+    """One fault that actually fired, with enough context to audit it."""
+
+    site: str
+    index: int
+    """The site's trigger index at which this fault fired."""
+    payload: int
+    info: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "site": self.site,
+            "index": self.index,
+            "payload": self.payload,
+            "info": dict(self.info),
+        }
+
+
+@dataclass
+class ChaosScope:
+    """Mutable per-installation state: trigger counters and fired events."""
+
+    plan: FaultPlan
+    salt: str = ""
+    """Keys this installation's fault stream (see :meth:`FaultPlan.draw`);
+    the experiment engine salts with the shard's spec id so different
+    shards draw different — but still deterministic — schedules."""
+    triggers: dict[str, int] = field(default_factory=dict)
+    fires: dict[str, int] = field(default_factory=dict)
+    events: list[FireEvent] = field(default_factory=list)
+
+
+def active() -> ChaosScope | None:
+    """The calling thread's chaos scope, or ``None`` (the default)."""
+    return getattr(_ACTIVE, "scope", None)
+
+
+@contextmanager
+def install(plan: FaultPlan | None, salt: str = "") -> Iterator[ChaosScope | None]:
+    """Install ``plan`` on the calling thread (``None`` is a no-op).
+
+    Trigger counters start at zero on every installation: the unit of
+    deterministic replay is one installed scope, which the experiment
+    engine aligns with one shard (salting the stream with its spec id).
+    """
+    if plan is None:
+        yield None
+        return
+    previous = getattr(_ACTIVE, "scope", None)
+    scope = ChaosScope(plan=plan, salt=salt)
+    _ACTIVE.scope = scope
+    try:
+        yield scope
+    finally:
+        _ACTIVE.scope = previous
+
+
+def fire(site: str, **info: Any) -> FireEvent | None:
+    """Ask the active plan whether the fault at ``site`` fires now.
+
+    Returns the recorded :class:`FireEvent` (whose ``payload`` steers the
+    fault's shape) when it does, ``None`` otherwise — including always
+    outside a scope and for sites the plan does not configure.
+    """
+    scope = getattr(_ACTIVE, "scope", None)
+    if scope is None:
+        return None
+    config = scope.plan.config_for(site)
+    if config is None:
+        return None
+    index = scope.triggers.get(site, 0)
+    scope.triggers[site] = index + 1
+    if index < config.start_after:
+        return None
+    if config.max_fires is not None and scope.fires.get(site, 0) >= config.max_fires:
+        return None
+    fraction, payload = scope.plan.draw(site, index, salt=scope.salt)
+    if fraction >= config.probability:
+        return None
+    scope.fires[site] = scope.fires.get(site, 0) + 1
+    event = FireEvent(site=site, index=index, payload=payload, info=dict(info))
+    scope.events.append(event)
+    if obs.get_metrics().enabled:
+        obs.counter("chaos.fired", site=site).inc()
+    return event
+
+
+# -- fault factories for the instrumented sites -------------------------------
+
+CRASH_CODES = (
+    "internal.RuntimeError",
+    "runtime.recursion",
+    "io.error",
+    "analysis.budget",
+    "llm.extract",
+)
+"""The error-taxonomy classes ``repair.crash`` rotates through.  Ordering
+is part of the deterministic contract: ``payload % len(CRASH_CODES)``
+picks the class, and the invariant checker recomputes the same choice."""
+
+
+def crash_exception(payload: int) -> tuple[str, BaseException]:
+    """The (expected error code, exception) for one ``repair.crash`` fire.
+
+    Imports are local so the low-level layers that import this module
+    (solver, persistence) never drag the analyzer/LLM stacks in.
+    """
+    code = CRASH_CODES[payload % len(CRASH_CODES)]
+    if code == "internal.RuntimeError":
+        return code, RuntimeError("chaos: injected tool crash")
+    if code == "runtime.recursion":
+        return code, RecursionError("chaos: injected recursion overflow")
+    if code == "io.error":
+        return code, OSError("chaos: injected I/O failure")
+    if code == "analysis.budget":
+        from repro.alloy.errors import AnalysisBudgetError
+
+        return code, AnalysisBudgetError("chaos: injected analysis budget overrun")
+    from repro.llm.extract import ExtractionError
+
+    return code, ExtractionError("chaos: injected extraction failure")
+
+
+def garbled_completion(payload: int) -> str:
+    """A deterministic non-Alloy completion for ``llm.garbage``."""
+    line = _GARBAGE_LINES[payload % len(_GARBAGE_LINES)]
+    return f"{line}\n(chaos marker {payload % 9973})"
+
+
+def truncated_completion(text: str, payload: int) -> str:
+    """Cut a completion off mid-stream, the token-limit signature.
+
+    The cut lands in the middle third of the text so a fenced spec loses
+    its closing fence — exactly the case the extraction layer's
+    unterminated-fence recovery exists for.  Never returns a blank string
+    (the retry layer treats blank as transient, which is a different site).
+    """
+    if len(text) < 6:
+        return "```"
+    lower = len(text) // 3
+    cut = lower + payload % max(1, len(text) - 2 * lower)
+    truncated = text[:cut]
+    return truncated if truncated.strip() else "```"
+
+
+def mangle_bytes(data: bytes, site: str, payload: int) -> bytes:
+    """The corrupted byte stream for the two persistence sites.
+
+    ``persist.truncate`` halves the payload (a process killed mid-write);
+    ``persist.corrupt`` splices NUL-framed garbage at a payload-chosen
+    offset.  Both productions are invalid JSON wherever they land, which
+    is what lets the harness assert that *no* corrupted cache file ever
+    parses as valid.
+    """
+    if site == "persist.truncate":
+        cut = max(1, len(data) // 2)
+        # Never cut on a record boundary: a JSONL file truncated exactly
+        # at a newline would read back as valid-but-shorter, silently
+        # losing records instead of surfacing as corruption.  Walk back
+        # until the cut is strictly inside a line.
+        while cut > 1 and (
+            data[cut - 1 : cut] == b"\n" or data[cut : cut + 1] == b"\n"
+        ):
+            cut -= 1
+        return data[:cut]
+    junk = b"\x00chaos\x00"
+    position = payload % (len(data) + 1) if data else 0
+    return data[:position] + junk + data[position:]

@@ -1,0 +1,151 @@
+"""Deterministic fault plans: *which* faults fire, *where*, and *when*.
+
+A :class:`FaultPlan` is the whole configuration of one chaos run: a seed
+plus a per-site :class:`SiteConfig`.  Decisions are a pure function of
+``(seed, site, trigger index)`` — no RNG object, no hidden state — so
+
+- the same plan produces the same fault schedule on every run,
+- the plan pickles across :class:`~repro.experiments.executor.ShardTask`
+  into worker processes unchanged, and
+- serial, thread-pool, and process-pool executions of the same shard see
+  the *identical* fault sequence (each shard installs the plan fresh, so
+  trigger counters always start at zero at the shard boundary).
+
+The known injection sites live in :data:`SITES`; registering the choke
+points by name here (rather than scattering string literals) gives the
+CLI a stable ``--sites`` vocabulary and the harness a matrix to assert
+over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+SITES: dict[str, str] = {
+    "sat.budget": "spurious BudgetExceeded out of the CDCL search loop",
+    "sat.flip": "flip one literal of a learned clause (corrupts pruning)",
+    "analyzer.explode": "oversized-clause explosion during translation",
+    "repair.crash": "taxonomy-classed exception escaping RepairTool.repair",
+    "llm.transient": "transient network-class error before the completion",
+    "llm.garbage": "completion replaced with non-Alloy garbage",
+    "llm.truncate": "completion cut off mid-fence (token-limit signature)",
+    "persist.corrupt": "garbage bytes spliced into a cache file write",
+    "persist.truncate": "cache file truncated mid-write",
+}
+"""Every registered injection site, with a one-line description."""
+
+
+@dataclass(frozen=True)
+class SiteConfig:
+    """How one injection site behaves under a plan.
+
+    Each *trigger* (one pass through the instrumented choke point) draws a
+    deterministic fraction; the site *fires* when the fraction falls under
+    ``probability``, the trigger index has passed ``start_after``, and
+    fewer than ``max_fires`` faults have fired so far.
+    """
+
+    probability: float = 1.0
+    max_fires: int | None = None
+    start_after: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError(f"max_fires must be >= 0, got {self.max_fires}")
+        if self.start_after < 0:
+            raise ValueError(f"start_after must be >= 0, got {self.start_after}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus per-site configs — the complete chaos schedule.
+
+    Frozen and built from plain tuples so instances hash, compare, and
+    pickle; construct with a mapping and it normalizes.
+    """
+
+    seed: int
+    sites: tuple[tuple[str, SiteConfig], ...] = ()
+
+    def __post_init__(self) -> None:
+        normalized = self.sites
+        if isinstance(normalized, Mapping):
+            normalized = tuple(sorted(normalized.items()))
+        else:
+            normalized = tuple(sorted(tuple(normalized)))
+        for name, _ in normalized:
+            if name not in SITES:
+                raise ValueError(
+                    f"unknown injection site {name!r} "
+                    f"(known: {', '.join(sorted(SITES))})"
+                )
+        object.__setattr__(self, "sites", normalized)
+
+    @classmethod
+    def for_sites(
+        cls,
+        seed: int,
+        sites: Iterable[str],
+        *,
+        probability: float = 1.0,
+        max_fires: int | None = None,
+        start_after: int = 0,
+    ) -> "FaultPlan":
+        """A plan applying one uniform config to every named site."""
+        config = SiteConfig(
+            probability=probability,
+            max_fires=max_fires,
+            start_after=start_after,
+        )
+        return cls(seed=seed, sites=tuple((name, config) for name in sites))
+
+    def config_for(self, site: str) -> SiteConfig | None:
+        for name, config in self.sites:
+            if name == site:
+                return config
+        return None
+
+    def site_names(self) -> list[str]:
+        return [name for name, _ in self.sites]
+
+    def draw(self, site: str, index: int, salt: str = "") -> tuple[float, int]:
+        """The deterministic (fraction, payload) for one trigger.
+
+        ``fraction`` in [0, 1) decides firing; ``payload`` is a 32-bit
+        value the site uses to vary the fault (which literal to flip,
+        which taxonomy class to raise, where to splice garbage).
+
+        ``salt`` keys the stream to an installation (the experiment
+        engine uses the shard's spec id): without it every shard would
+        replay the *identical* per-site schedule, since trigger indices
+        restart at zero per scope.  Salting is what makes fault schedules
+        vary across shards while staying a pure function of the plan plus
+        the shard's identity — and therefore executor-independent.
+        """
+        digest = hashlib.sha256(
+            f"{self.seed}:{salt}:{site}:{index}".encode()
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        payload = int.from_bytes(digest[8:12], "big")
+        return fraction, payload
+
+    def digest(self) -> str:
+        """A stable fingerprint, folded into result-cache keys: a chaos
+        run must never collide with — or be served from — a clean one."""
+        payload = {
+            "seed": self.seed,
+            "sites": [
+                [name, config.probability, config.max_fires, config.start_after]
+                for name, config in self.sites
+            ],
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()[:12]

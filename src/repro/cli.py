@@ -66,6 +66,37 @@ def _jobs_arg(text: str) -> int:
     return value
 
 
+def _timeout_arg(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard timeout must be a number of seconds, got {text!r}"
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"shard timeout must be > 0, got {value}"
+        )
+    return value
+
+
+def _sites_arg(text: str) -> tuple[str, ...] | None:
+    from repro.chaos import SITES
+
+    if text.strip() == "all":
+        return None
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    if not names:
+        raise argparse.ArgumentTypeError("sites list is empty")
+    unknown = [name for name in names if name not in SITES]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown injection site(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(SITES))})"
+        )
+    return names
+
+
 def _techniques_arg(text: str) -> tuple[str, ...]:
     from repro.repair import registry
 
@@ -145,6 +176,23 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
         help="disable the static type-based pruning of repair candidates "
         "(the ablation arm; pruned counts appear in `repro profile` as "
         "analysis.pruned_typed)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=_timeout_arg,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per shard (one spec's cells); overdue "
+        "shards record a shard.timeout failure and their pending cells "
+        "are abandoned instead of blocking the run",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=["fifo", "longest-first"],
+        default="fifo",
+        help="shard ordering: fifo (benchmark order) or longest-first "
+        "(order by historical per-spec cost from a prior --trace run; "
+        "shortens parallel tail latency, never changes results)",
     )
 
 
@@ -232,6 +280,39 @@ def build_parser() -> argparse.ArgumentParser:
         "trace_files", nargs="+", help="one or more traces written by --trace"
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection drills: verify that the "
+        "resilience invariants hold under injected faults",
+    )
+    chaos.add_argument("--seed", type=_seed_arg, default=0)
+    chaos.add_argument(
+        "--sites",
+        type=_sites_arg,
+        default=None,
+        metavar="A,B,... | all",
+        help="comma-separated injection sites to exercise (default: all)",
+    )
+    chaos.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=2,
+        help="parallel workers for the thread/process equivalence runs",
+    )
+    chaos.add_argument("--scale", type=_scale_arg, default=0.05)
+    chaos.add_argument(
+        "--report",
+        default="chaos-report.json",
+        metavar="FILE.json",
+        help="where to write the JSON report (deterministic bytes: two "
+        "same-seed runs produce identical files)",
+    )
+    chaos.add_argument(
+        "--list-sites",
+        action="store_true",
+        help="print the known injection sites and exit",
+    )
+
     sub.add_parser("validate-corpus", help="check the ground-truth models")
     return parser
 
@@ -308,6 +389,8 @@ def _matrices(args):
         fail_fast=fail_fast,
         listener=listener,
         static_prune=not getattr(args, "no_static_prune", False),
+        shard_timeout=getattr(args, "shard_timeout", None),
+        schedule=getattr(args, "schedule", "fifo"),
     )
     matrices = []
     for benchmark, scale in (("arepair", 1.0), ("alloy4fun", args.scale)):
@@ -363,6 +446,8 @@ def _cmd_experiment(args) -> int:
             trace_out=args.trace_out,
             verbose=args.verbose,
             static_prune=not args.no_static_prune,
+            shard_timeout=args.shard_timeout,
+            schedule=args.schedule,
         )
         print(report.text)
         with open("EXPERIMENTS-report.txt", "w") as handle:
@@ -506,9 +591,31 @@ def _cmd_validate_corpus() -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from pathlib import Path
+
+    from repro.chaos import SITES
+    from repro.chaos.harness import render_report, run_drills, write_report
+
+    if args.list_sites:
+        width = max(len(name) for name in SITES)
+        for name in sorted(SITES):
+            print(f"{name:<{width}}  {SITES[name]}")
+        return EXIT_OK
+    report = run_drills(
+        seed=args.seed, sites=args.sites, jobs=args.jobs, scale=args.scale
+    )
+    write_report(Path(args.report), report)
+    print(render_report(report))
+    print(f"(report written to {args.report})", file=sys.stderr)
+    return EXIT_OK if report["ok"] else EXIT_FAILURE
+
+
 def _dispatch(args) -> int:
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "repair":
         return _cmd_repair(args)
     if args.command == "validate-corpus":

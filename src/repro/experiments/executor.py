@@ -32,13 +32,17 @@ from __future__ import annotations
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, Sequence
 
-from repro import obs
+from repro import chaos, obs
 from repro.benchmarks.faults import FaultySpec
+from repro.chaos.plan import FaultPlan
 from repro.metrics.rep import truth_command_outcomes
+from repro.runtime.budget import Budget
+from repro.runtime.errors import ShardTimeoutError
 from repro.runtime.guard import FailureRecord, capture_failure
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -66,6 +70,17 @@ class ShardTask:
     """Whether the repair tools may veto statically dead candidates.
     Installed ambiently (:func:`repro.analysis.prune.pruning`) around the
     shard so the bit crosses thread and process boundaries with the task."""
+    shard_timeout: float | None = None
+    """Wall-clock seconds this shard may spend before its remaining cells
+    are abandoned with a ``shard.timeout`` failure.  Enforced cooperatively
+    *inside* the worker between cells (so partial results survive) and by
+    the :class:`ProcessExecutor` watchdog for shards that stop cooperating
+    entirely."""
+    chaos: FaultPlan | None = None
+    """Fault-injection plan, installed around the shard.  Like
+    ``static_prune``, riding on the task is what carries the plan across
+    thread and process boundaries; trigger counters restart at zero per
+    shard, so the fault schedule a spec sees is executor-independent."""
 
 
 @dataclass
@@ -82,6 +97,10 @@ class ShardResult:
     traces survive the trip back to the coordinator.  Empty when untraced."""
     metrics: dict = field(default_factory=dict)
     """A :meth:`~repro.obs.MetricsRegistry.snapshot`; empty when untraced."""
+    chaos_events: list[dict] = field(default_factory=list)
+    """Every injected fault that fired in this shard, as JSON payloads
+    (:meth:`~repro.chaos.FireEvent.to_json` with the spec id folded in) —
+    the audit trail the chaos invariant checker verifies against."""
 
 
 def execute_shard(task: ShardTask) -> ShardResult:
@@ -98,16 +117,23 @@ def execute_shard(task: ShardTask) -> ShardResult:
     """
     from repro.analysis.prune import pruning
 
-    with pruning(task.static_prune):
+    with pruning(task.static_prune), chaos.install(
+        task.chaos, salt=task.spec.spec_id
+    ) as scope:
         if not task.trace:
-            return _execute_shard_cells(task)
-        tracer = obs.Tracer()
-        metrics = obs.MetricsRegistry()
-        with obs.scope(tracer, metrics):
             result = _execute_shard_cells(task)
-        result.spans = [span.to_json() for span in tracer.roots()]
-        result.metrics = metrics.snapshot()
-        return result
+        else:
+            tracer = obs.Tracer()
+            metrics = obs.MetricsRegistry()
+            with obs.scope(tracer, metrics):
+                result = _execute_shard_cells(task)
+            result.spans = [span.to_json() for span in tracer.roots()]
+            result.metrics = metrics.snapshot()
+    if scope is not None:
+        for event in scope.events:
+            event.info.setdefault("spec", task.spec.spec_id)
+        result.chaos_events = [event.to_json() for event in scope.events]
+    return result
 
 
 def _execute_shard_cells(task: ShardTask) -> ShardResult:
@@ -118,7 +144,42 @@ def _execute_shard_cells(task: ShardTask) -> ShardResult:
     started = time.perf_counter()
     spec = task.spec
     result = ShardResult(spec_id=spec.spec_id)
+    # Cooperative deadline: checked between cells, never mid-cell, so each
+    # completed cell's outcome is kept and the shard degrades instead of
+    # being torn down mid-computation.  Shards that stop cooperating (a
+    # cell that hangs) are the ProcessExecutor watchdog's problem.
+    deadline = (
+        Budget(wall_seconds=task.shard_timeout)
+        if task.shard_timeout is not None
+        else None
+    )
+
+    def overdue(done: int) -> bool:
+        if deadline is None or not deadline.exhausted:
+            return False
+        remaining = task.techniques[done:]
+        result.failures.append(
+            capture_failure(
+                f"{spec.spec_id}:shard",
+                ShardTimeoutError(
+                    f"shard exceeded its {task.shard_timeout:g}s deadline "
+                    f"with {len(remaining)} cell(s) pending",
+                    context={
+                        "spec": spec.spec_id,
+                        "timeout": task.shard_timeout,
+                        "pending": list(remaining),
+                    },
+                ),
+            )
+        )
+        for technique in remaining:
+            result.outcomes[technique] = runner._timeout_outcome(spec, technique)
+        return True
+
     truth: list[bool] | None
+    if overdue(0):
+        result.elapsed = time.perf_counter() - started
+        return result
     try:
         with obs.span("truth-oracle", spec=spec.spec_id):
             truth = truth_command_outcomes(spec.truth_source)
@@ -129,7 +190,9 @@ def _execute_shard_cells(task: ShardTask) -> ShardResult:
             capture_failure(f"{spec.spec_id}:truth-oracle", error)
         )
         truth = None
-    for technique in task.techniques:
+    for done, technique in enumerate(task.techniques):
+        if overdue(done):
+            break
         if truth is None:
             # The ground truth itself would not analyze; every technique
             # on this spec is unscorable.
@@ -148,6 +211,37 @@ def _execute_shard_cells(task: ShardTask) -> ShardResult:
             span.set(status=outcome.status, rep=outcome.rep)
         result.outcomes[technique] = outcome
     result.elapsed = time.perf_counter() - started
+    return result
+
+
+def timeout_shard_result(task: ShardTask, detail: str) -> ShardResult:
+    """Synthesize the result for a shard the watchdog gave up on.
+
+    Every pending cell becomes a ``"timeout"`` outcome and a single
+    ``shard.timeout`` failure records the abandonment, so the matrix stays
+    complete (each cell accounted for) even though the worker never
+    reported back.
+    """
+    from repro.experiments import runner
+
+    result = ShardResult(spec_id=task.spec.spec_id)
+    result.failures.append(
+        capture_failure(
+            f"{task.spec.spec_id}:shard",
+            ShardTimeoutError(
+                detail,
+                context={
+                    "spec": task.spec.spec_id,
+                    "timeout": task.shard_timeout,
+                    "pending": list(task.techniques),
+                },
+            ),
+        )
+    )
+    for technique in task.techniques:
+        result.outcomes[technique] = runner._timeout_outcome(
+            task.spec, technique
+        )
     return result
 
 
@@ -195,12 +289,34 @@ class ProcessExecutor:
     across the process boundary.  If a worker dies without raising (a
     hard kill), the broken pool is abandoned and the remaining shards
     finish in-process rather than losing the run.
+
+    When shards carry a ``shard_timeout``, a *watchdog* guards against
+    workers that stop cooperating entirely (the cooperative in-worker
+    deadline only checks between cells, so a single hanging cell could
+    wedge a pool slot forever).  Each result wait is bounded by twice the
+    largest shard timeout plus a grace second; a shard that misses even
+    that is declared hung and handled per ``on_timeout``:
+
+    - ``"abandon"`` (default): synthesize ``"timeout"`` outcomes plus a
+      ``shard.timeout`` failure for the hung shard;
+    - ``"requeue"``: re-execute the hung shard in-process (recovering its
+      real result if the hang was environmental) and append the
+      ``shard.timeout`` failure as an audit record.
+
+    Either way, already-finished results are salvaged, everything else
+    finishes in-process, and the wedged pool is torn down without waiting —
+    the run always completes.
     """
 
-    def __init__(self, jobs: int = 2) -> None:
+    def __init__(self, jobs: int = 2, on_timeout: str = "abandon") -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if on_timeout not in ("abandon", "requeue"):
+            raise ValueError(
+                f"on_timeout must be 'abandon' or 'requeue', got {on_timeout!r}"
+            )
         self.jobs = jobs
+        self.on_timeout = on_timeout
 
     @staticmethod
     def _context():
@@ -209,17 +325,105 @@ class ProcessExecutor:
         except ValueError:  # pragma: no cover - non-POSIX platforms
             return multiprocessing.get_context()
 
+    @staticmethod
+    def _watchdog_allowance(shards: Sequence[ShardTask]) -> float | None:
+        """How long to wait on one shard before declaring it hung.
+
+        Twice the largest cooperative deadline plus a grace second: a
+        cooperating shard returns within its own timeout (plus scheduling
+        slack), so anything that overstays this allowance is genuinely
+        stuck, not merely slow.  ``None`` (wait forever) when no shard
+        carries a timeout — the historical behaviour.
+        """
+        timeouts = [
+            shard.shard_timeout
+            for shard in shards
+            if shard.shard_timeout is not None
+        ]
+        return max(timeouts) * 2 + 1.0 if timeouts else None
+
     def run(self, shards: Sequence[ShardTask]) -> Iterator[ShardResult]:
-        with ProcessPoolExecutor(
+        allowance = self._watchdog_allowance(shards)
+        pool = ProcessPoolExecutor(
             max_workers=self.jobs, mp_context=self._context()
-        ) as pool:
+        )
+        abandoned = False
+        try:
             futures = [pool.submit(execute_shard, shard) for shard in shards]
             for index, future in enumerate(futures):
                 try:
-                    yield future.result()
+                    yield future.result(timeout=allowance)
                 except BrokenProcessPool:
+                    abandoned = True
                     yield from self._finish_in_process(shards[index:])
                     return
+                except FutureTimeout:
+                    abandoned = True
+                    task = shards[index]
+                    detail = (
+                        f"worker for {task.spec.spec_id!r} exceeded the "
+                        f"{allowance:g}s watchdog allowance without reporting"
+                    )
+                    if self.on_timeout == "requeue":
+                        result = execute_shard(task)
+                        result.failures.append(
+                            capture_failure(
+                                f"{task.spec.spec_id}:shard",
+                                ShardTimeoutError(
+                                    detail,
+                                    context={
+                                        "spec": task.spec.spec_id,
+                                        "timeout": task.shard_timeout,
+                                        "requeued": True,
+                                    },
+                                ),
+                            )
+                        )
+                        yield result
+                    else:
+                        yield timeout_shard_result(task, detail)
+                    yield from self._salvage(
+                        shards, futures, start=index + 1
+                    )
+                    return
+        finally:
+            if abandoned:
+                # Never wait on a wedged pool: cancel what has not started
+                # and hard-kill the workers (one of them is hung by
+                # construction — a graceful join would block forever).
+                pool.shutdown(wait=False, cancel_futures=True)
+                processes = getattr(pool, "_processes", None) or {}
+                for process in list(processes.values()):
+                    try:
+                        process.terminate()
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+            else:
+                pool.shutdown(wait=True)
+
+    @staticmethod
+    def _salvage(
+        shards: Sequence[ShardTask],
+        futures: Sequence,
+        start: int,
+    ) -> Iterator[ShardResult]:
+        """After a watchdog trip: keep finished results, redo the rest.
+
+        Results other workers already produced are valid (determinism does
+        not depend on which pool computed a shard); everything still queued
+        or running re-executes in-process, because the pool is about to be
+        torn down.
+        """
+        for index in range(start, len(futures)):
+            future = futures[index]
+            if future.done() and not future.cancelled():
+                try:
+                    yield future.result()
+                    continue
+                except Exception:  # fall through to the in-process rerun
+                    pass
+            future.cancel()
+            yield execute_shard(shards[index])
 
     @staticmethod
     def _finish_in_process(

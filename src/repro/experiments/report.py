@@ -52,6 +52,8 @@ def generate_report(
     trace_out: str | None = None,
     verbose: bool = False,
     static_prune: bool = True,
+    shard_timeout: float | None = None,
+    schedule: str = "fifo",
 ) -> StudyReport:
     """Run both benchmarks and render the complete study report.
 
@@ -68,7 +70,8 @@ def generate_report(
             fail_fast=fail_fast, jobs=jobs, executor=executor,
             listener=listener, trace=trace,
             trace_out=derive_trace_out(trace_out, trace, "arepair", seed),
-            static_prune=static_prune,
+            static_prune=static_prune, shard_timeout=shard_timeout,
+            schedule=schedule,
         )
     )
     alloy4fun = run_matrix(
@@ -77,7 +80,8 @@ def generate_report(
             fail_fast=fail_fast, jobs=jobs, executor=executor,
             listener=listener, trace=trace,
             trace_out=derive_trace_out(trace_out, trace, "alloy4fun", seed),
-            static_prune=static_prune,
+            static_prune=static_prune, shard_timeout=shard_timeout,
+            schedule=schedule,
         )
     )
     matrices = [arepair, alloy4fun]

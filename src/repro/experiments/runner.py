@@ -32,7 +32,9 @@ from repro.benchmarks.cache import cache_dir, load_benchmark
 from repro.obs.export import write_trace
 from repro.obs.trace import Span
 from repro.benchmarks.faults import FaultySpec
+from repro.chaos.plan import FaultPlan
 from repro.experiments.executor import ShardTask, create_executor
+from repro.experiments.schedule import SCHEDULES, schedule_shards
 from repro.experiments.progress import (
     NULL_LISTENER,
     ConsoleListener,
@@ -100,6 +102,21 @@ class RunConfig:
     (:mod:`repro.analysis`) before evaluator/solver work.  Part of the
     cache key when disabled — turning it off changes candidate streams
     and hence results (the ``--no-static-prune`` ablation)."""
+    shard_timeout: float | None = None
+    """Wall-clock seconds one shard (one spec's pending cells) may take.
+    Overdue shards record a ``shard.timeout`` failure and ``"timeout"``
+    outcomes for their pending cells; neither is cached (a timeout is an
+    execution artifact, not a result), so a later run retries them."""
+    schedule: str = "fifo"
+    """Shard ordering: ``fifo`` (benchmark order) or ``longest-first``
+    (schedule by historical per-spec cost from a prior trace or cached
+    matrix — shortens parallel tail latency).  Never affects results,
+    only wall-clock: executors yield in submission order either way."""
+    chaos: FaultPlan | None = None
+    """Deterministic fault-injection plan (:mod:`repro.chaos`), installed
+    around every shard.  Folded into the cache key — injected faults
+    change outcomes, and a chaos matrix must never collide with a clean
+    one."""
 
     def __post_init__(self) -> None:
         if self.techniques is not None:
@@ -112,6 +129,14 @@ class RunConfig:
             )
         if self.flush_every < 1:
             raise ValueError(f"flush_every must be >= 1, got {self.flush_every}")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be > 0, got {self.shard_timeout}"
+            )
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"schedule must be one of {SCHEDULES}, got {self.schedule!r}"
+            )
 
     def technique_list(self) -> list[str]:
         return list(self.techniques) if self.techniques else list(ALL_TECHNIQUES)
@@ -156,6 +181,10 @@ class ResultMatrix:
     """Present only on traced runs: the merged metrics snapshot
     (``"metrics"``) and the trace file path (``"trace_path"``).  Never
     cached — cached cells produced no telemetry to begin with."""
+    chaos_events: list[dict] = field(default_factory=list)
+    """Every injected fault that fired during this run (chaos runs only):
+    the audit trail the invariant checker cross-references against
+    ``failures`` and ``outcomes``."""
 
     def repaired_ids(self, technique: str) -> set[str]:
         return {
@@ -259,6 +288,21 @@ def _crashed_outcome(spec: FaultySpec, technique: str) -> SpecOutcome:
     )
 
 
+def _timeout_outcome(spec: FaultySpec, technique: str) -> SpecOutcome:
+    """The sentinel for a cell abandoned by a shard deadline: a miss, like
+    a crash, but distinguishable — and never cached, so a rerun without
+    the deadline (or on a faster machine) recomputes it."""
+    return SpecOutcome(
+        spec_id=spec.spec_id,
+        technique=technique,
+        rep=0,
+        tm=0.0,
+        sm=0.0,
+        status="timeout",
+        elapsed=0.0,
+    )
+
+
 def run_matrix(
     config: RunConfig | str,
     scale: float | None = None,
@@ -332,6 +376,7 @@ def _run(config: RunConfig) -> ResultMatrix:
         config.scale,
         techniques,
         static_prune=config.static_prune,
+        chaos_digest=config.chaos.digest() if config.chaos else None,
     )
     matrix = ResultMatrix(
         benchmark=config.benchmark,
@@ -369,10 +414,13 @@ def _run(config: RunConfig) -> ResultMatrix:
                     fail_fast=config.fail_fast,
                     trace=tracing,
                     static_prune=config.static_prune,
+                    shard_timeout=config.shard_timeout,
+                    chaos=config.chaos,
                 )
             )
     if not shards:
         return matrix
+    shards = schedule_shards(shards, config, matrix)
 
     # Run-level telemetry accumulators (only allocated when tracing):
     # worker shards return picklable span/metric payloads, merged here so
@@ -386,6 +434,7 @@ def _run(config: RunConfig) -> ResultMatrix:
         row = matrix.outcomes.setdefault(result.spec_id, {})
         row.update(result.outcomes)
         matrix.failures.extend(result.failures)
+        matrix.chaos_events.extend(result.chaos_events)
         for failure in result.failures:
             listener.on_failure(config.benchmark, failure)
         for outcome in result.outcomes.values():
@@ -445,6 +494,7 @@ def _matrix_key(
     techniques: Sequence[str],
     *,
     static_prune: bool = True,
+    chaos_digest: str | None = None,
 ) -> str:
     # The key folds in the technique *set* (sorted: order cannot change
     # outcomes) so a subset run and a full run never collide on one file.
@@ -452,10 +502,13 @@ def _matrix_key(
     # they must not change the result.  The static-prune bit *does* change
     # candidate streams, so the ablation (``static_prune=False``) gets its
     # own key; the default keeps the historical key shape so committed
-    # caches stay addressable.
+    # caches stay addressable.  A chaos plan changes outcomes by design,
+    # so its digest gets its own key for the same reason.
     payload = {"b": benchmark, "s": seed, "sc": scale, "t": sorted(techniques)}
     if not static_prune:
         payload["sp"] = False
+    if chaos_digest is not None:
+        payload["ch"] = chaos_digest
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode()
     ).hexdigest()[:12]
@@ -463,6 +516,9 @@ def _matrix_key(
 
 
 def _save_outcomes(matrix: ResultMatrix, path) -> None:
+    # Timeout cells (and their shard.timeout failure records) are
+    # execution artifacts — a rerun on a faster machine, or without the
+    # deadline, should recompute them — so they never enter the cache.
     payload = {
         "outcomes": {
             spec_id: {
@@ -474,10 +530,15 @@ def _save_outcomes(matrix: ResultMatrix, path) -> None:
                     "elapsed": o.elapsed,
                 }
                 for technique, o in row.items()
+                if o.status != "timeout"
             }
             for spec_id, row in matrix.outcomes.items()
         },
-        "failures": [record.to_json() for record in matrix.failures],
+        "failures": [
+            record.to_json()
+            for record in matrix.failures
+            if record.code != "shard.timeout"
+        ],
     }
     atomic_write_json(path, payload, schema=MATRIX_SCHEMA)
 

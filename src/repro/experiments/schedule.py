@@ -1,0 +1,99 @@
+"""Shard ordering policies — trace-driven longest-first scheduling.
+
+With a parallel backend, submission order determines tail latency: a pool
+that picks up the most expensive specification *last* idles every other
+worker while it finishes.  The classic fix is longest-processing-time
+first, which needs a cost estimate per shard.  This module grades three
+sources, best first:
+
+1. a prior run's trace file (``RunConfig.trace_path()``): per-cell
+   ``repair`` wall time is recorded on every traced run, so the previous
+   trace is an empirical cost model of this exact workload;
+2. the cached result matrix: resumed runs already hold per-cell
+   ``elapsed`` values for the spec's completed cells;
+3. the faulty source's size — a crude static proxy (bigger specs ground
+   to bigger CNFs), but strictly better than nothing.
+
+Scheduling never changes *results*: cells are seeded per (spec,
+technique) and executors yield in submission order, so reordering only
+moves wall-clock time around.  That is also why ``schedule`` stays out of
+the result-cache key.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.obs.export import read_trace
+from repro.runtime.errors import CacheCorruptionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.executor import ShardTask
+    from repro.experiments.runner import ResultMatrix, RunConfig
+
+SCHEDULES = ("fifo", "longest-first")
+"""Supported shard orderings (``RunConfig.schedule``)."""
+
+_SIZE_WEIGHT = 1e-6
+"""Seconds ascribed per source character when no history exists — small
+enough that any real measurement dominates it."""
+
+
+def trace_costs(config: "RunConfig") -> dict[str, float]:
+    """Per-spec seconds from the run's trace file, if one exists.
+
+    The trace destination is deterministic for a given config
+    (:meth:`RunConfig.trace_path`), so a re-run of a traced command finds
+    its own previous trace.  An unreadable or half-written trace file
+    degrades to "no history" rather than failing the run.
+    """
+    path = config.trace_path()
+    if not path.exists():
+        return {}
+    try:
+        data = read_trace(path)
+    except CacheCorruptionError:
+        return {}
+    costs: dict[str, float] = {}
+    for record in data.spans:
+        if record.get("name") != "cell":
+            continue
+        spec = record.get("attrs", {}).get("spec")
+        if spec is None:
+            continue
+        costs[spec] = costs.get(spec, 0.0) + float(record.get("duration", 0.0))
+    return costs
+
+
+def matrix_costs(matrix: "ResultMatrix") -> dict[str, float]:
+    """Per-spec seconds from already-held outcomes (resumed runs)."""
+    costs: dict[str, float] = {}
+    for spec_id, row in matrix.outcomes.items():
+        total = sum(outcome.elapsed for outcome in row.values())
+        if total > 0:
+            costs[spec_id] = total
+    return costs
+
+
+def schedule_shards(
+    shards: Sequence["ShardTask"],
+    config: "RunConfig",
+    matrix: "ResultMatrix",
+) -> list["ShardTask"]:
+    """Order ``shards`` according to ``config.schedule``."""
+    if config.schedule == "fifo" or len(shards) <= 1:
+        return list(shards)
+    history = trace_costs(config)
+    fallback = matrix_costs(matrix)
+
+    def cost(shard: "ShardTask") -> float:
+        spec_id = shard.spec.spec_id
+        if spec_id in history:
+            return history[spec_id]
+        if spec_id in fallback:
+            return fallback[spec_id]
+        return len(shard.spec.faulty_source) * _SIZE_WEIGHT
+
+    # Stable sort: equal-cost shards keep benchmark order, so the
+    # schedule itself is deterministic run to run.
+    return sorted(shards, key=cost, reverse=True)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
-from repro import obs
+from repro import chaos, obs
 from repro.runtime.errors import ReproError, TransientError
 from repro.runtime.retry import RetryPolicy, call_with_retry
 
@@ -109,6 +109,12 @@ class RetryingClient:
 
     def complete(self, conversation: Conversation) -> str:
         def attempt() -> str:
+            # Chaos sites bracket the real call: a transport failure fires
+            # before the provider is reached (so the retry loop absorbs it),
+            # while garbage/truncation corrupt an otherwise-good completion
+            # (so the downstream extraction layer must absorb them).
+            if chaos.fire("llm.transient") is not None:
+                raise TransientLLMError("chaos: injected transport failure")
             completion = self.inner.complete(conversation)
             if not isinstance(completion, str):
                 raise LLMProtocolError(
@@ -116,6 +122,12 @@ class RetryingClient:
                 )
             if not completion.strip():
                 raise TransientLLMError("empty completion")
+            event = chaos.fire("llm.garbage")
+            if event is not None:
+                return chaos.garbled_completion(event.payload)
+            event = chaos.fire("llm.truncate", length=len(completion))
+            if event is not None:
+                return chaos.truncated_completion(completion, event.payload)
             return completion
 
         def count(attempt_no: int, delay: float, error: BaseException) -> None:

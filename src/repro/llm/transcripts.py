@@ -14,6 +14,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.llm.client import Conversation, LLMClient
 
 
@@ -61,15 +62,33 @@ class TranscriptRecorder:
 
     @classmethod
     def load_exchanges(cls, path: str | Path) -> list[Exchange]:
+        """Read a transcript back, skipping lines that do not parse.
+
+        A transcript written by a crashed run can end in a torn line, and
+        hand-edited archives accumulate damage; losing one exchange is
+        recoverable (the replay client fails loudly on the missing key),
+        losing the whole transcript is not.  Skipped lines are counted on
+        the ``transcripts.corrupt_lines`` metric so damage is visible."""
         exchanges = []
+        corrupt = 0
         with Path(path).open() as handle:
             for line in handle:
                 if not line.strip():
                     continue
-                data = json.loads(line)
-                exchanges.append(
-                    Exchange(messages=data["messages"], response=data["response"])
-                )
+                try:
+                    data = json.loads(line)
+                    messages = data["messages"]
+                    response = data["response"]
+                    if not isinstance(messages, list) or not isinstance(
+                        response, str
+                    ):
+                        raise TypeError("malformed exchange record")
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    corrupt += 1
+                    continue
+                exchanges.append(Exchange(messages=messages, response=response))
+        if corrupt and obs.get_metrics().enabled:
+            obs.counter("transcripts.corrupt_lines").inc(corrupt)
         return exchanges
 
 

@@ -11,10 +11,11 @@ ground truth, which the tools never see.
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import chaos, obs
 from repro.alloy.errors import AlloyError
 from repro.alloy.nodes import Module
 from repro.runtime.errors import classify_exception
@@ -185,38 +186,64 @@ class PropertyOracle:
         return found
 
 
+_REPAIR_FRAME = threading.local()
+"""Marks that a repair attempt is already on the stack: ICEBAR and the
+Dynamic selector drive inner tools through ``repair()``, and the chaos
+crash site must fire only at the top level — a nested injection would be
+absorbed by the *outer* tool's isolation instead of escaping to the
+engine's failure capture, which is the contract under test."""
+
+
 class RepairTool:
     """Base class: a repair technique maps a task to a result."""
 
     name = "abstract"
 
     def repair(self, task: RepairTask) -> RepairResult:
+        toplevel = not getattr(_REPAIR_FRAME, "busy", False)
+        if toplevel:
+            event = chaos.fire("repair.crash", technique=self.name)
+            if event is not None:
+                # Deliberately *outside* the crash-isolation frame below:
+                # this models the whole tool dying (the paper's
+                # crashed-tool rows), so the exception must escape to the
+                # experiment engine's failure capture, not degrade into an
+                # ERROR outcome here.
+                code, error = chaos.crash_exception(event.payload)
+                event.info["code"] = code
+                raise error
+            _REPAIR_FRAME.busy = True
         start = time.perf_counter()
         # Ambient technique label: solver/analyzer/LLM metrics recorded
         # anywhere below this frame are attributed to this technique, which
         # is what `repro profile` rolls up.
-        with obs.labels(technique=self.name), obs.span(
-            "repair", technique=self.name
-        ) as span:
-            try:
-                result = self._repair(task)
-            except Exception as error:
-                # Crash isolation: one pathological spec (or a tool bug) must
-                # cost one repair attempt, not the whole benchmark run.  The
-                # error code keeps the failure classifiable downstream.
-                result = RepairResult(
-                    status=RepairStatus.ERROR,
-                    technique=self.name,
-                    detail=f"[{classify_exception(error)}] {error}",
+        try:
+            with obs.labels(technique=self.name), obs.span(
+                "repair", technique=self.name
+            ) as span:
+                try:
+                    result = self._repair(task)
+                except Exception as error:
+                    # Crash isolation: one pathological spec (or a tool bug)
+                    # must cost one repair attempt, not the whole benchmark
+                    # run.  The error code keeps the failure classifiable
+                    # downstream.
+                    result = RepairResult(
+                        status=RepairStatus.ERROR,
+                        technique=self.name,
+                        detail=f"[{classify_exception(error)}] {error}",
+                    )
+                result.elapsed = time.perf_counter() - start
+                result.technique = self.name
+                span.set(
+                    status=result.status.value,
+                    iterations=result.iterations,
+                    candidates=result.candidates_explored,
                 )
-            result.elapsed = time.perf_counter() - start
-            result.technique = self.name
-            span.set(
-                status=result.status.value,
-                iterations=result.iterations,
-                candidates=result.candidates_explored,
-            )
-            self._record_metrics(result)
+                self._record_metrics(result)
+        finally:
+            if toplevel:
+                _REPAIR_FRAME.busy = False
         return result
 
     def _record_metrics(self, result: RepairResult) -> None:

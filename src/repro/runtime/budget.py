@@ -75,7 +75,10 @@ class Budget:
                 f"budget exhausted after {self.spent} {what}s (limit {self._steps})",
                 context={"spent": self.spent, "limit": self._steps, "what": what},
             )
-        if self._deadline is not None and self._clock() > self._deadline:
+        # Deadline boundary matches `exhausted`: the instant the clock
+        # *reaches* the deadline the budget is spent — probing and charging
+        # must never disagree at the boundary.
+        if self._deadline is not None and self._clock() >= self._deadline:
             raise BudgetExhaustedError(
                 f"budget deadline passed after {self.spent} {what}s",
                 context={"spent": self.spent, "what": what},

@@ -82,6 +82,19 @@ class TransientError(ReproError):
     code = "transient"
 
 
+class ShardTimeoutError(ReproError):
+    """A shard blew its wall-clock deadline (``RunConfig.shard_timeout``).
+
+    Raised cooperatively between cells, or synthesized by the process
+    executor's watchdog when a worker goes quiet past the grace window.
+    Timeout outcomes are an execution artifact, not a result: the runner
+    excludes them from the result cache so a rerun with a roomier (or no)
+    deadline recomputes the cells instead of inheriting the cutoff.
+    """
+
+    code = "shard.timeout"
+
+
 _ALLOY_CODES = {
     "LexError": "spec.lex",
     "ParseError": "spec.parse",

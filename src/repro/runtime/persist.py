@@ -19,10 +19,27 @@ import os
 from pathlib import Path
 from typing import Any
 
+from repro import chaos
 from repro.runtime.errors import CacheCorruptionError
 
 _SCHEMA_KEY = "schema"
 _DATA_KEY = "data"
+
+
+def _maybe_corrupt(tmp: Path, target: Path) -> None:
+    """Chaos choke point: damage the temp file before the atomic rename.
+
+    Models a write interrupted (``persist.truncate``) or scrambled
+    (``persist.corrupt``) *before* the rename lands — the one window the
+    atomic-write protocol cannot close, and exactly what the tolerant
+    readers must absorb as a cache miss.  A no-op outside a chaos scope.
+    """
+    for site in ("persist.truncate", "persist.corrupt"):
+        event = chaos.fire(site, path=target.name)
+        if event is not None:
+            tmp.write_bytes(
+                chaos.mangle_bytes(tmp.read_bytes(), site, event.payload)
+            )
 
 
 def atomic_write_json(path: Path, payload: Any, schema: str | None = None) -> None:
@@ -38,6 +55,7 @@ def atomic_write_json(path: Path, payload: Any, schema: str | None = None) -> No
     try:
         with tmp.open("w") as handle:
             json.dump(payload, handle)
+        _maybe_corrupt(tmp, path)
         os.replace(tmp, path)
     finally:
         if tmp.exists():  # only on a failed dump/replace
@@ -64,6 +82,7 @@ def atomic_write_jsonl(
                 handle.write(json.dumps({_SCHEMA_KEY: schema}) + "\n")
             for record in records:
                 handle.write(json.dumps(record) + "\n")
+        _maybe_corrupt(tmp, path)
         os.replace(tmp, path)
     finally:
         if tmp.exists():  # only on a failed dump/replace

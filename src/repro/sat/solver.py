@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import obs
+from repro import chaos, obs
 
 
 @dataclass
@@ -367,6 +367,11 @@ class SatSolver:
         if self._propagate() is not None:
             self._root_conflict = True
             return False
+        if chaos.fire("sat.budget", vars=self._num_vars) is not None:
+            # Injected overrun: the deterministic stand-in for a solver
+            # timeout, raised exactly where a real conflict-limit overrun
+            # would leave the solver (backtracked to the root).
+            raise BudgetExceeded("chaos: injected conflict-budget overrun")
 
         assumptions = list(assumptions or [])
         # Restart scheduling is per-call: a reused solver restarts the Luby
@@ -404,6 +409,16 @@ class SatSolver:
                         self._root_conflict = True
                         return False
                 else:
+                    event = chaos.fire("sat.flip", size=len(learned))
+                    if event is not None:
+                        # Corrupt one non-asserting literal of the learned
+                        # clause.  The solver stays sound for SAT answers
+                        # (a full model still satisfies every original
+                        # clause) but may prune valid assignments — the
+                        # downstream-verification failure mode a learned-
+                        # clause bug would cause.
+                        k = 1 + event.payload % (len(learned) - 1)
+                        learned[k] = -learned[k]
                     index = self._attach_clause(learned)
                     self.stats.learned_clauses += 1
                     self._enqueue(learned[0], index)

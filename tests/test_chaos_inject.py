@@ -1,0 +1,154 @@
+"""The injection runtime: scopes, firing semantics, fault factories."""
+
+import json
+import threading
+
+from repro import chaos
+from repro.chaos.inject import (
+    CRASH_CODES,
+    crash_exception,
+    garbled_completion,
+    mangle_bytes,
+    truncated_completion,
+)
+from repro.chaos.plan import FaultPlan, SiteConfig
+from repro.runtime.errors import classify_exception
+
+
+def always(site):
+    return FaultPlan.for_sites(0, [site])
+
+
+class TestScope:
+    def test_fire_outside_scope_is_none(self):
+        assert chaos.fire("repair.crash") is None
+
+    def test_install_none_is_noop(self):
+        with chaos.install(None) as scope:
+            assert scope is None
+            assert chaos.fire("repair.crash") is None
+
+    def test_unconfigured_site_never_fires(self):
+        with chaos.install(always("sat.budget")):
+            assert chaos.fire("sat.flip") is None
+
+    def test_probability_one_fires_every_trigger(self):
+        with chaos.install(always("sat.budget")) as scope:
+            events = [chaos.fire("sat.budget") for _ in range(3)]
+        assert all(event is not None for event in events)
+        assert [event.index for event in events] == [0, 1, 2]
+        assert scope.events == events
+
+    def test_probability_zero_never_fires_but_counts_triggers(self):
+        plan = FaultPlan(seed=0, sites={"sat.budget": SiteConfig(probability=0.0)})
+        with chaos.install(plan) as scope:
+            assert chaos.fire("sat.budget") is None
+            assert chaos.fire("sat.budget") is None
+        assert scope.triggers["sat.budget"] == 2
+        assert scope.events == []
+
+    def test_max_fires_bounds_total(self):
+        plan = FaultPlan(seed=0, sites={"sat.budget": SiteConfig(max_fires=2)})
+        with chaos.install(plan) as scope:
+            fired = [chaos.fire("sat.budget") for _ in range(5)]
+        assert sum(event is not None for event in fired) == 2
+        assert scope.fires["sat.budget"] == 2
+
+    def test_start_after_skips_early_triggers(self):
+        plan = FaultPlan(seed=0, sites={"sat.budget": SiteConfig(start_after=2)})
+        with chaos.install(plan) as scope:
+            fired = [chaos.fire("sat.budget") for _ in range(4)]
+        assert [event is not None for event in fired] == [False, False, True, True]
+        assert scope.events[0].index == 2
+
+    def test_nested_install_restores_previous(self):
+        outer_plan = always("sat.budget")
+        inner_plan = always("sat.flip")
+        with chaos.install(outer_plan) as outer:
+            with chaos.install(inner_plan):
+                assert chaos.fire("sat.budget") is None
+                assert chaos.fire("sat.flip") is not None
+            assert chaos.fire("sat.budget") is not None
+            assert chaos.fire("sat.flip") is None
+        assert len(outer.events) == 1
+
+    def test_scope_is_thread_local(self):
+        seen: list = []
+        with chaos.install(always("sat.budget")):
+            thread = threading.Thread(
+                target=lambda: seen.append(chaos.fire("sat.budget"))
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_salt_changes_schedule_not_determinism(self):
+        plan = FaultPlan(
+            seed=0, sites={"repair.crash": SiteConfig(probability=0.5)}
+        )
+
+        def fired_pattern(salt):
+            with chaos.install(plan, salt=salt):
+                return [chaos.fire("repair.crash") is not None for _ in range(32)]
+
+        assert fired_pattern("spec-a") == fired_pattern("spec-a")
+        assert fired_pattern("spec-a") != fired_pattern("spec-b")
+
+    def test_event_info_and_json(self):
+        with chaos.install(always("sat.budget")):
+            event = chaos.fire("sat.budget", conflicts=7)
+        data = event.to_json()
+        assert data["site"] == "sat.budget"
+        assert data["info"] == {"conflicts": 7}
+        json.dumps(data)  # must be JSON-safe as recorded
+
+
+class TestFaultFactories:
+    def test_crash_exception_matches_taxonomy(self):
+        for payload, expected in enumerate(CRASH_CODES):
+            code, error = crash_exception(payload)
+            assert code == expected
+            assert classify_exception(error) == expected
+
+    def test_garbled_completion_is_deterministic_text(self):
+        assert garbled_completion(11) == garbled_completion(11)
+        assert "chaos marker" in garbled_completion(11)
+
+    def test_truncated_completion_never_blank(self):
+        text = "```alloy\nsig A { f: set A }\nfact F { some f }\n```"
+        for payload in range(16):
+            cut = truncated_completion(text, payload)
+            assert cut.strip()
+            assert len(cut) < len(text)
+            assert text.startswith(cut)
+        assert truncated_completion("   ", 0) == "```"
+
+    def test_truncate_mangle_stays_mid_line(self):
+        data = b"".join(
+            json.dumps({"row": i, "pad": "x" * 20}).encode() + b"\n"
+            for i in range(8)
+        )
+        for payload in range(8):
+            cut = mangle_bytes(data, "persist.truncate", payload)
+            assert 0 < len(cut) < len(data)
+            # The torn tail must not parse: the cut never lands on a
+            # record boundary, so the last line is always damaged.
+            last = cut.split(b"\n")[-1]
+            assert last != b""
+            try:
+                json.loads(last)
+                raise AssertionError("torn tail parsed as valid JSON")
+            except json.JSONDecodeError:
+                pass
+
+    def test_corrupt_mangle_breaks_json(self):
+        data = json.dumps({"schema": "x/1", "data": [1, 2, 3]}).encode()
+        for payload in (0, 5, 97, 2**31):
+            mangled = mangle_bytes(data, "persist.corrupt", payload)
+            assert b"\x00" in mangled
+            assert len(mangled) > len(data)
+            try:
+                json.loads(mangled)
+                raise AssertionError("corrupted bytes parsed as valid JSON")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                pass

@@ -1,0 +1,100 @@
+"""Fault plans: determinism, validation, pickling, cache-key digests."""
+
+import pickle
+
+import pytest
+
+from repro.chaos.plan import SITES, FaultPlan, SiteConfig
+
+
+class TestSiteCatalog:
+    def test_catalog_covers_every_layer(self):
+        prefixes = {name.split(".")[0] for name in SITES}
+        assert {"sat", "analyzer", "repair", "llm", "persist"} <= prefixes
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection site"):
+            FaultPlan(seed=0, sites={"not.a.site": SiteConfig()})
+
+
+class TestSiteConfigValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            SiteConfig(probability=1.5)
+        with pytest.raises(ValueError):
+            SiteConfig(probability=-0.1)
+
+    def test_max_fires_and_start_after_bounds(self):
+        with pytest.raises(ValueError):
+            SiteConfig(max_fires=-1)
+        with pytest.raises(ValueError):
+            SiteConfig(start_after=-1)
+
+
+class TestDraw:
+    def test_draw_is_pure(self):
+        plan = FaultPlan.for_sites(7, ["sat.budget"])
+        assert plan.draw("sat.budget", 3) == plan.draw("sat.budget", 3)
+        assert plan.draw("sat.budget", 3, salt="a") == plan.draw(
+            "sat.budget", 3, salt="a"
+        )
+
+    def test_draw_varies_with_every_input(self):
+        plan = FaultPlan.for_sites(7, ["sat.budget", "sat.flip"])
+        base = plan.draw("sat.budget", 0)
+        assert plan.draw("sat.budget", 1) != base
+        assert plan.draw("sat.flip", 0) != base
+        assert plan.draw("sat.budget", 0, salt="spec#1") != base
+        assert FaultPlan.for_sites(8, ["sat.budget"]).draw("sat.budget", 0) != base
+
+    def test_draw_ranges(self):
+        plan = FaultPlan.for_sites(0, ["repair.crash"])
+        for index in range(64):
+            fraction, payload = plan.draw("repair.crash", index)
+            assert 0.0 <= fraction < 1.0
+            assert 0 <= payload < 2**32
+
+
+class TestPlanObject:
+    def test_mapping_normalizes_to_sorted_tuple(self):
+        a = FaultPlan(
+            seed=0,
+            sites={"sat.flip": SiteConfig(), "sat.budget": SiteConfig()},
+        )
+        b = FaultPlan(
+            seed=0,
+            sites={"sat.budget": SiteConfig(), "sat.flip": SiteConfig()},
+        )
+        assert a == b
+        assert a.site_names() == ["sat.budget", "sat.flip"]
+
+    def test_config_for(self):
+        config = SiteConfig(probability=0.5)
+        plan = FaultPlan(seed=0, sites={"llm.garbage": config})
+        assert plan.config_for("llm.garbage") == config
+        assert plan.config_for("llm.truncate") is None
+
+    def test_plan_pickles(self):
+        plan = FaultPlan.for_sites(
+            3, ["persist.corrupt", "repair.crash"], probability=0.25, max_fires=2
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert clone.draw("repair.crash", 5) == plan.draw("repair.crash", 5)
+
+
+class TestDigest:
+    def test_digest_stable_and_discriminating(self):
+        plan = FaultPlan.for_sites(0, ["sat.budget"], probability=0.5)
+        assert plan.digest() == FaultPlan.for_sites(
+            0, ["sat.budget"], probability=0.5
+        ).digest()
+        assert plan.digest() != FaultPlan.for_sites(
+            1, ["sat.budget"], probability=0.5
+        ).digest()
+        assert plan.digest() != FaultPlan.for_sites(
+            0, ["sat.budget"], probability=0.6
+        ).digest()
+        assert plan.digest() != FaultPlan.for_sites(
+            0, ["sat.flip"], probability=0.5
+        ).digest()

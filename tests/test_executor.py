@@ -146,6 +146,47 @@ class TestCrashIsolationAcrossProcesses:
         assert all(f.where.endswith(":Crashy") for f in matrix.failures)
 
 
+class TestBrokenPoolFallback:
+    def test_hard_killed_worker_falls_back_in_process(self):
+        """A worker that dies without raising (os._exit, OOM-kill) breaks
+        the pool; the run must finish in-process instead of dying with it."""
+        import multiprocessing
+        import os
+
+        from repro.repair.base import RepairResult, RepairStatus, RepairTool
+
+        class HardKill(RepairTool):
+            name = "HardKill"
+
+            def _repair(self, task):
+                # Only die inside a pool worker — the in-process fallback
+                # (and the test runner) must survive.
+                if multiprocessing.parent_process() is not None:
+                    os._exit(3)
+                return RepairResult(
+                    status=RepairStatus.NOT_FIXED, technique=self.name
+                )
+
+        registry.register("HardKill", lambda spec, seed: HardKill())
+        try:
+            matrix = run_matrix(
+                RunConfig(
+                    benchmark="arepair",
+                    scale=0.05,
+                    techniques=("HardKill",),
+                    jobs=2,
+                    executor="process",
+                    use_cache=False,
+                )
+            )
+        finally:
+            registry.unregister("HardKill")
+        assert matrix.specs, "scaled benchmark should not be empty"
+        for spec in matrix.specs:
+            assert matrix.outcomes[spec.spec_id]["HardKill"].status == "not_fixed"
+        assert matrix.failures == []
+
+
 class TestResumeFromShardCache:
     def test_interrupted_run_resumes_from_flushed_shards(
         self, isolated_cache, monkeypatch

@@ -99,6 +99,23 @@ class TestBudget:
         with pytest.raises(BudgetExhaustedError):
             budget.charge()
 
+    def test_deadline_boundary_probing_and_charging_agree(self):
+        # A clock landing *exactly* on the deadline is spent on both paths:
+        # `exhausted` and `charge` must never disagree at the boundary.
+        now = [0.0]
+        budget = Budget(wall_seconds=10.0, clock=lambda: now[0])
+        now[0] = 10.0
+        assert budget.exhausted
+        with pytest.raises(BudgetExhaustedError):
+            budget.charge()
+
+    def test_just_under_the_deadline_is_not_exhausted(self):
+        now = [0.0]
+        budget = Budget(wall_seconds=10.0, clock=lambda: now[0])
+        now[0] = 9.999
+        assert not budget.exhausted
+        budget.charge()
+
     def test_rejects_negative_limits(self):
         with pytest.raises(ValueError):
             Budget(steps=-1)

@@ -1,0 +1,155 @@
+"""Trace-driven shard scheduling: ordering policies and cost sources."""
+
+import pytest
+
+from repro.benchmarks.faults import FaultySpec
+from repro.experiments.executor import ShardTask
+from repro.experiments.runner import ResultMatrix, RunConfig, SpecOutcome
+from repro.experiments.schedule import (
+    SCHEDULES,
+    matrix_costs,
+    schedule_shards,
+    trace_costs,
+)
+from repro.llm.prompts import RepairHints
+from repro.obs.export import TRACE_SCHEMA
+from repro.runtime.persist import atomic_write_jsonl
+
+from .conftest import LINKED_LIST_SPEC
+
+
+def make_shard(spec_id: str, source: str = LINKED_LIST_SPEC) -> ShardTask:
+    return ShardTask(
+        spec=FaultySpec(
+            spec_id=spec_id,
+            benchmark="adhoc",
+            domain="adhoc",
+            model_name=spec_id,
+            faulty_source=source,
+            truth_source=source,
+            fault_description="",
+            depth=0,
+            hints=RepairHints(),
+        ),
+        techniques=("ATR",),
+        seed=0,
+    )
+
+
+def order(shards):
+    return [shard.spec.spec_id for shard in shards]
+
+
+def config(tmp_path, schedule="longest-first"):
+    return RunConfig(
+        benchmark="adhoc-none",
+        schedule=schedule,
+        trace_out=str(tmp_path / "trace.jsonl"),
+    )
+
+
+def empty_matrix():
+    return ResultMatrix(benchmark="adhoc-none", seed=0, scale=1.0)
+
+
+def cell_span(spec_id, duration):
+    return {
+        "type": "span",
+        "name": "cell",
+        "path": "cell",
+        "depth": 0,
+        "duration": duration,
+        "attrs": {"spec": spec_id, "technique": "ATR"},
+    }
+
+
+class TestPolicies:
+    def test_fifo_preserves_submission_order(self, tmp_path):
+        shards = [make_shard(s) for s in ("a", "b", "c")]
+        assert (
+            order(schedule_shards(shards, config(tmp_path, "fifo"), empty_matrix()))
+            == ["a", "b", "c"]
+        )
+
+    def test_runconfig_rejects_unknown_schedule(self):
+        assert set(SCHEDULES) == {"fifo", "longest-first"}
+        with pytest.raises(ValueError, match="schedule"):
+            RunConfig(benchmark="arepair", schedule="shortest-first")
+
+    def test_single_shard_is_left_alone(self, tmp_path):
+        shards = [make_shard("only")]
+        assert schedule_shards(shards, config(tmp_path), empty_matrix()) == shards
+
+
+class TestCostSources:
+    def test_without_history_bigger_sources_go_first(self, tmp_path):
+        shards = [
+            make_shard("small", LINKED_LIST_SPEC),
+            make_shard("big", LINKED_LIST_SPEC * 4),
+        ]
+        assert order(
+            schedule_shards(shards, config(tmp_path), empty_matrix())
+        ) == ["big", "small"]
+
+    def test_size_ties_keep_benchmark_order(self, tmp_path):
+        shards = [make_shard(s) for s in ("a", "b", "c")]
+        assert order(
+            schedule_shards(shards, config(tmp_path), empty_matrix())
+        ) == ["a", "b", "c"]
+
+    def test_cached_matrix_elapsed_beats_the_size_proxy(self, tmp_path):
+        # "cheap" has the bigger source but measured history says it is
+        # fast; the measurement must win.
+        shards = [
+            make_shard("cheap", LINKED_LIST_SPEC * 4),
+            make_shard("dear", LINKED_LIST_SPEC),
+        ]
+        matrix = empty_matrix()
+        matrix.outcomes = {
+            "cheap": {"ATR": _outcome("cheap", elapsed=0.1)},
+            "dear": {"ATR": _outcome("dear", elapsed=9.0)},
+        }
+        assert matrix_costs(matrix) == {"cheap": 0.1, "dear": 9.0}
+        assert order(
+            schedule_shards(shards, config(tmp_path), matrix)
+        ) == ["dear", "cheap"]
+
+    def test_trace_file_beats_everything(self, tmp_path):
+        cfg = config(tmp_path)
+        atomic_write_jsonl(
+            cfg.trace_path(),
+            [
+                cell_span("a", 1.0),
+                cell_span("b", 5.0),
+                cell_span("b", 2.0),  # per-spec costs accumulate
+                {"type": "span", "name": "truth-oracle", "path": "t",
+                 "depth": 0, "duration": 99.0, "attrs": {"spec": "a"}},
+            ],
+            schema=TRACE_SCHEMA,
+        )
+        assert trace_costs(cfg) == {"a": 1.0, "b": 7.0}
+        shards = [make_shard("a"), make_shard("b")]
+        assert order(schedule_shards(shards, cfg, empty_matrix())) == ["b", "a"]
+
+    def test_unreadable_trace_degrades_to_no_history(self, tmp_path):
+        cfg = config(tmp_path)
+        cfg.trace_path().parent.mkdir(parents=True, exist_ok=True)
+        cfg.trace_path().write_bytes(b"\x00not a trace\x00")
+        assert trace_costs(cfg) == {}
+        shards = [make_shard("a"), make_shard("b", LINKED_LIST_SPEC * 2)]
+        assert order(schedule_shards(shards, cfg, empty_matrix())) == ["b", "a"]
+
+    def test_missing_trace_is_no_history(self, tmp_path):
+        assert trace_costs(config(tmp_path)) == {}
+
+
+def _outcome(spec_id, elapsed):
+    return SpecOutcome(
+        spec_id=spec_id,
+        technique="ATR",
+        rep=0,
+        tm=0.0,
+        sm=0.0,
+        status="not_fixed",
+        elapsed=elapsed,
+    )

@@ -39,6 +39,56 @@ class TestRecorder:
         assert loaded[0].response == recorder.exchanges[0].response
 
 
+class TestCorruptTranscripts:
+    GOOD = '{"messages": [{"role": "user", "content": "hi"}], "response": "ok"}'
+
+    def _write(self, path, lines):
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_corrupt_lines_are_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "damaged.jsonl"
+        self._write(
+            path,
+            [
+                self.GOOD,
+                '{"messages": [',  # torn mid-write
+                '{"response": "no messages key"}',
+                '{"messages": "not a list", "response": "x"}',
+                '{"messages": [], "response": 42}',  # wrong response type
+                "",  # blank lines are not corruption
+                self.GOOD,
+            ],
+        )
+        loaded = TranscriptRecorder.load_exchanges(path)
+        assert len(loaded) == 2
+        assert all(exchange.response == "ok" for exchange in loaded)
+
+    def test_skipped_lines_are_counted_on_the_metric(self, tmp_path):
+        from repro import obs
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import NULL_TRACER
+
+        path = tmp_path / "damaged.jsonl"
+        self._write(path, [self.GOOD, "not json at all", '{"messages": ['])
+        metrics = MetricsRegistry()
+        with obs.scope(NULL_TRACER, metrics):
+            loaded = TranscriptRecorder.load_exchanges(path)
+        assert len(loaded) == 1
+        assert metrics.counter("transcripts.corrupt_lines").value == 2
+
+    def test_fully_intact_file_records_no_corruption(self, tmp_path):
+        from repro import obs
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import NULL_TRACER
+
+        path = tmp_path / "clean.jsonl"
+        self._write(path, [self.GOOD])
+        metrics = MetricsRegistry()
+        with obs.scope(NULL_TRACER, metrics):
+            TranscriptRecorder.load_exchanges(path)
+        assert "transcripts.corrupt_lines" not in metrics.counter_values()
+
+
 class TestReplay:
     def test_replays_recorded_response(self, tmp_path):
         recorder = TranscriptRecorder(inner=MockGPT(seed=2))
