@@ -10,6 +10,10 @@ Commands:
 - ``repro validate-corpus`` — check the ground-truth model corpus.
 - ``repro trace <file.jsonl>`` — summarize a trace: top spans, slowest cells.
 - ``repro profile <file.jsonl>...`` — per-technique metric rollup.
+- ``repro serve`` — the repair service daemon (jobs over a unix socket).
+- ``repro submit | jobs`` — clients for a running daemon.
+- ``repro loadgen`` — drive a synthetic client fleet, report availability.
+- ``repro chaos [--service]`` — fault-injection drills (engine or daemon).
 
 Experiment commands accept ``--scale`` (fraction of the Alloy4Fun benchmark,
 default 0.05 for laptop-friendly runs; 1.0 is the paper-sized benchmark),
@@ -302,15 +306,162 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--scale", type=_scale_arg, default=0.05)
     chaos.add_argument(
         "--report",
-        default="chaos-report.json",
+        default=None,
         metavar="FILE.json",
         help="where to write the JSON report (deterministic bytes: two "
-        "same-seed runs produce identical files)",
+        "same-seed runs produce identical files); default "
+        "chaos-report.json, or service-chaos-report.json with --service",
     )
     chaos.add_argument(
         "--list-sites",
         action="store_true",
         help="print the known injection sites and exit",
+    )
+    chaos.add_argument(
+        "--service",
+        action="store_true",
+        help="drill the live service daemon instead of the batch engine: "
+        "availability under all injection sites, backpressure, circuit "
+        "breakers, drain/resume (report defaults to "
+        "service-chaos-report.json)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the repair service daemon: a job API over a local unix "
+        "socket, backed by the experiment engine (drain with SIGTERM)",
+    )
+    serve.add_argument(
+        "--socket", default="repro.sock", help="unix socket path to listen on"
+    )
+    serve.add_argument(
+        "--benchmark", choices=["arepair", "alloy4fun"], default="arepair"
+    )
+    serve.add_argument("--scale", type=_scale_arg, default=0.05)
+    serve.add_argument("--seed", type=_seed_arg, default=0)
+    serve.add_argument(
+        "--workers", type=_jobs_arg, default=2, help="warm worker threads"
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_jobs_arg,
+        default=64,
+        help="queued-job bound; submissions beyond it are rejected with a "
+        "retry_after hint",
+    )
+    serve.add_argument(
+        "--bucket-capacity",
+        type=float,
+        default=8.0,
+        help="per-tenant token bucket size",
+    )
+    serve.add_argument(
+        "--bucket-refill",
+        type=float,
+        default=4.0,
+        help="per-tenant tokens refilled per second",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=_timeout_arg,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-job deadline (shard_timeout semantics); 0 via "
+        "--no-job-timeout",
+    )
+    serve.add_argument(
+        "--no-job-timeout",
+        action="store_true",
+        help="disable the per-job deadline (and the wedge watchdog)",
+    )
+    serve.add_argument(
+        "--state",
+        default=None,
+        metavar="FILE.json",
+        help="drain checkpoint path (default: <socket>.state.json)",
+    )
+    serve.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not persist completed cells to the incremental result "
+        "store (disables restart resume of finished work)",
+    )
+    serve.add_argument(
+        "--no-static-prune",
+        action="store_true",
+        help="disable static type-based pruning in job executions",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one repair job to a running service daemon"
+    )
+    submit.add_argument("--socket", default="repro.sock")
+    submit.add_argument(
+        "--spec",
+        default=None,
+        metavar="SPEC_ID",
+        help="a spec id from the daemon's benchmark corpus",
+    )
+    submit.add_argument(
+        "--file",
+        default=None,
+        metavar="FILE.als",
+        help="submit an ad-hoc specification file instead of a corpus spec",
+    )
+    submit.add_argument(
+        "--benchmark",
+        choices=["arepair", "alloy4fun"],
+        default="arepair",
+        help="corpus the spec id belongs to (ignored with --file)",
+    )
+    submit.add_argument(
+        "--techniques",
+        type=_techniques_arg,
+        default=("ATR",),
+        metavar="A,B,...",
+    )
+    submit.add_argument("--seed", type=_seed_arg, default=0)
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument(
+        "--no-watch",
+        action="store_true",
+        help="return after the ack instead of streaming events until the "
+        "job finishes",
+    )
+    submit.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="give up on the first rejection instead of honoring the "
+        "retry_after backpressure hints",
+    )
+
+    jobs = sub.add_parser(
+        "jobs", help="list a running daemon's jobs (or --stats)"
+    )
+    jobs.add_argument("--socket", default="repro.sock")
+    jobs.add_argument(
+        "--stats",
+        action="store_true",
+        help="print service statistics (queues, breakers, latency) instead",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="load-test the service: host a daemon, drive a fleet of "
+        "concurrent synthetic clients, report the availability ledger",
+    )
+    loadgen.add_argument("--clients", type=_jobs_arg, default=50)
+    loadgen.add_argument("--jobs-per-client", type=_jobs_arg, default=2)
+    loadgen.add_argument(
+        "--benchmark", choices=["arepair", "alloy4fun"], default="arepair"
+    )
+    loadgen.add_argument("--scale", type=_scale_arg, default=0.05)
+    loadgen.add_argument("--seed", type=_seed_arg, default=0)
+    loadgen.add_argument("--workers", type=_jobs_arg, default=4)
+    loadgen.add_argument("--max-queue", type=_jobs_arg, default=16)
+    loadgen.add_argument(
+        "--techniques", type=_techniques_arg, default=None, metavar="A,B,..."
     )
 
     sub.add_parser("validate-corpus", help="check the ground-truth models")
@@ -602,13 +753,184 @@ def _cmd_chaos(args) -> int:
         for name in sorted(SITES):
             print(f"{name:<{width}}  {SITES[name]}")
         return EXIT_OK
+    if args.service:
+        from repro.service.drill import (
+            render_service_report,
+            run_service_drills,
+        )
+
+        report = run_service_drills(
+            seed=args.seed, sites=args.sites, scale=args.scale
+        )
+        report_path = args.report or "service-chaos-report.json"
+        write_report(Path(report_path), report)
+        print(render_service_report(report))
+        print(f"(report written to {report_path})", file=sys.stderr)
+        return EXIT_OK if report["ok"] else EXIT_FAILURE
     report = run_drills(
         seed=args.seed, sites=args.sites, jobs=args.jobs, scale=args.scale
     )
-    write_report(Path(args.report), report)
+    report_path = args.report or "chaos-report.json"
+    write_report(Path(report_path), report)
     print(render_report(report))
-    print(f"(report written to {args.report})", file=sys.stderr)
+    print(f"(report written to {report_path})", file=sys.stderr)
     return EXIT_OK if report["ok"] else EXIT_FAILURE
+
+
+def _service_config(args):
+    from repro.service.daemon import ServiceConfig
+
+    job_timeout = None if args.no_job_timeout else args.job_timeout
+    return ServiceConfig(
+        socket=args.socket,
+        benchmark=args.benchmark,
+        scale=args.scale if args.benchmark == "alloy4fun" else 1.0,
+        seed=args.seed,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        bucket_capacity=args.bucket_capacity,
+        bucket_refill=args.bucket_refill,
+        job_timeout=job_timeout,
+        state_path=args.state,
+        use_store=not args.no_store,
+        static_prune=not args.no_static_prune,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.daemon import ReproService
+
+    service = ReproService(_service_config(args))
+    print(
+        f"repro service: benchmark={args.benchmark} "
+        f"specs={len(service.jobs_corpus_ids())} workers={args.workers} "
+        f"socket={args.socket}",
+        file=sys.stderr,
+    )
+    if service.resumed_jobs:
+        print(
+            f"  resuming {service.resumed_jobs} checkpointed job(s)",
+            file=sys.stderr,
+        )
+    # serve() runs on the main thread so SIGTERM/SIGINT reach the loop's
+    # handlers and trigger a graceful drain + checkpoint.
+    asyncio.run(service.serve())
+    print("repro service: drained", file=sys.stderr)
+    return EXIT_OK
+
+
+def _cmd_submit(args) -> int:
+    from pathlib import Path
+
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import JobSpec
+
+    if (args.spec is None) == (args.file is None):
+        print("error: pass exactly one of --spec or --file", file=sys.stderr)
+        return EXIT_USAGE
+    if args.file is not None:
+        source = Path(args.file).read_text()
+        spec = JobSpec(
+            benchmark="adhoc",
+            spec_id=Path(args.file).stem,
+            techniques=args.techniques,
+            seed=args.seed,
+            tenant=args.tenant,
+            priority=args.priority,
+            source=source,
+        )
+    else:
+        spec = JobSpec(
+            benchmark=args.benchmark,
+            spec_id=args.spec,
+            techniques=args.techniques,
+            seed=args.seed,
+            tenant=args.tenant,
+            priority=args.priority,
+        )
+    client = ServiceClient(args.socket)
+    if args.no_retry:
+        outcome = client.submit(spec, watch=not args.no_watch)
+    else:
+        outcome = client.submit_retrying(spec, watch=not args.no_watch)
+    if not outcome.accepted:
+        last = outcome.rejections[-1] if outcome.rejections else {}
+        print(
+            f"rejected: {last.get('reason', '?')} "
+            f"(retry_after {last.get('retry_after', '?')}s, "
+            f"{len(outcome.rejections)} attempt(s))",
+            file=sys.stderr,
+        )
+        return EXIT_FAILURE
+    print(f"job {outcome.job_id}: {outcome.state}")
+    if args.no_watch:
+        return EXIT_OK
+    for technique, cell in sorted(outcome.outcomes.items()):
+        line = (
+            f"  {technique}: {cell.get('status')} rep={cell.get('rep')} "
+            f"tm={cell.get('tm', 0):.3f} sm={cell.get('sm', 0):.3f}"
+        )
+        if cell.get("error_code"):
+            line += f" [{cell['error_code']}]"
+        print(line)
+    if outcome.from_store:
+        print("  (served from the result store)")
+    if outcome.error:
+        print(f"  error: {outcome.error}", file=sys.stderr)
+    return EXIT_OK if outcome.state == "done" else EXIT_FAILURE
+
+
+def _cmd_jobs(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.socket)
+    if args.stats:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return EXIT_OK
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return EXIT_OK
+    for job in jobs:
+        star = "*" if job.get("from_store") else " "
+        print(
+            f"{job['job_id']}  {job['state']:<8} {star} "
+            f"{job['benchmark']}/{job['spec_id']} "
+            f"[{','.join(job['techniques'])}] tenant={job['tenant']}"
+        )
+    return EXIT_OK
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.service.daemon import ServiceConfig
+    from repro.service.loadgen import DEFAULT_TECHNIQUES, run_load
+
+    with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
+        ledger = run_load(
+            ServiceConfig(
+                socket=str(Path(tmp) / "loadgen.sock"),
+                benchmark=args.benchmark,
+                scale=args.scale if args.benchmark == "alloy4fun" else 1.0,
+                seed=args.seed,
+                workers=args.workers,
+                max_queue=args.max_queue,
+                job_timeout=None,
+                state_path=str(Path(tmp) / "loadgen.state.json"),
+            ),
+            clients=args.clients,
+            jobs_per_client=args.jobs_per_client,
+            techniques=args.techniques or DEFAULT_TECHNIQUES,
+        )
+    print(json.dumps(ledger, indent=2, sort_keys=True))
+    return EXIT_OK if ledger["ok"] else EXIT_FAILURE
 
 
 def _dispatch(args) -> int:
@@ -630,6 +952,14 @@ def _dispatch(args) -> int:
         return _cmd_profile(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     return _cmd_experiment(args)
 
 

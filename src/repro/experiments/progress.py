@@ -6,12 +6,17 @@ untestable (no way to observe progress programmatically).  Now the engine
 emits events to a :class:`ProgressListener`; the default is silent, the
 CLI installs :class:`ConsoleListener`, and tests install recorders.
 
-Listeners are invoked only from the coordinating thread — never from
-worker threads or processes — so implementations need no locking.
+The experiment engine invokes listeners only from its coordinating
+thread, but the engine is no longer the only host: concurrent callers
+(several ``run_matrix`` invocations, the service daemon) may share one
+listener across threads.  :class:`ConsoleListener` therefore serializes
+its output and state updates behind a lock; custom listeners that assume
+a single caller should do the same or document the restriction.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Protocol
 
 from repro.runtime.guard import FailureRecord, summarize_failures
@@ -70,33 +75,41 @@ class ConsoleListener:
     Tracks state per benchmark so one instance can watch several runs.
     With ``verbose``, every completed shard gets a one-line timing summary
     (spec, cell count, elapsed) instead of finishing silently.
+
+    Thread-safe: a lock serializes both the failure bookkeeping and the
+    prints, so events from concurrent hosts never interleave mid-line.
     """
 
     def __init__(self, every: int = 25, verbose: bool = False) -> None:
         self._every = every
         self._verbose = verbose
         self._failures: dict[str, list[FailureRecord]] = {}
+        self._lock = threading.Lock()
 
     def on_cell(self, benchmark, outcome, done, total) -> None:
-        if done % self._every == 0:
-            print(f"  [{benchmark}] {done}/{total} outcomes", flush=True)
+        with self._lock:
+            if done % self._every == 0:
+                print(f"  [{benchmark}] {done}/{total} outcomes", flush=True)
 
     def on_shard_done(self, benchmark, spec_id, shards_done, total_shards) -> None:
-        failures = self._failures.get(benchmark, [])
-        if shards_done == total_shards and failures:
-            print(
-                f"  [{benchmark}] {len(failures)} isolated failures: "
-                f"{summarize_failures(failures)}",
-                flush=True,
-            )
+        with self._lock:
+            failures = self._failures.get(benchmark, [])
+            if shards_done == total_shards and failures:
+                print(
+                    f"  [{benchmark}] {len(failures)} isolated failures: "
+                    f"{summarize_failures(failures)}",
+                    flush=True,
+                )
 
     def on_failure(self, benchmark, failure) -> None:
-        self._failures.setdefault(benchmark, []).append(failure)
+        with self._lock:
+            self._failures.setdefault(benchmark, []).append(failure)
 
     def on_metrics(self, benchmark, summary) -> None:
-        if self._verbose:
-            print(
-                f"  [{benchmark}] shard {summary['spec_id']}: "
-                f"{summary['cells']} cells in {summary['elapsed']:.2f}s",
-                flush=True,
-            )
+        with self._lock:
+            if self._verbose:
+                print(
+                    f"  [{benchmark}] shard {summary['spec_id']}: "
+                    f"{summary['cells']} cells in {summary['elapsed']:.2f}s",
+                    flush=True,
+                )

@@ -162,6 +162,10 @@ class SpecOutcome:
     sm: float
     status: str
     elapsed: float
+    error_code: str | None = None
+    """Taxonomy code when ``status == "error"`` came from a crash the
+    repair layer isolated.  Runtime-only: excluded from the matrix cache
+    (schema unchanged), consumed by the service's circuit breakers."""
 
 
 @dataclass
@@ -272,6 +276,7 @@ def run_spec(
         sm=sm,
         status=result.status.value,
         elapsed=time.perf_counter() - start,
+        error_code=result.error_code,
     )
 
 
@@ -430,41 +435,64 @@ def _run(config: RunConfig) -> ResultMatrix:
 
     backend = create_executor(config.executor, config.jobs)
     shards_done = 0
-    for result in backend.run(shards):
-        row = matrix.outcomes.setdefault(result.spec_id, {})
-        row.update(result.outcomes)
-        matrix.failures.extend(result.failures)
-        matrix.chaos_events.extend(result.chaos_events)
-        for failure in result.failures:
-            listener.on_failure(config.benchmark, failure)
-        for outcome in result.outcomes.values():
-            done += 1
-            listener.on_cell(config.benchmark, outcome, done, total)
-        shards_done += 1
-        listener.on_shard_done(
-            config.benchmark, result.spec_id, shards_done, len(shards)
-        )
-        # Defensive dispatch: on_metrics post-dates the listener protocol,
-        # and third-party listeners may not implement it.
-        on_metrics = getattr(listener, "on_metrics", None)
-        if on_metrics is not None:
-            on_metrics(
-                config.benchmark,
-                {
-                    "spec_id": result.spec_id,
-                    "elapsed": result.elapsed,
-                    "cells": len(result.outcomes),
-                },
+    try:
+        for result in backend.run(shards):
+            row = matrix.outcomes.setdefault(result.spec_id, {})
+            row.update(result.outcomes)
+            matrix.failures.extend(result.failures)
+            matrix.chaos_events.extend(result.chaos_events)
+            for failure in result.failures:
+                listener.on_failure(config.benchmark, failure)
+            for outcome in result.outcomes.values():
+                done += 1
+                listener.on_cell(config.benchmark, outcome, done, total)
+            shards_done += 1
+            listener.on_shard_done(
+                config.benchmark, result.spec_id, shards_done, len(shards)
             )
-        if run_metrics is not None:
-            run_spans.extend(Span.from_json(payload) for payload in result.spans)
-            run_metrics.merge(result.metrics)
-        if config.use_cache and (
-            shards_done % config.flush_every == 0 or shards_done == len(shards)
-        ):
-            # Incremental durability: a killed run resumes from the last
-            # flushed shard instead of losing everything.
+            # Defensive dispatch: on_metrics post-dates the listener
+            # protocol, and third-party listeners may not implement it.
+            on_metrics = getattr(listener, "on_metrics", None)
+            if on_metrics is not None:
+                on_metrics(
+                    config.benchmark,
+                    {
+                        "spec_id": result.spec_id,
+                        "elapsed": result.elapsed,
+                        "cells": len(result.outcomes),
+                    },
+                )
+            if run_metrics is not None:
+                run_spans.extend(
+                    Span.from_json(payload) for payload in result.spans
+                )
+                run_metrics.merge(result.metrics)
+            if config.use_cache and (
+                shards_done % config.flush_every == 0
+                or shards_done == len(shards)
+            ):
+                # Incremental durability: a killed run resumes from the
+                # last flushed shard instead of losing everything.
+                _save_outcomes(matrix, path)
+    except KeyboardInterrupt:
+        # Ctrl-C is a graceful stop, not a crash: flush everything already
+        # computed (regardless of flush_every cadence) so the next run
+        # resumes from here, say what survived, and let the interrupt
+        # propagate to the caller's exit handling.
+        if config.use_cache:
             _save_outcomes(matrix, path)
+        cells = sum(len(row) for row in matrix.outcomes.values())
+        print(
+            f"\ninterrupted: {shards_done}/{len(shards)} shard(s) finished, "
+            f"{cells} cell(s) "
+            + (
+                f"flushed to {path.name} — a rerun resumes from there"
+                if config.use_cache
+                else "computed but not cached (--no-cache run)"
+            ),
+            file=sys.stderr,
+        )
+        raise
 
     if run_metrics is not None:
         trace_path = config.trace_path()

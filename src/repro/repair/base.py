@@ -73,6 +73,11 @@ class RepairResult:
     oracle_queries: int = 0
     elapsed: float = 0.0
     detail: str = ""
+    error_code: str | None = None
+    """Taxonomy code (:func:`classify_exception`) when ``status`` is ERROR
+    because the tool crashed.  Runtime-only — never persisted — so health
+    machinery (circuit breakers) can route on error class without parsing
+    ``detail``."""
 
     @property
     def fixed(self) -> bool:
@@ -232,6 +237,7 @@ class RepairTool:
                         status=RepairStatus.ERROR,
                         technique=self.name,
                         detail=f"[{classify_exception(error)}] {error}",
+                        error_code=classify_exception(error),
                     )
                 result.elapsed = time.perf_counter() - start
                 result.technique = self.name

@@ -5,7 +5,10 @@ but generic: any callable raising :class:`~repro.runtime.errors.TransientError`
 can be wrapped.  Two properties matter for this repository:
 
 - **determinism** — the backoff schedule is a pure function of the policy
-  (no jitter, no hidden clock reads), so reproduction runs are stable;
+  (no hidden clock reads, no process-global RNG).  Jitter — which fleet
+  clients need so synchronized retries don't stampede a recovering
+  backend — is opt-in via ``jitter_seed`` and *seeded*: the same seed
+  always yields the same schedule, so even jittered runs reproduce;
 - **injectable sleeping** — the default sleeper is ``None`` (no delay),
   which unit tests and the offline mock rely on; production adapters pass
   ``time.sleep``.
@@ -13,6 +16,7 @@ can be wrapped.  Two properties matter for this repository:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
@@ -29,14 +33,33 @@ class RetryPolicy:
     base_delay: float = 0.05
     multiplier: float = 2.0
     max_delay: float = 2.0
+    jitter_seed: int | None = None
+    """``None`` (the default): no jitter — the exponential schedule is
+    exact and byte-identical across runs.  An integer: each delay is
+    scaled by a deterministic factor in [0.5, 1.0) drawn from
+    ``sha256(seed:attempt)`` — decorrelated enough to spread a retrying
+    fleet (give each client its own seed), still a pure function of the
+    policy."""
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
             raise ValueError("attempts must be at least 1")
 
+    def _jitter_factor(self, attempt: int) -> float:
+        digest = hashlib.sha256(
+            f"{self.jitter_seed}:{attempt}".encode()
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
+        return 0.5 + 0.5 * unit
+
     def delay_for(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (1-based)."""
-        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        delay = min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+        if self.jitter_seed is not None:
+            delay *= self._jitter_factor(attempt)
+        return delay
 
     def schedule(self) -> list[float]:
         """The full delay schedule — one entry per possible retry."""

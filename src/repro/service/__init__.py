@@ -1,0 +1,72 @@
+"""``repro.service`` — repair-as-a-service: the fault-tolerant daemon.
+
+The paper evaluates repair tools as offline batch runs; this package turns
+the same engine into a long-lived service that stays available when
+solvers wedge, LLM backends flap, and load spikes.  The pieces:
+
+- :mod:`repro.service.protocol` — the line-delimited JSON job protocol
+  spoken over a local socket, plus the :class:`JobSpec`/:class:`JobRecord`
+  vocabulary shared by daemon, client, and checkpoint files;
+- :mod:`repro.service.admission` — backpressure by *rejection*: a bounded
+  queue and per-tenant token buckets that answer "no, retry after N
+  seconds" instead of buffering without bound;
+- :mod:`repro.service.breaker` — circuit breakers that trip on classified
+  error rates (LLM transport, analyzer) and fast-fail while open, with
+  half-open probes to detect recovery;
+- :mod:`repro.service.pool` — the warm worker pool: priority +
+  longest-first dispatch, health checks, and automatic replacement of
+  wedged workers;
+- :mod:`repro.service.daemon` — :class:`ReproService`, the asyncio daemon
+  behind ``repro serve``: admission → queue → executor fleet → streamed
+  progress → result, with graceful drain that checkpoints in-flight jobs
+  so a restarted daemon resumes them;
+- :mod:`repro.service.client` — the blocking socket client behind
+  ``repro submit`` / ``repro jobs``;
+- :mod:`repro.service.loadgen` — the synthetic-client load harness;
+- :mod:`repro.service.drill` — ``repro chaos --service``: the 9-site
+  fault-injection drills run *against the live daemon*, asserting the
+  availability SLO (no lost jobs, no corrupted results, bounded queue
+  latency) in a byte-stable report.
+
+Heavy modules (daemon, drill — they pull in the experiment engine) are
+imported lazily by the CLI; importing :mod:`repro.service` itself stays
+cheap.
+"""
+
+from repro.service.admission import Admission, AdmissionController, TokenBucket
+from repro.service.breaker import (
+    BreakerClient,
+    BreakerConfig,
+    BreakerOpenError,
+    CircuitBreaker,
+)
+from repro.service.protocol import (
+    PROTOCOL_SCHEMA,
+    STATE_SCHEMA,
+    STORE_SCHEMA,
+    JobSpec,
+    JobState,
+    ProtocolError,
+    ServiceError,
+    decode_message,
+    encode_message,
+)
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "BreakerClient",
+    "BreakerConfig",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "JobSpec",
+    "JobState",
+    "PROTOCOL_SCHEMA",
+    "ProtocolError",
+    "STATE_SCHEMA",
+    "STORE_SCHEMA",
+    "ServiceError",
+    "TokenBucket",
+    "decode_message",
+    "encode_message",
+]

@@ -1,0 +1,148 @@
+"""Admission control: bounded queues and per-tenant token buckets.
+
+The service's backpressure contract is *reject with retry-after*, never
+*buffer without bound*: an overloaded daemon answers immediately with how
+long to wait, so client fleets spread out instead of piling onto a queue
+that grows until memory dies.  Two gates run in order:
+
+1. **queue bound** — a hard cap on queued (not-yet-running) jobs.  Full
+   queue → ``queue_full`` with a depth-scaled retry hint;
+2. **tenant token bucket** — each tenant draws from a bucket refilled at
+   a steady rate, so one chatty tenant cannot starve the rest.  Empty
+   bucket → ``rate_limited`` with the exact time until the next token.
+
+Like the breakers, the clock is injected so tests and drills are
+deterministic: with a fake clock the whole controller is a pure function
+of the call sequence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+_HORIZON = 3600.0
+"""Cap on any retry-after answer: an unrefillable bucket still gets a
+finite (if discouraging) hint instead of infinity, which would be
+meaningless on the wire."""
+
+
+class TokenBucket:
+    """The standard leaky-bucket limiter with an injected clock."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_rate: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if refill_rate < 0:
+            raise ValueError(f"refill_rate must be >= 0, got {refill_rate}")
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        if self.refill_rate > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.refill_rate
+            )
+
+    def acquire(self, cost: float = 1.0) -> float:
+        """Try to take ``cost`` tokens.  Returns 0.0 on success, else the
+        seconds until the bucket will hold enough (capped at an hour)."""
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return 0.0
+        deficit = cost - self._tokens
+        if self.refill_rate <= 0:
+            return _HORIZON
+        return min(_HORIZON, deficit / self.refill_rate)
+
+    @property
+    def available(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One admission verdict."""
+
+    admitted: bool
+    reason: str = ""
+    """``queue_full`` | ``rate_limited`` | ``""`` when admitted."""
+    retry_after: float = 0.0
+
+
+class AdmissionController:
+    """The two-gate admission pipeline the daemon consults per submit."""
+
+    def __init__(
+        self,
+        max_queue: int = 64,
+        bucket_capacity: float = 8.0,
+        bucket_refill: float = 4.0,
+        queue_retry_after: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = max_queue
+        self.bucket_capacity = bucket_capacity
+        self.bucket_refill = bucket_refill
+        self.queue_retry_after = queue_retry_after
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self.admitted = 0
+        self.rejected: dict[str, int] = {}
+
+    def bucket_for(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.bucket_capacity, self.bucket_refill, clock=self._clock
+            )
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, queue_depth: int) -> Admission:
+        """Gate one submission given the current queued-job count.
+
+        Order matters: the queue bound is checked *before* the bucket so a
+        full queue never consumes the tenant's tokens — a rejected client
+        retries with its budget intact.
+        """
+        if queue_depth >= self.max_queue:
+            # Scale the hint with how far over capacity we are: deeper
+            # backlogs disperse retries further.
+            hint = self.queue_retry_after * max(
+                1.0, queue_depth / self.max_queue
+            )
+            return self._reject("queue_full", hint)
+        wait = self.bucket_for(tenant).acquire()
+        if wait > 0:
+            return self._reject("rate_limited", wait)
+        self.admitted += 1
+        return Admission(admitted=True)
+
+    def _reject(self, reason: str, retry_after: float) -> Admission:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        return Admission(admitted=False, reason=reason, retry_after=retry_after)
+
+    def snapshot(self) -> dict:
+        return {
+            "max_queue": self.max_queue,
+            "admitted": self.admitted,
+            "rejected": dict(sorted(self.rejected.items())),
+            "tenants": sorted(self._buckets),
+        }

@@ -1,0 +1,164 @@
+"""Blocking client for the repair service — ``repro submit`` and friends.
+
+A deliberately small synchronous wrapper over the line-JSON protocol: one
+socket, one request, read frames until done.  The retry loop in
+:meth:`ServiceClient.submit_retrying` implements the client half of the
+backpressure contract — honor ``retry_after`` exactly, never hammer — and
+is what the load generator drives at fleet scale.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+
+from repro.service.protocol import (
+    JobSpec,
+    ProtocolError,
+    ServiceError,
+    decode_message,
+    encode_message,
+)
+
+
+@dataclass
+class SubmitOutcome:
+    """What one submission attempt (or retry loop) produced."""
+
+    accepted: bool
+    job_id: str | None = None
+    state: str | None = None
+    """Terminal state when watched to completion (``done``/``failed``)."""
+    outcomes: dict = field(default_factory=dict)
+    failures: list = field(default_factory=list)
+    from_store: bool = False
+    error: str | None = None
+    rejections: list[dict] = field(default_factory=list)
+    """Every ``reject`` frame seen along the way (reason + retry_after)."""
+
+    @property
+    def rejected(self) -> bool:
+        return not self.accepted
+
+
+class ServiceClient:
+    """One connection-per-request client for a daemon socket."""
+
+    def __init__(self, socket_path: str, timeout: float = 120.0) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as error:
+            sock.close()
+            raise ServiceError(
+                f"cannot reach service at {self.socket_path}: {error}",
+                context={"socket": self.socket_path},
+            ) from error
+        return sock
+
+    def _request(self, message: dict, n_frames: int = 1) -> list[dict]:
+        """Send one frame, read ``n_frames`` responses, close."""
+        with self._connect() as sock:
+            sock.sendall(encode_message(message))
+            reader = sock.makefile("rb")
+            return [self._read_frame(reader) for _ in range(n_frames)]
+
+    @staticmethod
+    def _read_frame(reader) -> dict:
+        line = reader.readline()
+        if not line:
+            raise ServiceError("service closed the connection mid-response")
+        return decode_message(line)
+
+    # -- operations -----------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._request({"op": "ping"})[0]
+
+    def jobs(self) -> list[dict]:
+        frame = self._request({"op": "jobs"})[0]
+        return frame.get("jobs", [])
+
+    def stats(self) -> dict:
+        return self._request({"op": "stats"})[0].get("stats", {})
+
+    def status(self, job_id: str) -> dict:
+        return self._request({"op": "status", "job_id": job_id})[0]
+
+    def drain(self, grace: float = 5.0) -> dict:
+        return self._request({"op": "drain", "grace": grace})[0]
+
+    def submit(self, spec: JobSpec, watch: bool = True) -> SubmitOutcome:
+        """One submission attempt.  With ``watch`` the connection stays
+        open streaming state events until the terminal frame."""
+        with self._connect() as sock:
+            sock.sendall(
+                encode_message(
+                    {"op": "submit", "job": spec.to_json(), "watch": watch}
+                )
+            )
+            reader = sock.makefile("rb")
+            first = self._read_frame(reader)
+            if first.get("type") == "reject":
+                return SubmitOutcome(accepted=False, rejections=[first])
+            if first.get("type") == "error":
+                raise ServiceError(
+                    first.get("message", "submission failed"),
+                    context={"code": first.get("code")},
+                )
+            if first.get("type") != "ack":
+                raise ProtocolError(
+                    f"expected ack, got {first.get('type')!r}"
+                )
+            outcome = SubmitOutcome(
+                accepted=True,
+                job_id=first.get("job_id"),
+                state=first.get("state"),
+            )
+            if not watch:
+                return outcome
+            while True:
+                frame = self._read_frame(reader)
+                if frame.get("type") != "event":
+                    continue
+                outcome.state = frame.get("state")
+                if outcome.state in ("done", "failed", "cancelled"):
+                    outcome.outcomes = frame.get("outcomes", {})
+                    outcome.failures = frame.get("failures", [])
+                    outcome.from_store = bool(frame.get("from_store"))
+                    outcome.error = frame.get("error")
+                    return outcome
+
+    def submit_retrying(
+        self,
+        spec: JobSpec,
+        watch: bool = True,
+        max_attempts: int = 40,
+        max_wait: float = 2.0,
+        sleep=time.sleep,
+    ) -> SubmitOutcome:
+        """The well-behaved client loop: on ``reject``, wait the hinted
+        ``retry_after`` (capped at ``max_wait``) and try again.
+
+        Gives up after ``max_attempts`` rejections, returning the rejected
+        outcome with the full rejection history — the load generator
+        counts those instead of raising.
+        """
+        rejections: list[dict] = []
+        for _ in range(max_attempts):
+            outcome = self.submit(spec, watch=watch)
+            if outcome.accepted:
+                outcome.rejections = rejections + outcome.rejections
+                return outcome
+            rejections.extend(outcome.rejections)
+            hint = outcome.rejections[-1].get("retry_after", 0.1)
+            sleep(min(max(float(hint), 0.01), max_wait))
+        return SubmitOutcome(accepted=False, rejections=rejections)

@@ -1,0 +1,705 @@
+"""``repro chaos --service`` — availability drills against a live daemon.
+
+The batch-engine drills (:mod:`repro.chaos.harness`) prove the *engine's*
+contracts under injected faults; these prove the *service's*:
+
+- **service-availability** — a client fleet submits the whole corpus to a
+  daemon whose executions (and store flushes) run under the full 9-site
+  fault plan.  The SLO: every accepted job reaches a terminal state (no
+  lost jobs), every DONE job's cells are bit-identical to a direct
+  engine execution under the same plan (no corrupted results — faults
+  degrade cells, never falsify them), p99 queue wait stays bounded, and
+  the fault schedule matches the reference run's exactly (the service
+  adds no nondeterminism);
+- **service-backpressure** — with the pool paused, the queue bound and a
+  starved tenant bucket reject deterministically, every rejection carries
+  a positive ``retry_after``, a full queue never consumes the tenant's
+  tokens, and everything admitted completes once the pool resumes;
+- **service-breaker** — an LLM backend failing past the retry budget
+  trips the LLM breaker after the configured window; further LLM jobs
+  fast-fail with ``breaker_open:llm`` while traditional repair continues
+  unaffected; a fake-clock breaker walks open → half-open → closed;
+- **service-drain-resume** — a drained daemon checkpoints every pending
+  job; a restarted daemon resumes all of them and produces bit-identical
+  outcomes to a direct execution; a third incarnation serves the same
+  jobs straight from the result store.
+
+Reports follow the chaos-report contract: canonical JSON, no timestamps,
+durations, or counts that depend on thread timing — two same-seed runs
+are byte-identical (CI pins this with a double-run ``cmp``).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.chaos.harness import DrillResult, _events_by_site, _temp_cache
+from repro.chaos.plan import SITES, FaultPlan, SiteConfig
+from repro.experiments.executor import ShardTask, execute_shard
+from repro.service.breaker import BreakerConfig, CircuitBreaker
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceConfig, ServiceHandle
+from repro.service.loadgen import plan_jobs, run_load
+from repro.service.protocol import JobSpec
+
+SERVICE_CHAOS_SCHEMA = "repro-service-chaos/1"
+"""Stamped into every service chaos report; bump on any shape change."""
+
+AVAILABILITY_SITES: dict[str, SiteConfig] = {
+    "sat.budget": SiteConfig(probability=0.05, max_fires=2),
+    "sat.flip": SiteConfig(probability=0.05, max_fires=2),
+    "analyzer.explode": SiteConfig(probability=0.03, max_fires=1),
+    "repair.crash": SiteConfig(probability=0.25, max_fires=3),
+    "llm.transient": SiteConfig(probability=0.3, max_fires=2),
+    "llm.garbage": SiteConfig(probability=0.3, max_fires=2),
+    "llm.truncate": SiteConfig(probability=0.3, max_fires=2),
+    "persist.corrupt": SiteConfig(probability=0.5, max_fires=2),
+    "persist.truncate": SiteConfig(probability=0.5, max_fires=2),
+}
+"""All nine sites, tuned so each fires somewhere across the corpus while
+most cells stay healthy.  ``llm.transient`` stays under the retry budget
+(``max_fires=2`` against 3 attempts) so transient faults are absorbed,
+not surfaced — the availability drill's point."""
+
+AVAILABILITY_TECHNIQUES = ("ATR", "BeAFix", "Single-Round_Pass")
+"""Solver, analyzer, repair loop, and LLM transport all on some path."""
+
+QUEUE_WAIT_SLO_P99 = 30.0
+"""Seconds.  Generous — the assertion is boundedness, not speed."""
+
+
+def _cells_payload(outcomes: dict[str, dict]) -> dict:
+    """The determinism-relevant projection of service cell payloads."""
+    return {
+        technique: {
+            "rep": cell["rep"],
+            "tm": round(cell["tm"], 9),
+            "sm": round(cell["sm"], 9),
+            "status": cell["status"],
+        }
+        for technique, cell in sorted(outcomes.items())
+    }
+
+
+def _reference_execution(
+    spec_ids: list[str],
+    service,
+    techniques: tuple[str, ...],
+    seed: int,
+    plan: FaultPlan | None,
+) -> tuple[dict, list[dict]]:
+    """Run every job directly through the engine — the ground truth the
+    service's results must match bit-for-bit."""
+    payload: dict[str, dict] = {}
+    events: list[dict] = []
+    for spec_id in spec_ids:
+        result = execute_shard(
+            ShardTask(
+                spec=service._specs[spec_id],
+                techniques=techniques,
+                seed=seed,
+                static_prune=service.config.static_prune,
+                shard_timeout=service.config.job_timeout,
+                chaos=plan,
+            )
+        )
+        events.extend(result.chaos_events)
+        payload[spec_id] = {
+            technique: {
+                "rep": o.rep,
+                "tm": round(o.tm, 9),
+                "sm": round(o.sm, 9),
+                "status": o.status,
+            }
+            for technique, o in sorted(result.outcomes.items())
+        }
+    return payload, events
+
+
+def _socket_dir() -> tempfile.TemporaryDirectory:
+    # Unix socket paths are length-limited (~108 bytes); a short /tmp dir
+    # keeps the drill independent of how deep REPRO_CACHE_DIR nests.
+    return tempfile.TemporaryDirectory(prefix="repro-svc-")
+
+
+def availability_drill(
+    seed: int, requested: set[str], scale: float
+) -> DrillResult:
+    """The headline SLO: no lost jobs, no corrupted results, bounded p99,
+    deterministic fault schedule — under all nine sites at once."""
+    drill = DrillResult(name="service-availability")
+    active = sorted(requested & set(AVAILABILITY_SITES))
+    if not active:
+        drill.skipped = True
+        return drill
+    plan = FaultPlan(
+        seed=seed, sites={site: AVAILABILITY_SITES[site] for site in active}
+    )
+    with _temp_cache(), _socket_dir() as sock_dir:
+        config = ServiceConfig(
+            socket=str(Path(sock_dir) / "drill.sock"),
+            benchmark="arepair",
+            scale=scale,
+            seed=seed,
+            workers=4,
+            max_queue=8,
+            bucket_capacity=4.0,
+            bucket_refill=50.0,
+            job_timeout=None,
+            chaos=plan,
+        )
+        handle = ServiceHandle.start(config)
+        service = handle.service
+        spec_ids = sorted(service.jobs_corpus_ids())
+        try:
+            ledger = run_load(
+                config,
+                clients=len(spec_ids),
+                jobs_per_client=1,
+                techniques=AVAILABILITY_TECHNIQUES,
+                handle=handle,
+            )
+            records = {
+                record.spec.spec_id: record
+                for record in service.jobs.values()
+            }
+            service_payload = {
+                spec_id: _cells_payload(record.outcomes)
+                for spec_id, record in sorted(records.items())
+            }
+            service_events = list(service.chaos_events)
+            store_events = (
+                list(service.store.events) if service.store else []
+            )
+            stats = service.stats()
+        finally:
+            handle.drain()
+
+    if ledger["lost"] != 0:
+        drill.violations.append(f"{ledger['lost']} accepted job(s) lost")
+    if ledger["failed"] != 0:
+        drill.violations.append(
+            f"{ledger['failed']} job(s) FAILED — faults must degrade "
+            "cells, not kill jobs"
+        )
+    if ledger["incomplete"]:
+        drill.violations.append(
+            f"terminal events missing cells: {ledger['incomplete']}"
+        )
+    if ledger["client_errors"]:
+        drill.violations.append(
+            f"client-visible errors: {ledger['client_errors'][:3]}"
+        )
+    if ledger["bad_retry_after"]:
+        drill.violations.append(
+            f"{ledger['bad_retry_after']} rejection(s) without a positive "
+            "retry_after hint"
+        )
+
+    with _temp_cache():
+        reference_payload, reference_events = _reference_execution(
+            spec_ids,
+            _reference_service(seed, scale, plan),
+            AVAILABILITY_TECHNIQUES,
+            seed,
+            plan,
+        )
+    if service_payload != reference_payload:
+        diverging = sorted(
+            spec_id
+            for spec_id in reference_payload
+            if service_payload.get(spec_id) != reference_payload[spec_id]
+        )
+        drill.violations.append(
+            f"service results diverge from direct execution for {diverging}"
+        )
+    if _events_by_site(service_events) != _events_by_site(reference_events):
+        drill.violations.append(
+            "service fault schedule diverges from the reference run: "
+            f"{_events_by_site(service_events)} != "
+            f"{_events_by_site(reference_events)}"
+        )
+    all_events = service_events + store_events
+    fired = {event["site"] for event in all_events}
+    for site in active:
+        if site not in fired:
+            drill.violations.append(
+                f"site {site} never fired — the drill proved nothing "
+                "about it"
+            )
+    p99 = stats["queue_wait"]["p99"]
+    if p99 > QUEUE_WAIT_SLO_P99:
+        drill.violations.append(
+            f"p99 queue wait {p99:.3f}s exceeds the {QUEUE_WAIT_SLO_P99}s SLO"
+        )
+    drill.detail = {
+        "sites": active,
+        "jobs": len(spec_ids),
+        "techniques": list(AVAILABILITY_TECHNIQUES),
+        "events_by_site": _events_by_site(all_events),
+        "lost": ledger["lost"],
+        "p99_within_slo": p99 <= QUEUE_WAIT_SLO_P99,
+        "payload": service_payload,
+    }
+    return drill
+
+
+def _reference_service(seed: int, scale: float, plan):
+    """A throwaway daemon-shaped object for spec lookup in the reference
+    run — never started, just the loaded corpus and config."""
+    from repro.service.daemon import ReproService
+
+    with _temp_cache(), _socket_dir() as sock_dir:
+        service = ReproService(
+            ServiceConfig(
+                socket=str(Path(sock_dir) / "ref.sock"),
+                benchmark="arepair",
+                scale=scale,
+                seed=seed,
+                job_timeout=None,
+                use_store=False,
+                chaos=plan,
+            )
+        )
+        service.pool.stop()  # only the loaded corpus is needed
+        return service
+
+
+def backpressure_drill(seed: int, scale: float) -> DrillResult:
+    """Deterministic rejection behavior at both admission gates."""
+    drill = DrillResult(name="service-backpressure")
+    with _temp_cache(), _socket_dir() as sock_dir:
+        config = ServiceConfig(
+            socket=str(Path(sock_dir) / "drill.sock"),
+            benchmark="arepair",
+            scale=scale,
+            seed=seed,
+            workers=1,
+            max_queue=3,
+            bucket_capacity=2.0,
+            bucket_refill=0.0,
+            job_timeout=None,
+        )
+        handle = ServiceHandle.start(config)
+        service = handle.service
+        client = ServiceClient(handle.socket)
+        spec_id = sorted(service.jobs_corpus_ids())[0]
+
+        def job(tenant: str) -> JobSpec:
+            return JobSpec(
+                benchmark="arepair",
+                spec_id=spec_id,
+                techniques=("ATR",),
+                seed=seed,
+                tenant=tenant,
+            )
+
+        try:
+            service.pool.pause()
+            for index in range(2):
+                outcome = client.submit(job("bulk"), watch=False)
+                if not outcome.accepted:
+                    drill.violations.append(
+                        f"bulk submission #{index} rejected with tokens and "
+                        f"queue space available: {outcome.rejections}"
+                    )
+            third = client.submit(job("bulk"), watch=False)
+            if third.accepted:
+                drill.violations.append(
+                    "tenant with an empty bucket was admitted"
+                )
+            elif third.rejections[0].get("reason") != "rate_limited":
+                drill.violations.append(
+                    f"expected rate_limited, got {third.rejections[0]}"
+                )
+            other = client.submit(job("other"), watch=False)
+            if not other.accepted:
+                drill.violations.append(
+                    f"fresh tenant rejected below the queue bound: "
+                    f"{other.rejections}"
+                )
+            full = client.submit(job("other"), watch=False)
+            if full.accepted:
+                drill.violations.append("submission above max_queue admitted")
+            elif full.rejections[0].get("reason") != "queue_full":
+                drill.violations.append(
+                    f"expected queue_full, got {full.rejections[0]}"
+                )
+            for name, rejection in (
+                ("rate_limited", third),
+                ("queue_full", full),
+            ):
+                if rejection.accepted:
+                    continue
+                if float(rejection.rejections[0].get("retry_after", 0)) <= 0:
+                    drill.violations.append(
+                        f"{name} rejection carried no positive retry_after"
+                    )
+            # The queue bound is checked before the bucket, so the
+            # queue_full rejection must not have burned "other"'s token.
+            tokens = service.admission.bucket_for("other").available
+            if tokens < 1.0:
+                drill.violations.append(
+                    "queue_full rejection consumed the tenant's token "
+                    f"(bucket holds {tokens:g})"
+                )
+            service.pool.resume()
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if all(r.terminal for r in service.jobs.values()):
+                    break
+                time.sleep(0.02)
+            states = sorted(
+                record.state.value for record in service.jobs.values()
+            )
+            if states != ["done", "done", "done"]:
+                drill.violations.append(
+                    f"admitted jobs did not all complete: {states}"
+                )
+            after = client.submit(job("other"), watch=True)
+            if not after.accepted or after.state != "done":
+                drill.violations.append(
+                    "post-resume submission from the preserved-token tenant "
+                    f"failed: accepted={after.accepted} state={after.state}"
+                )
+        finally:
+            handle.drain()
+    drill.detail = {
+        "max_queue": 3,
+        "bucket_capacity": 2,
+        "admitted": 4,
+        "rejected": {"queue_full": 1, "rate_limited": 1},
+    }
+    return drill
+
+
+def breaker_drill(seed: int, requested: set[str], scale: float) -> DrillResult:
+    """An LLM outage trips the breaker; traditional repair is unaffected."""
+    drill = DrillResult(name="service-breaker")
+    if "llm.transient" not in requested:
+        drill.skipped = True
+        return drill
+    # Unbounded transient faults: every LLM call fails even after the full
+    # retry schedule, so each LLM cell lands as ERROR/llm.transient.
+    plan = FaultPlan(
+        seed=seed,
+        sites={
+            "llm.transient": SiteConfig(probability=1.0, max_fires=10**6)
+        },
+    )
+    breaker_config = BreakerConfig(
+        window=4, min_calls=2, failure_rate=0.5, cooldown=120.0
+    )
+    with _temp_cache(), _socket_dir() as sock_dir:
+        config = ServiceConfig(
+            socket=str(Path(sock_dir) / "drill.sock"),
+            benchmark="arepair",
+            scale=scale,
+            seed=seed,
+            workers=1,
+            job_timeout=None,
+            use_store=False,
+            chaos=plan,
+            breaker=breaker_config,
+        )
+        handle = ServiceHandle.start(config)
+        service = handle.service
+        client = ServiceClient(handle.socket)
+        spec_ids = sorted(service.jobs_corpus_ids())
+        try:
+            for spec_id in spec_ids[:2]:
+                outcome = client.submit(
+                    JobSpec(
+                        benchmark="arepair",
+                        spec_id=spec_id,
+                        techniques=("Single-Round_Pass",),
+                        seed=seed,
+                    ),
+                    watch=True,
+                )
+                if not outcome.accepted or outcome.state != "done":
+                    drill.violations.append(
+                        f"LLM job on {spec_id} did not complete degraded: "
+                        f"accepted={outcome.accepted} state={outcome.state}"
+                    )
+                    continue
+                cell = outcome.outcomes.get("Single-Round_Pass", {})
+                if cell.get("status") != "error" or (
+                    cell.get("error_code") != "llm.transient"
+                ):
+                    drill.violations.append(
+                        f"expected error/llm.transient cell on {spec_id}, "
+                        f"got {cell.get('status')}/{cell.get('error_code')}"
+                    )
+            if service.breakers["llm"].state != "open":
+                drill.violations.append(
+                    "LLM breaker did not trip after two exhausted-retry "
+                    f"failures (state: {service.breakers['llm'].state})"
+                )
+            gated = client.submit(
+                JobSpec(
+                    benchmark="arepair",
+                    spec_id=spec_ids[2],
+                    techniques=("Single-Round_Pass",),
+                    seed=seed,
+                ),
+                watch=False,
+            )
+            if gated.accepted:
+                drill.violations.append(
+                    "LLM job admitted while the LLM breaker was open"
+                )
+            else:
+                rejection = gated.rejections[0]
+                if rejection.get("reason") != "breaker_open:llm":
+                    drill.violations.append(
+                        f"expected breaker_open:llm, got {rejection}"
+                    )
+                if float(rejection.get("retry_after", 0)) <= 0:
+                    drill.violations.append(
+                        "breaker rejection carried no positive retry_after"
+                    )
+            traditional = client.submit(
+                JobSpec(
+                    benchmark="arepair",
+                    spec_id=spec_ids[0],
+                    techniques=("ATR",),
+                    seed=seed,
+                ),
+                watch=True,
+            )
+            if not traditional.accepted or traditional.state != "done":
+                drill.violations.append(
+                    "traditional repair was blocked by the LLM outage: "
+                    f"accepted={traditional.accepted} "
+                    f"state={traditional.state}"
+                )
+            if service.breakers["analyzer"].state != "closed":
+                drill.violations.append(
+                    "analyzer breaker tripped on an LLM-only outage"
+                )
+        finally:
+            handle.drain()
+
+    # Recovery half, deterministic via a fake clock: open → half-open
+    # probe → closed.
+    now = [0.0]
+    breaker = CircuitBreaker(
+        "drill", BreakerConfig(window=4, min_calls=2, cooldown=10.0),
+        clock=lambda: now[0],
+    )
+    breaker.record_failure("llm.transient")
+    breaker.record_failure("llm.transient")
+    if breaker.state != "open" or breaker.allow():
+        drill.violations.append("fake-clock breaker failed to trip open")
+    now[0] = 10.0
+    if breaker.state != "half-open" or not breaker.allow():
+        drill.violations.append(
+            "breaker did not admit a probe after the cooldown"
+        )
+    breaker.record_success()
+    if breaker.state != "closed":
+        drill.violations.append("successful probe did not close the breaker")
+    drill.detail = {
+        "trip_after_failures": 2,
+        "recovered_via_probe": breaker.state == "closed",
+    }
+    return drill
+
+
+def drain_resume_drill(seed: int, scale: float) -> DrillResult:
+    """Checkpoint on drain; resume bit-identical; then serve from store."""
+    drill = DrillResult(name="service-drain-resume")
+    techniques = ("ATR", "Single-Round_Pass")
+    with _temp_cache(), _socket_dir() as sock_dir:
+        config = ServiceConfig(
+            socket=str(Path(sock_dir) / "drill.sock"),
+            benchmark="arepair",
+            scale=scale,
+            seed=seed,
+            workers=2,
+            job_timeout=None,
+        )
+        state_path = config.resolved_state_path()
+
+        # Phase A: admit jobs into a paused pool, drain — every job must
+        # land in the checkpoint, none executed.
+        handle = ServiceHandle.start(config)
+        service_a = handle.service
+        spec_ids = sorted(service_a.jobs_corpus_ids())[:6]
+        jobs = [
+            JobSpec(
+                benchmark="arepair",
+                spec_id=spec_id,
+                techniques=techniques,
+                seed=seed,
+            )
+            for spec_id in spec_ids
+        ]
+        client = ServiceClient(handle.socket)
+        service_a.pool.pause()
+        job_ids = []
+        for job in jobs:
+            outcome = client.submit(job, watch=False)
+            if not outcome.accepted:
+                drill.violations.append(
+                    f"phase A rejected {job.spec_id}: {outcome.rejections}"
+                )
+            else:
+                job_ids.append(outcome.job_id)
+        handle.drain(grace=0.0)
+        if not state_path.exists():
+            drill.violations.append("drain wrote no checkpoint file")
+            return drill
+
+        # Phase B: a fresh daemon resumes every checkpointed job and runs
+        # them to completion.
+        handle_b = ServiceHandle.start(config)
+        service_b = handle_b.service
+        try:
+            if service_b.resumed_jobs != len(jobs):
+                drill.violations.append(
+                    f"resumed {service_b.resumed_jobs} of {len(jobs)} "
+                    "checkpointed jobs"
+                )
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if len(service_b.jobs) == len(jobs) and all(
+                    record.terminal for record in service_b.jobs.values()
+                ):
+                    break
+                time.sleep(0.05)
+            resumed_payload = {
+                record.spec.spec_id: _cells_payload(record.outcomes)
+                for record in service_b.jobs.values()
+            }
+            resumed_states = sorted(
+                record.state.value for record in service_b.jobs.values()
+            )
+            if resumed_states != ["done"] * len(jobs):
+                drill.violations.append(
+                    f"resumed jobs did not all complete: {resumed_states}"
+                )
+            if sorted(service_b.jobs) != sorted(job_ids):
+                drill.violations.append(
+                    "resumed job ids diverge from the checkpointed ones"
+                )
+        finally:
+            handle_b.drain()
+        if state_path.exists():
+            drill.violations.append(
+                "clean drain left a stale checkpoint file behind"
+            )
+
+        # Ground truth: the same cells straight through the engine.
+        reference_payload, _ = _reference_execution(
+            spec_ids, service_a, techniques, seed, None
+        )
+        if resumed_payload != reference_payload:
+            drill.violations.append(
+                "resumed outcomes diverge from direct execution"
+            )
+
+        # Phase C: a third incarnation serves the identical jobs from the
+        # result store without executing anything.
+        handle_c = ServiceHandle.start(config)
+        service_c = handle_c.service
+        try:
+            if service_c.resumed_jobs != 0:
+                drill.violations.append(
+                    "third daemon resumed jobs from a supposedly clean state"
+                )
+            client_c = ServiceClient(handle_c.socket)
+            store_hits = 0
+            for job in jobs:
+                outcome = client_c.submit(job, watch=True)
+                if not outcome.accepted or outcome.state != "done":
+                    drill.violations.append(
+                        f"store-phase job {job.spec_id} did not complete"
+                    )
+                    continue
+                if outcome.from_store:
+                    store_hits += 1
+                if _cells_payload(outcome.outcomes) != reference_payload.get(
+                    job.spec_id
+                ):
+                    drill.violations.append(
+                        f"store-served outcomes diverge for {job.spec_id}"
+                    )
+            if store_hits != len(jobs):
+                drill.violations.append(
+                    f"only {store_hits} of {len(jobs)} jobs were served "
+                    "from the store"
+                )
+            if service_c.pool.executed != 0:
+                drill.violations.append(
+                    f"store phase executed {service_c.pool.executed} job(s)"
+                )
+        finally:
+            handle_c.drain()
+    drill.detail = {
+        "jobs": len(jobs),
+        "checkpointed": len(jobs),
+        "resumed": len(jobs),
+        "store_served": len(jobs),
+        "payload": {
+            spec_id: reference_payload[spec_id]
+            for spec_id in sorted(reference_payload)
+        },
+    }
+    return drill
+
+
+def run_service_drills(
+    seed: int = 0,
+    sites=None,
+    scale: float = 0.05,
+) -> dict:
+    """Run the service drills and assemble the deterministic report."""
+    requested = set(sites) if sites is not None else set(SITES)
+    unknown = requested - set(SITES)
+    if unknown:
+        raise ValueError(
+            f"unknown injection site(s): {', '.join(sorted(unknown))}"
+        )
+    drills = [
+        availability_drill(seed, requested, scale),
+        backpressure_drill(seed, scale),
+        breaker_drill(seed, requested, scale),
+        drain_resume_drill(seed, scale),
+    ]
+    violations = sum(len(drill.violations) for drill in drills)
+    return {
+        "schema": SERVICE_CHAOS_SCHEMA,
+        "seed": seed,
+        "scale": scale,
+        "sites": sorted(requested),
+        "drills": [drill.to_json() for drill in drills],
+        "violations": violations,
+        "ok": violations == 0,
+    }
+
+
+def render_service_report(report: dict) -> str:
+    """The human-readable summary printed by ``repro chaos --service``."""
+    lines = [
+        f"SERVICE CHAOS — seed={report['seed']} "
+        f"scale={report['scale']:g} sites={len(report['sites'])}"
+    ]
+    for drill in report["drills"]:
+        if drill["skipped"]:
+            status = "SKIP"
+        else:
+            status = "ok" if drill["ok"] else "FAIL"
+        lines.append(f"  [{status:>4}] {drill['name']}")
+        for violation in drill["violations"]:
+            lines.append(f"         - {violation}")
+    verdict = (
+        "availability SLO held"
+        if report["ok"]
+        else f"{report['violations']} violation(s)"
+    )
+    lines.append(f"  {verdict}")
+    return "\n".join(lines)

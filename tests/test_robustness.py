@@ -12,6 +12,7 @@ from repro.benchmarks.cache import BENCHMARK_SCHEMA, load_benchmark
 from repro.cli import EXIT_INPUT, main
 from repro.experiments.runner import (
     MATRIX_SCHEMA,
+    RunConfig,
     run_matrix,
     run_spec,
 )
@@ -111,6 +112,64 @@ class TestCrashIsolatedMatrix:
         assert len(second.failures) == len(first.failures)
         for spec in second.specs:
             assert second.outcomes[spec.spec_id]["ATR"].status == "crashed"
+
+
+class TestGracefulInterrupt:
+    class _InterruptAfterFirstShard:
+        """A listener standing in for Ctrl-C landing mid-run."""
+
+        def on_cell(self, benchmark, outcome, done, total):
+            pass
+
+        def on_shard_done(self, benchmark, spec_id, shards_done, total_shards):
+            raise KeyboardInterrupt
+
+        def on_failure(self, benchmark, failure):
+            pass
+
+    def test_interrupt_flushes_partial_results_and_reraises(
+        self, isolated_cache, capsys
+    ):
+        # flush_every is huge, so the only way the first shard's cells
+        # reach the cache is the interrupt handler's explicit flush.
+        config = RunConfig(
+            benchmark="arepair",
+            scale=0.1,
+            techniques=("ATR",),
+            flush_every=10_000,
+            listener=self._InterruptAfterFirstShard(),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_matrix(config)
+        err = capsys.readouterr().err
+        assert "interrupted:" in err
+        assert "a rerun resumes from there" in err
+        from repro.runtime.persist import load_json
+
+        (cache_file,) = isolated_cache.glob("matrix-*.json")
+        payload = load_json(cache_file, schema=MATRIX_SCHEMA)
+        flushed = payload["outcomes"]
+        assert flushed, "the finished shard must survive the interrupt"
+        assert all("ATR" in row for row in flushed.values())
+        # The rerun resumes from the flushed shard and completes.
+        matrix = run_matrix(
+            RunConfig(benchmark="arepair", scale=0.1, techniques=("ATR",))
+        )
+        assert all("ATR" in row for row in matrix.outcomes.values())
+        for spec_id, row in flushed.items():
+            assert matrix.outcomes[spec_id]["ATR"].rep == row["ATR"]["rep"]
+
+    def test_interrupt_without_cache_still_reports_and_reraises(self, capsys):
+        config = RunConfig(
+            benchmark="arepair",
+            scale=0.1,
+            techniques=("ATR",),
+            use_cache=False,
+            listener=self._InterruptAfterFirstShard(),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_matrix(config)
+        assert "computed but not cached" in capsys.readouterr().err
 
 
 class TestMatrixCacheRobustness:

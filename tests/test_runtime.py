@@ -182,6 +182,40 @@ class TestRetry:
         with pytest.raises(ValueError):
             RetryPolicy(attempts=0)
 
+    def test_default_policy_is_jitter_free(self):
+        # The reproduction guarantee: without an explicit jitter_seed the
+        # schedule is the exact exponential sequence, byte-identical
+        # across runs and machines.
+        assert RetryPolicy().jitter_seed is None
+        policy = RetryPolicy(attempts=4, base_delay=0.1, multiplier=2.0)
+        assert policy.schedule() == [0.1, 0.2, 0.4]
+
+    def test_seeded_jitter_is_deterministic(self):
+        jittered = RetryPolicy(
+            attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.3,
+            jitter_seed=7,
+        )
+        again = RetryPolicy(
+            attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.3,
+            jitter_seed=7,
+        )
+        assert jittered.schedule() == again.schedule()
+        other = RetryPolicy(
+            attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.3,
+            jitter_seed=8,
+        )
+        assert jittered.schedule() != other.schedule()
+
+    def test_jitter_stays_within_half_to_full_backoff(self):
+        plain = RetryPolicy(attempts=6, base_delay=0.05, max_delay=2.0)
+        jittered = RetryPolicy(
+            attempts=6, base_delay=0.05, max_delay=2.0, jitter_seed=123
+        )
+        for attempt in range(1, 6):
+            exact = plain.delay_for(attempt)
+            delay = jittered.delay_for(attempt)
+            assert 0.5 * exact <= delay < exact
+
 
 class TestGuard:
     def test_capture_failure_freezes_code_type_and_message(self):

@@ -193,6 +193,26 @@ class TestWatchdog:
         assert failure.code == "shard.timeout"
         assert failure.context["requeued"] is True
 
+    def test_requeued_shard_matches_a_direct_run(self):
+        # The salvage path is only trustworthy if the in-process rerun is
+        # the *same computation*: identical rep/tm/sm/status to executing
+        # the shard directly, watchdog involvement notwithstanding.
+        with registered("Hangy", lambda spec, seed: _Hangy()):
+            direct = execute_shard(
+                ShardTask(spec=make_spec("hung"), techniques=("Hangy",), seed=0)
+            )
+            results = list(
+                ProcessExecutor(jobs=2, on_timeout="requeue").run(self._shards())
+            )
+        hung = results[0]
+        assert {
+            t: (o.rep, o.tm, o.sm, o.status)
+            for t, o in hung.outcomes.items()
+        } == {
+            t: (o.rep, o.tm, o.sm, o.status)
+            for t, o in direct.outcomes.items()
+        }
+
 
 class TestTimeoutArtifactsStayOutOfTheCache:
     def test_save_outcomes_filters_timeouts(self, tmp_path):
