@@ -11,6 +11,8 @@ single arity computation covers both relational and integer expressions.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.alloy.errors import AlloyTypeError, ResolutionError
@@ -387,9 +389,32 @@ def _rewrite_receiver_fields(node, own_fields: set[str], shadowed: set[str]) -> 
                 _rewrite_receiver_fields(item, own_fields, child_shadowed)
 
 
+_RESOLVE_MEMO = threading.local()
+
+_RESOLVE_MEMO_LIMIT = 512
+"""Cap on the per-thread resolution memo (entries pin module ASTs alive)."""
+
+
 def resolve_module(module: Module) -> ModuleInfo:
-    """Resolve and check ``module``, returning its symbol tables."""
-    return Resolver(module).resolve()
+    """Resolve and check ``module``, returning its symbol tables.
+
+    Successful resolutions are memoized per thread by module *identity*:
+    during repair the same candidate object is resolved by mutant
+    generation, lint pruning, and the oracle in turn, and resolution is
+    pure (``ModuleInfo`` is never mutated), so they can share one result.
+    """
+    memo = getattr(_RESOLVE_MEMO, "entries", None)
+    if memo is None:
+        memo = _RESOLVE_MEMO.entries = OrderedDict()
+    entry = memo.get(id(module))
+    if entry is not None and entry[0] is module:
+        memo.move_to_end(id(module))
+        return entry[1]
+    info = Resolver(module).resolve()
+    memo[id(module)] = (module, info)
+    if len(memo) > _RESOLVE_MEMO_LIMIT:
+        memo.popitem(last=False)
+    return info
 
 
 # ---------------------------------------------------------------------------

@@ -47,12 +47,52 @@ def get_at(root: Node, path: Path) -> Node:
     return node
 
 
+def _shallow_node(node: Node) -> Node:
+    """A one-level copy of ``node``: fresh object, fresh list containers,
+    shared child subtrees."""
+    fields = {
+        f.name: getattr(node, f.name) for f in dataclasses.fields(node)
+    }
+    for name, value in fields.items():
+        if isinstance(value, list):
+            fields[name] = list(value)
+    return type(node)(**fields)
+
+
+def _copy_spine(root: Node, path: Path) -> tuple[Node, Node]:
+    """Copy the nodes along ``path`` (exclusive of its last step), sharing
+    every subtree off the path.  Returns ``(new_root, parent_copy)``.
+
+    Rewrites built on this are persistent-data-structure updates: the result
+    shares all untouched paragraphs with ``root``, so producing hundreds of
+    candidate mutants costs O(depth) copies each instead of a full deep copy
+    — and downstream identity-keyed caches (translation fragments, paragraph
+    digests) see unchanged subtrees as the *same* objects.  Callers must
+    treat ASTs as immutable, which every consumer in this codebase does.
+    """
+    new_root = _shallow_node(root)
+    parent = new_root
+    for field_name, index in path[:-1]:
+        value = getattr(parent, field_name)
+        child = value if index is None else value[index]
+        fresh = _shallow_node(child)
+        if index is None:
+            setattr(parent, field_name, fresh)
+        else:
+            value[index] = fresh
+        parent = fresh
+    return new_root, parent
+
+
 def replace_at(root: Node, path: Path, replacement: Node) -> Node:
-    """Return a deep copy of ``root`` with the node at ``path`` replaced."""
-    new_root = copy.deepcopy(root)
+    """Return a copy of ``root`` with the node at ``path`` replaced.
+
+    The copy shares every subtree not on the path with ``root``; the
+    replacement itself is deep-copied (proposals may embed pieces of the
+    original tree)."""
     if not path:
         return copy.deepcopy(replacement)
-    parent = get_at(new_root, path[:-1])
+    new_root, parent = _copy_spine(root, path)
     field_name, index = path[-1]
     if index is None:
         setattr(parent, field_name, copy.deepcopy(replacement))
@@ -62,27 +102,27 @@ def replace_at(root: Node, path: Path, replacement: Node) -> Node:
 
 
 def remove_at(root: Node, path: Path) -> Node:
-    """Return a deep copy of ``root`` with the list element at ``path`` removed.
+    """Return a copy of ``root`` with the list element at ``path`` removed.
 
     The addressed node must live in a list field (e.g. a formula inside a
     block); removing a scalar child would leave the parent malformed.
+    Unaffected subtrees are shared with ``root``.
     """
     if not path:
         raise ValueError("cannot remove the root node")
     field_name, index = path[-1]
     if index is None:
         raise ValueError(f"node at field {field_name!r} is not a list element")
-    new_root = copy.deepcopy(root)
-    parent = get_at(new_root, path[:-1])
+    new_root, parent = _copy_spine(root, path)
     del getattr(parent, field_name)[index]
     return new_root
 
 
 def insert_at(root: Node, path: Path, index: int, new_node: Node, field_name: str) -> Node:
-    """Return a deep copy of ``root`` with ``new_node`` inserted into the list
-    field ``field_name`` of the node at ``path``, at position ``index``."""
-    new_root = copy.deepcopy(root)
-    parent = get_at(new_root, path)
+    """Return a copy of ``root`` with ``new_node`` inserted into the list
+    field ``field_name`` of the node at ``path``, at position ``index``.
+    Unaffected subtrees are shared with ``root``."""
+    new_root, parent = _copy_spine(root, path + ((field_name, None),))
     getattr(parent, field_name).insert(index, copy.deepcopy(new_node))
     return new_root
 

@@ -10,6 +10,9 @@ candidate before the SAT pipeline sees it.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 from repro.alloy.errors import AlloyError
 from repro.alloy.nodes import (
     BinaryExpr,
@@ -119,8 +122,31 @@ def render_diagnostics(diagnostics: list[Diagnostic]) -> str:
     return "\n".join(d.render() for d in diagnostics)
 
 
+_PARAGRAPH_MEMO = threading.local()
+
+_PARAGRAPH_MEMO_LIMIT = 4096
+"""Cap on the per-thread paragraph lint memo (entries pin paragraph ASTs)."""
+
+
+def _paragraph_memo() -> OrderedDict:
+    memo = getattr(_PARAGRAPH_MEMO, "entries", None)
+    if memo is None:
+        memo = _PARAGRAPH_MEMO.entries = OrderedDict()
+    return memo
+
+
 class _Linter:
-    """One lint pass over one module."""
+    """One lint pass over one module.
+
+    Per-paragraph findings are memoized by paragraph *identity* together
+    with the identities of every declaration that can influence typing (sig
+    declarations and function result declarations).  Repair candidates are
+    path-copied edits of a base module, so all but the edited paragraph are
+    the same objects and lint a mutant at the cost of one paragraph.  The
+    module-level hygiene rules (unused declarations) depend on the whole
+    module and are recomputed every run from the cached per-paragraph
+    used/called name sets.
+    """
 
     def __init__(self, module: Module, info: ModuleInfo) -> None:
         self._module = module
@@ -130,32 +156,99 @@ class _Linter:
         self._context = ""
         self._used_names: set[str] = set()
         self._called: set[str] = set()
+        # Identity context for the paragraph memo: typing reads sig
+        # hierarchies/fields and fun result declarations, nothing else.
+        self._type_ctx = tuple(
+            [sig.decl for sig in info.sigs.values()]
+            + [fun.result for fun in info.funs.values()]
+        )
+
+    def _paragraph_jobs(self):
+        """Yield ``(paragraph, context, walk)`` for every cacheable unit."""
+        info = self._info
+        for fact in info.facts:
+            yield (
+                fact,
+                f"fact {fact.name or '<anonymous>'}",
+                lambda fact=fact: self._formula(fact.body, {}),
+            )
+        for pred in info.preds.values():
+
+            def walk_pred(pred=pred):
+                env = self._param_env(pred.params)
+                self._formula(pred.body, env)
+
+            yield pred, f"pred {pred.name}", walk_pred
+        for fun in info.funs.values():
+
+            def walk_fun(fun=fun):
+                env = self._param_env(fun.params)
+                self._expr(fun.body, env)
+                for node in fun.result.walk():
+                    if isinstance(node, NameExpr):
+                        self._used_names.add(node.name)
+
+            yield fun, f"fun {fun.name}", walk_fun
+        for assertion in info.asserts.values():
+            yield (
+                assertion,
+                f"assert {assertion.name}",
+                lambda assertion=assertion: self._formula(assertion.body, {}),
+            )
+        for command in info.commands:
+            if command.block is not None:
+                yield (
+                    command,
+                    f"{command.kind} <block>",
+                    lambda command=command: self._formula(command.block, {}),
+                )
+
+    @staticmethod
+    def _same_ctx(left: tuple, right: tuple) -> bool:
+        return len(left) == len(right) and all(
+            a is b for a, b in zip(left, right)
+        )
 
     def run(self) -> list[Diagnostic]:
         info = self._info
-        for fact in info.facts:
-            self._context = f"fact {fact.name or '<anonymous>'}"
-            self._formula(fact.body, {})
-        for pred in info.preds.values():
-            self._context = f"pred {pred.name}"
-            env = self._param_env(pred.params)
-            self._formula(pred.body, env)
-        for fun in info.funs.values():
-            self._context = f"fun {fun.name}"
-            env = self._param_env(fun.params)
-            self._expr(fun.body, env)
-            for node in fun.result.walk():
-                if isinstance(node, NameExpr):
-                    self._used_names.add(node.name)
-        for assertion in info.asserts.values():
-            self._context = f"assert {assertion.name}"
-            self._formula(assertion.body, {})
+        memo = _paragraph_memo()
+        all_findings: list[Diagnostic] = []
+        all_used: set[str] = set()
+        all_called: set[str] = set()
+        for paragraph, context, walk in self._paragraph_jobs():
+            entry = memo.get(id(paragraph))
+            if entry is not None and (
+                entry[0] is paragraph and self._same_ctx(entry[1], self._type_ctx)
+            ):
+                memo.move_to_end(id(paragraph))
+                _, _, findings, used, called = entry
+            else:
+                self._findings = []
+                self._used_names = set()
+                self._called = set()
+                self._context = context
+                walk()
+                findings = tuple(self._findings)
+                used = frozenset(self._used_names)
+                called = frozenset(self._called)
+                memo[id(paragraph)] = (
+                    paragraph,
+                    self._type_ctx,
+                    findings,
+                    used,
+                    called,
+                )
+                if len(memo) > _PARAGRAPH_MEMO_LIMIT:
+                    memo.popitem(last=False)
+            all_findings.extend(findings)
+            all_used.update(used)
+            all_called.update(called)
         for command in info.commands:
-            if command.block is not None:
-                self._context = f"{command.kind} <block>"
-                self._formula(command.block, {})
             if command.target is not None:
-                self._called.add(command.target)
+                all_called.add(command.target)
+        self._findings = all_findings
+        self._used_names = all_used
+        self._called = all_called
         self._context = "module"
         self._unused_decls()
         self._findings.sort(key=lambda d: (d.pos.line, d.pos.column, d.code))

@@ -182,6 +182,14 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
         "analysis.pruned_typed)",
     )
     parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="evaluate every repair candidate from scratch instead of "
+        "through the shared incremental solve session (the ablation arm; "
+        "outcomes are bit-identical either way, only slower — compare "
+        "repair.candidates/s in `repro profile`)",
+    )
+    parser.add_argument(
         "--shard-timeout",
         type=_timeout_arg,
         default=None,
@@ -224,6 +232,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-static-prune",
         action="store_true",
         help="disable static type-based pruning of repair candidates",
+    )
+    repair.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="evaluate candidates from scratch instead of through the "
+        "shared incremental solve session",
     )
 
     lint = sub.add_parser(
@@ -391,6 +405,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable static type-based pruning in job executions",
     )
+    serve.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="evaluate candidates from scratch in job executions instead "
+        "of through the shared incremental solve session",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit one repair job to a running service daemon"
@@ -514,8 +534,9 @@ def _cmd_repair(args) -> int:
         print(f"unknown technique {technique!r}", file=sys.stderr)
         return 2
     from repro.analysis import pruning
+    from repro.analyzer.session import incremental
 
-    with pruning(not args.no_static_prune):
+    with pruning(not args.no_static_prune), incremental(not args.no_incremental):
         result = tool.repair(task)
     print(f"status: {result.status.value} ({result.detail})")
     if result.candidate_source:
@@ -540,6 +561,7 @@ def _matrices(args):
         fail_fast=fail_fast,
         listener=listener,
         static_prune=not getattr(args, "no_static_prune", False),
+        incremental=not getattr(args, "no_incremental", False),
         shard_timeout=getattr(args, "shard_timeout", None),
         schedule=getattr(args, "schedule", "fifo"),
     )
@@ -597,6 +619,7 @@ def _cmd_experiment(args) -> int:
             trace_out=args.trace_out,
             verbose=args.verbose,
             static_prune=not args.no_static_prune,
+            incremental=not args.no_incremental,
             shard_timeout=args.shard_timeout,
             schedule=args.schedule,
         )
@@ -794,6 +817,7 @@ def _service_config(args):
         state_path=args.state,
         use_store=not args.no_store,
         static_prune=not args.no_static_prune,
+        incremental=not args.no_incremental,
     )
 
 

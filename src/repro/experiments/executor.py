@@ -81,6 +81,11 @@ class ShardTask:
     ``static_prune``, riding on the task is what carries the plan across
     thread and process boundaries; trigger counters restart at zero per
     shard, so the fault schedule a spec sees is executor-independent."""
+    incremental: bool = True
+    """Whether repair tools evaluate candidates through the shared
+    incremental solve session (:mod:`repro.analyzer.session`).  Installed
+    ambiently around the shard like ``static_prune``; never affects
+    outcomes — only how long cells take."""
 
 
 @dataclass
@@ -116,10 +121,11 @@ def execute_shard(task: ShardTask) -> ShardResult:
     the result carries the spans and metric snapshot.
     """
     from repro.analysis.prune import pruning
+    from repro.analyzer.session import incremental
 
-    with pruning(task.static_prune), chaos.install(
-        task.chaos, salt=task.spec.spec_id
-    ) as scope:
+    with pruning(task.static_prune), incremental(
+        task.incremental
+    ), chaos.install(task.chaos, salt=task.spec.spec_id) as scope:
         if not task.trace:
             result = _execute_shard_cells(task)
         else:

@@ -52,6 +52,7 @@ def generate_report(
     trace_out: str | None = None,
     verbose: bool = False,
     static_prune: bool = True,
+    incremental: bool = True,
     shard_timeout: float | None = None,
     schedule: str = "fifo",
 ) -> StudyReport:
@@ -70,8 +71,8 @@ def generate_report(
             fail_fast=fail_fast, jobs=jobs, executor=executor,
             listener=listener, trace=trace,
             trace_out=derive_trace_out(trace_out, trace, "arepair", seed),
-            static_prune=static_prune, shard_timeout=shard_timeout,
-            schedule=schedule,
+            static_prune=static_prune, incremental=incremental,
+            shard_timeout=shard_timeout, schedule=schedule,
         )
     )
     alloy4fun = run_matrix(
@@ -80,8 +81,8 @@ def generate_report(
             fail_fast=fail_fast, jobs=jobs, executor=executor,
             listener=listener, trace=trace,
             trace_out=derive_trace_out(trace_out, trace, "alloy4fun", seed),
-            static_prune=static_prune, shard_timeout=shard_timeout,
-            schedule=schedule,
+            static_prune=static_prune, incremental=incremental,
+            shard_timeout=shard_timeout, schedule=schedule,
         )
     )
     matrices = [arepair, alloy4fun]

@@ -22,7 +22,6 @@ import hashlib
 import json
 import sys
 import time
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -49,7 +48,6 @@ from repro.repair.registry import (
     MULTI_ROUND,
     SINGLE_ROUND,
     TRADITIONAL,
-    cell_seed,
 )
 from repro.runtime.errors import CacheCorruptionError
 from repro.runtime.guard import FailureRecord, summarize_failures
@@ -102,6 +100,13 @@ class RunConfig:
     (:mod:`repro.analysis`) before evaluator/solver work.  Part of the
     cache key when disabled — turning it off changes candidate streams
     and hence results (the ``--no-static-prune`` ablation)."""
+    incremental: bool = True
+    """Evaluate repair candidates through the shared incremental solve
+    session (:mod:`repro.analyzer.session`).  Deliberately *not* part of
+    the cache key: the session answers verdict-only queries and repair
+    outcomes are bit-identical with it on or off, so both modes may share
+    cached results (the ``--no-incremental`` ablation only changes how
+    long cells take)."""
     shard_timeout: float | None = None
     """Wall-clock seconds one shard (one spec's pending cells) may take.
     Overdue shards record a ``shard.timeout`` failure and ``"timeout"``
@@ -243,16 +248,6 @@ def derive_trace_out(
     return str(path.with_name(f"{path.stem}-{benchmark}{suffix}"))
 
 
-def _seed_for(spec: FaultySpec, technique: str, seed: int) -> int:
-    """Deprecated alias of :func:`repro.repair.registry.cell_seed`."""
-    return cell_seed(spec, technique, seed)
-
-
-def _make_tool(technique: str, spec: FaultySpec, seed: int):
-    """Deprecated: use :func:`repro.repair.registry.create`."""
-    return registry.create(technique, spec, seed)
-
-
 def run_spec(
     spec: FaultySpec,
     technique: str,
@@ -308,64 +303,25 @@ def _timeout_outcome(spec: FaultySpec, technique: str) -> SpecOutcome:
     )
 
 
-def run_matrix(
-    config: RunConfig | str,
-    scale: float | None = None,
-    seed: int | None = None,
-    techniques: list[str] | None = None,
-    use_cache: bool | None = None,
-    progress: bool | None = None,
-    fail_fast: bool | None = None,
-    jobs: int | None = None,
-    executor: str | None = None,
-) -> ResultMatrix:
+def run_matrix(config: RunConfig) -> ResultMatrix:
     """Run (or load from cache) the full technique × spec matrix.
 
-    The supported call shape is ``run_matrix(RunConfig(...))``.  The
-    legacy shape — a benchmark name plus loose keyword arguments — still
-    works through a deprecation shim that assembles the equivalent
-    :class:`RunConfig`.
+    Takes a :class:`RunConfig` and nothing else — the legacy shape (a
+    benchmark name plus loose keyword arguments) was removed after its
+    deprecation cycle.
 
     Every (spec, technique) cell is crash-isolated: an exception in one
     cell is captured as a :class:`FailureRecord` plus a ``"crashed"``
     outcome, and the run continues.  Set ``fail_fast=True`` (the CI /
     debugging mode) to propagate the first failure instead.
     """
-    if isinstance(config, RunConfig):
-        extras = (
-            scale, seed, techniques, use_cache, progress, fail_fast, jobs,
-            executor,
-        )
-        if any(value is not None for value in extras):
-            raise TypeError(
-                "run_matrix(RunConfig) takes no extra arguments; "
-                "put them in the RunConfig"
-            )
-        return _run(config)
-    if not isinstance(config, str):
+    if not isinstance(config, RunConfig):
         raise TypeError(
-            f"run_matrix expects a RunConfig (or a legacy benchmark name), "
+            "run_matrix expects a RunConfig; the legacy "
+            "run_matrix(benchmark, ...) keyword shape was removed — "
             f"got {type(config).__name__}"
         )
-    warnings.warn(
-        "run_matrix(benchmark, ...) with loose arguments is deprecated; "
-        "pass run_matrix(RunConfig(benchmark=...))",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _run(
-        RunConfig(
-            benchmark=config,
-            scale=1.0 if scale is None else scale,
-            seed=0 if seed is None else seed,
-            techniques=tuple(techniques) if techniques else None,
-            jobs=1 if jobs is None else jobs,
-            executor="auto" if executor is None else executor,
-            use_cache=True if use_cache is None else use_cache,
-            fail_fast=bool(fail_fast),
-            listener=ConsoleListener() if progress else None,
-        )
-    )
+    return _run(config)
 
 
 def _run(config: RunConfig) -> ResultMatrix:
@@ -419,6 +375,7 @@ def _run(config: RunConfig) -> ResultMatrix:
                     fail_fast=config.fail_fast,
                     trace=tracing,
                     static_prune=config.static_prune,
+                    incremental=config.incremental,
                     shard_timeout=config.shard_timeout,
                     chaos=config.chaos,
                 )

@@ -314,6 +314,13 @@ def render_profile(data: TraceData) -> str:
         )
         if not summary.get("count"):
             continue
+        # Candidate throughput: candidates evaluated per second of time
+        # spent inside repair() — the headline number the incremental
+        # solve session moves (compare a --trace run against one with
+        # --no-incremental).
+        candidates = data.labelled_total("repair.candidates", technique)
+        spent = summary.get("sum", 0.0)
+        throughput = f"{candidates / spent:.1f}" if spent > 0 else "-"
         rows.append(
             [
                 technique,
@@ -321,11 +328,14 @@ def render_profile(data: TraceData) -> str:
                 f"{summary['mean']:.4f}",
                 f"{summary['p90']:.4f}",
                 f"{summary['max']:.4f}",
+                throughput,
             ]
         )
     if rows:
         sections.append("Per-technique repair time (s)")
-        sections.append(_table(["technique", "n", "mean", "p90", "max"], rows))
+        sections.append(
+            _table(["technique", "n", "mean", "p90", "max", "cand/s"], rows)
+        )
         sections.append("")
 
     totals = [
@@ -335,6 +345,11 @@ def render_profile(data: TraceData) -> str:
         ("sat.conflicts", "conflicts"),
         ("sat.learned_clauses", "learned clauses"),
         ("sat.restarts", "restarts"),
+        ("sat.session.reused_clauses", "session clauses reused"),
+        ("oracle.session.checks", "oracle session checks"),
+        ("oracle.session.fragment_hits", "oracle fragment cache hits"),
+        ("oracle.session.fragment_misses", "oracle fragment cache misses"),
+        ("oracle.session.fallbacks", "oracle session fallbacks"),
         ("analyzer.commands", "analyzer commands"),
         ("analyzer.instances", "instances enumerated"),
         ("analysis.pruned_typed", "candidates pruned statically"),

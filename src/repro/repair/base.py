@@ -24,6 +24,7 @@ from repro.alloy.pretty import print_module
 from repro.alloy.resolver import ModuleInfo, resolve_module
 from repro.analyzer.analyzer import Analyzer, CommandResult
 from repro.analyzer.instance import Instance
+from repro.analyzer.session import OracleSession, incremental_enabled
 
 
 class RepairStatus(enum.Enum):
@@ -105,11 +106,25 @@ class PropertyOracle:
     def __init__(self, task: RepairTask) -> None:
         self._task = task
         self.queries = 0
+        self._session: OracleSession | None = None
+        self._session_failed = False
 
     def expected_outcome(self, command) -> bool:
         if command.expect is not None:
             return command.expect == 1
         return command.kind == "run"
+
+    def _ensure_session(self) -> OracleSession | None:
+        """The shared incremental session, if enabled and healthy."""
+        if self._session_failed or not incremental_enabled():
+            return None
+        if self._session is None:
+            try:
+                self._session = OracleSession(self._task.info)
+            except Exception:
+                self._session_failed = True
+                return None
+        return self._session
 
     def evaluate_module(self, module: Module) -> tuple[bool, list[CommandResult]]:
         """Run the *task's* commands against a candidate.
@@ -117,8 +132,37 @@ class PropertyOracle:
         Using the task's command list (not the candidate's) closes a
         loophole: a candidate that dropped its commands would otherwise pass
         the oracle vacuously.  Commands reference predicates/assertions by
-        name, so a candidate missing them simply fails."""
+        name, so a candidate missing them simply fails.
+
+        This is a verdict-only query (per-command satisfiability), so by
+        default it runs through a shared :class:`OracleSession` that
+        re-encodes only the candidate's edited paragraph; results carry no
+        instances.  Structurally divergent candidates — and every
+        instance-producing query below — use the from-scratch Analyzer,
+        which keeps repair outcomes identical whether the session is on or
+        off (the ``--no-incremental`` ablation)."""
         self.queries += 1
+        session = self._ensure_session()
+        if session is not None:
+            try:
+                outcome = session.evaluate(module)
+            except Exception:
+                # A session-machinery bug must never change a verdict:
+                # disable it for the rest of this task and fall back.
+                self._session_failed = True
+                self._session = None
+                outcome = None
+            if outcome is not None:
+                session_results, completed = outcome
+                if not completed:
+                    return False, session_results
+                ok = all(
+                    result.sat == self.expected_outcome(command)
+                    for command, result in zip(
+                        self._task.info.commands, session_results
+                    )
+                )
+                return ok, session_results
         try:
             analyzer = Analyzer(module)
         except (AlloyError, RecursionError):

@@ -155,18 +155,23 @@ def strengthening_candidates(
     from the violated assertions, which is what makes it (and the LLMs)
     succeed on synthesis-class faults where pure mutation search fails.
     """
-    import copy
-
     from repro.alloy.nodes import Block, FactDecl
+    from repro.alloy.walk import insert_at
 
     for assert_name, assertion in info.asserts.items():
         for index, formula in enumerate(assertion.body.formulas):
-            candidate = copy.deepcopy(module)
-            candidate.paragraphs.append(
+            # Path-copying insert: the candidate shares every existing
+            # paragraph with ``module`` by identity, so the incremental
+            # oracle recognizes all of them as cached fragments.
+            candidate = insert_at(
+                module,
+                (),
+                len(module.paragraphs),
                 FactDecl(
                     name=f"repair_{assert_name}_{index}",
-                    body=Block(formulas=[copy.deepcopy(formula)]),
-                )
+                    body=Block(formulas=[formula]),
+                ),
+                "paragraphs",
             )
             try:
                 resolve_module(candidate)

@@ -2,12 +2,13 @@
 
 from repro.sat.circuit import FALSE, TRUE, CircuitBuilder
 from repro.sat.dimacs import parse_dimacs, solver_from_dimacs, to_dimacs
-from repro.sat.solver import SatSolver, SolverStats
+from repro.sat.solver import SatSolver, SolverStats, SolveSession
 
 __all__ = [
     "CircuitBuilder",
     "FALSE",
     "SatSolver",
+    "SolveSession",
     "SolverStats",
     "TRUE",
     "parse_dimacs",

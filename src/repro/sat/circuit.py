@@ -182,6 +182,27 @@ class CircuitBuilder:
                 return
         self._solver.add_clause([self.to_literal(handle)])
 
+    def assert_under(self, selector: int, handle: int) -> None:
+        """Constrain ``handle`` to hold whenever ``selector`` is assumed.
+
+        Tseitin definitions only *define* auxiliary variables, so they are
+        added permanently; only the top-level unit assertions carry the
+        ``-selector`` guard.  With the selector unassumed the group is inert.
+        """
+        if handle == TRUE:
+            return
+        if handle == FALSE:
+            # Assuming the selector must yield immediate UNSAT.
+            self._solver.add_clause([-selector])
+            return
+        if handle > 0:
+            kind, payload = self._nodes[handle - 2]
+            if kind == "and":
+                for child in payload:  # type: ignore[union-attr]
+                    self.assert_under(selector, child)
+                return
+        self._solver.add_clause([-selector, self.to_literal(handle)])
+
     def evaluate(self, handle: int, true_lits: set[int]) -> bool:
         """Evaluate a circuit under an assignment (set of true literals)."""
         if handle == TRUE:

@@ -5,10 +5,12 @@ that MiniSat/SAT4J play underneath the real Alloy Analyzer.  Features:
 
 - two-literal watching,
 - first-UIP conflict analysis with clause learning,
-- VSIDS-style activity-based decision heuristic with phase saving,
+- VSIDS activity-based decision heuristic (indexed max-heap) with phase saving,
 - Luby-sequence restarts,
 - incremental solving (clauses may be added between ``solve`` calls, which is
-  how instance enumeration adds blocking clauses).
+  how instance enumeration adds blocking clauses),
+- assumption-based sessions (:class:`SolveSession`): clause groups guarded by
+  selector literals, activated per ``solve`` call, retired when stale.
 
 Literals are non-zero integers: ``+v`` for variable ``v``, ``-v`` for its
 negation (DIMACS convention).
@@ -16,6 +18,7 @@ negation (DIMACS convention).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from repro import chaos, obs
@@ -89,6 +92,7 @@ class SatSolver:
         self._phases: list[bool] = [False]
         self._activity: list[float] = [0.0]
         self._activity_inc = 1.0
+        self._heap: list[tuple[float, int]] = []  # lazy (-activity, var)
         self._trail: list[int] = []
         self._trail_limits: list[int] = []
         self._propagate_head = 0
@@ -111,6 +115,7 @@ class SatSolver:
         self._reasons.append(None)
         self._phases.append(False)
         self._activity.append(0.0)
+        heapq.heappush(self._heap, (-0.0, var))
         self._watches[var] = []
         self._watches[-var] = []
         return var
@@ -237,6 +242,16 @@ class SatSolver:
             for v in range(1, self._num_vars + 1):
                 self._activity[v] *= 1e-100
             self._activity_inc *= 1e-100
+            # Every queue entry now records a pre-rescale activity, so none
+            # would pass the freshness check: rebuild from the live values.
+            self._heap = [
+                (-self._activity[v], v)
+                for v in range(1, self._num_vars + 1)
+                if self._values[v] == _UNASSIGNED
+            ]
+            heapq.heapify(self._heap)
+        elif self._values[var] == _UNASSIGNED:
+            heapq.heappush(self._heap, (-self._activity[var], var))
 
     def _decay_activity(self) -> None:
         self._activity_inc /= 0.95
@@ -293,24 +308,39 @@ class SatSolver:
         if self._decision_level() <= level:
             return
         limit = self._trail_limits[level]
+        heap = self._heap
+        activity = self._activity
         for lit in reversed(self._trail[limit:]):
             var = abs(lit)
             self._values[var] = _UNASSIGNED
             self._reasons[var] = None
+            heapq.heappush(heap, (-activity[var], var))
         del self._trail[limit:]
         del self._trail_limits[level:]
         self._propagate_head = len(self._trail)
 
     # -- decisions -----------------------------------------------------------
+    #
+    # Branching uses a VSIDS max-heap over ``(-activity, var)`` entries with
+    # lazy removal.  The tuple order is the total order (activity descending,
+    # variable index ascending), so the heap minimum is exactly the variable
+    # the old O(vars) linear scan picked — decision sequences are
+    # bit-identical to the scan.  The index into the heap is implicit: an
+    # entry is current iff its recorded activity equals the variable's live
+    # activity (activities only grow between rescales, so a bump strands the
+    # old entry, which the pop loop discards).  Every unassigned variable
+    # always has a current entry: pushed on allocation, on bump, and on
+    # unassignment in ``_backtrack``; rescaling rebuilds the queue outright.
 
     def _pick_branch_var(self) -> int | None:
-        best_var: int | None = None
-        best_activity = -1.0
-        for var in range(1, self._num_vars + 1):
-            if self._values[var] == _UNASSIGNED and self._activity[var] > best_activity:
-                best_var = var
-                best_activity = self._activity[var]
-        return best_var
+        heap = self._heap
+        values = self._values
+        activity = self._activity
+        while heap:
+            negact, var = heapq.heappop(heap)
+            if values[var] == _UNASSIGNED and activity[var] == -negact:
+                return var
+        return None
 
     # -- main loop -----------------------------------------------------------
 
@@ -469,3 +499,95 @@ class SatSolver:
             var if self._values[var] == _TRUE else -var
             for var in range(1, self._num_vars + 1)
         ]
+
+
+class SolveSession:
+    """Assumption-based incremental solving over one persistent solver.
+
+    Repair tools evaluate hundreds of candidates that differ from the base
+    specification by a single edited paragraph.  A session keeps one
+    :class:`SatSolver` alive across those queries: shared structure is added
+    once with :meth:`add_clause`, per-candidate structure is guarded by a
+    *selector* variable (:meth:`new_selector` / :meth:`add_clause_under`) and
+    activated per query via ``solve(assumptions=[...])``.  Learned clauses,
+    VSIDS activity, and saved phases all carry across calls, so conflicts
+    derived while checking one candidate keep pruning the search for every
+    later one.  A selector that will never be assumed again can be
+    :meth:`retire`\\ d, which permanently satisfies its clause group and lets
+    level-0 simplification drop it from future propagation.
+
+    The classic one-shot flow (``SatSolver()`` + ``add_clause`` + ``solve``)
+    is unchanged; this class is a thin coordination layer above it.
+    """
+
+    def __init__(self, solver: SatSolver | None = None) -> None:
+        self.solver = solver if solver is not None else SatSolver()
+        self._selectors: list[int] = []
+        self._retired: set[int] = set()
+        self._carried_clauses = 0
+        self.solves = 0
+
+    # -- construction --------------------------------------------------------
+
+    def new_var(self) -> int:
+        return self.solver.new_var()
+
+    def add_clause(self, lits: list[int]) -> None:
+        """Add a permanent (unguarded) clause."""
+        self.solver.add_clause(lits)
+
+    def new_selector(self) -> int:
+        """Allocate a selector variable guarding a retirable clause group."""
+        selector = self.solver.new_var()
+        self._selectors.append(selector)
+        return selector
+
+    @property
+    def num_selectors(self) -> int:
+        return len(self._selectors)
+
+    def add_clause_under(self, selector: int, lits: list[int]) -> None:
+        """Add a clause that is active only when ``selector`` is assumed."""
+        self.solver.add_clause([-selector] + list(lits))
+
+    def retire(self, selector: int) -> None:
+        """Permanently disable a selector's clause group.
+
+        The unit clause ``[-selector]`` satisfies every guarded clause at
+        level 0; the selector must never be assumed true afterwards.
+        """
+        if selector in self._retired:
+            return
+        self._retired.add(selector)
+        self.solver.add_clause([-selector])
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: list[int] | None = None,
+        conflict_limit: int | None = None,
+    ) -> bool:
+        """Solve with the given selectors (or arbitrary literals) assumed."""
+        assumptions = list(assumptions or [])
+        assumed = {abs(lit) for lit in assumptions}
+        # Steer inactive selectors false via phase saving so dormant clause
+        # groups do not drag the search through irrelevant structure.
+        phases = self.solver._phases
+        for selector in self._selectors:
+            if selector not in assumed and selector not in self._retired:
+                phases[selector] = False
+        if self.solves and obs.get_metrics().enabled:
+            # Every clause that survived from the previous query —
+            # translation fragments and learned clauses alike — is work a
+            # from-scratch solve would have redone.
+            obs.counter("sat.session.reused_clauses").inc(self._carried_clauses)
+        self.solves += 1
+        try:
+            return self.solver.solve(assumptions, conflict_limit)
+        finally:
+            self._carried_clauses = self.solver.num_clauses
+
+    def model(self) -> set[int]:
+        """The set of variables assigned true by the last SAT answer."""
+        return self.solver.model()

@@ -107,6 +107,10 @@ class ServiceConfig:
     """Flush completed cells to the incremental result store (and serve
     repeat/resumed jobs from it)."""
     static_prune: bool = True
+    incremental: bool = True
+    """Evaluate repair candidates through the shared incremental solve
+    session.  Like ``RunConfig.incremental``, not part of the store recipe:
+    the ablation only changes job latency, never cell payloads."""
     chaos: FaultPlan | None = None
     """Fault-injection plan installed around every job execution and
     store flush — how ``repro chaos --service`` drills the live daemon."""
@@ -447,6 +451,7 @@ class ReproService:
             techniques=techniques,
             seed=record.spec.seed,
             static_prune=self.config.static_prune,
+            incremental=self.config.incremental,
             shard_timeout=self.config.job_timeout,
             chaos=self.config.chaos,
         )

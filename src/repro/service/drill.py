@@ -101,6 +101,7 @@ def _reference_execution(
                 techniques=techniques,
                 seed=seed,
                 static_prune=service.config.static_prune,
+                incremental=service.config.incremental,
                 shard_timeout=service.config.job_timeout,
                 chaos=plan,
             )

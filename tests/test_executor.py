@@ -282,17 +282,13 @@ class TestProgressListener:
 
 
 class TestRunMatrixApi:
-    def test_legacy_call_shape_warns_and_matches(self):
-        config = RunConfig(benchmark="arepair", scale=0.05, techniques=("ATR",))
-        modern = run_matrix(config)
-        with pytest.warns(DeprecationWarning):
-            legacy = run_matrix("arepair", scale=0.05, techniques=["ATR"])
-        assert payload(legacy) == payload(modern)
+    def test_legacy_call_shape_is_rejected(self):
+        with pytest.raises(TypeError, match="RunConfig"):
+            run_matrix("arepair")
 
-    def test_runconfig_rejects_extra_arguments(self):
-        config = RunConfig(benchmark="arepair")
-        with pytest.raises(TypeError, match="no extra arguments"):
-            run_matrix(config, scale=0.5)
+    def test_legacy_keyword_shape_is_rejected(self):
+        with pytest.raises(TypeError):
+            run_matrix("arepair", scale=0.05, techniques=["ATR"])
 
     def test_runconfig_validation(self):
         with pytest.raises(ValueError, match="jobs"):

@@ -70,7 +70,12 @@ class TestCrashIsolatedMatrix:
 
         monkeypatch.setattr(runner_module, "run_spec", sabotaged)
         matrix = run_matrix(
-            "arepair", scale=0.1, techniques=["BeAFix", "ATR"], use_cache=False
+            RunConfig(
+                benchmark="arepair",
+                scale=0.1,
+                techniques=("BeAFix", "ATR"),
+                use_cache=False,
+            )
         )
         assert matrix.specs, "scaled benchmark should not be empty"
         for spec in matrix.specs:
@@ -91,8 +96,13 @@ class TestCrashIsolatedMatrix:
         monkeypatch.setattr(runner_module, "run_spec", always_crashes)
         with pytest.raises(RuntimeError, match="injected cell crash"):
             run_matrix(
-                "arepair", scale=0.1, techniques=["ATR"],
-                use_cache=False, fail_fast=True,
+                RunConfig(
+                    benchmark="arepair",
+                    scale=0.1,
+                    techniques=("ATR",),
+                    use_cache=False,
+                    fail_fast=True,
+                )
             )
 
     def test_failures_round_trip_through_the_cache(self):
@@ -105,10 +115,14 @@ class TestCrashIsolatedMatrix:
         # `monkeypatch` here would also undo the cache isolation fixture.
         with pytest.MonkeyPatch.context() as patcher:
             patcher.setattr(runner_module, "run_spec", always_crashes)
-            first = run_matrix("arepair", scale=0.1, techniques=["ATR"])
+            first = run_matrix(
+                RunConfig(benchmark="arepair", scale=0.1, techniques=("ATR",))
+            )
         # Second call must be served entirely from cache (run_spec restored,
         # so a cache miss would produce non-crashed outcomes).
-        second = run_matrix("arepair", scale=0.1, techniques=["ATR"])
+        second = run_matrix(
+            RunConfig(benchmark="arepair", scale=0.1, techniques=("ATR",))
+        )
         assert len(second.failures) == len(first.failures)
         for spec in second.specs:
             assert second.outcomes[spec.spec_id]["ATR"].status == "crashed"
@@ -177,10 +191,14 @@ class TestMatrixCacheRobustness:
         return list(cache_root.glob("matrix-*.json"))
 
     def test_corrupt_matrix_cache_regenerates(self, isolated_cache):
-        matrix = run_matrix("arepair", scale=0.1, techniques=["ATR"])
+        matrix = run_matrix(
+            RunConfig(benchmark="arepair", scale=0.1, techniques=("ATR",))
+        )
         (cache_file,) = self._cache_files(isolated_cache)
         cache_file.write_text('{"schema": "' + MATRIX_SCHEMA + '", "data": {')
-        again = run_matrix("arepair", scale=0.1, techniques=["ATR"])
+        again = run_matrix(
+            RunConfig(benchmark="arepair", scale=0.1, techniques=("ATR",))
+        )
         assert {
             spec_id: outcome["ATR"].rep
             for spec_id, outcome in again.outcomes.items()
@@ -190,10 +208,14 @@ class TestMatrixCacheRobustness:
         }
 
     def test_pre_versioning_matrix_cache_regenerates(self, isolated_cache):
-        run_matrix("arepair", scale=0.1, techniques=["ATR"])
+        run_matrix(
+            RunConfig(benchmark="arepair", scale=0.1, techniques=("ATR",))
+        )
         (cache_file,) = self._cache_files(isolated_cache)
         cache_file.write_text("{}")  # old unstamped format
-        again = run_matrix("arepair", scale=0.1, techniques=["ATR"])
+        again = run_matrix(
+            RunConfig(benchmark="arepair", scale=0.1, techniques=("ATR",))
+        )
         assert all("ATR" in row for row in again.outcomes.values())
 
 
