@@ -1,4 +1,4 @@
-"""Static analysis over the Alloy AST: relational types, lint, pruning.
+"""Static analysis over the Alloy AST: types, lint, graphs, pruning, dedup.
 
 Public surface:
 
@@ -8,10 +8,34 @@ Public surface:
   (:class:`Rule`, :class:`Diagnostic`, :class:`Severity`, :class:`LintError`)
 - :mod:`repro.analysis.lint` — the lint engine (:func:`lint_module`,
   :func:`check_module`, :func:`render_diagnostics`)
+- :mod:`repro.analysis.depgraph` / :mod:`repro.analysis.slice` — the
+  whole-spec dependency graph (:func:`build_depgraph`, :class:`DepGraph`)
+  and forward/backward slicing (:func:`backward_slice`,
+  :func:`forward_slice`)
+- :mod:`repro.analysis.cardinality` — interval-domain abstract
+  interpretation of tuple counts (:class:`CardinalityAnalyzer`,
+  :class:`Interval`), behind the A5xx lint rules
 - :mod:`repro.analysis.prune` — candidate vetoes (:class:`CandidateFilter`,
   :func:`pruning`, :func:`pruning_enabled`)
+- :mod:`repro.analysis.canon` — semantic candidate canonicalization for
+  oracle dedup (:func:`canonical_key`, :func:`canonicalizing`,
+  :func:`canonical_enabled`) and the shard-scoped cross-tool oracle cache
+  (:func:`verdict_sharing`)
 """
 
+from repro.analysis.canon import (
+    canonical_enabled,
+    canonical_key,
+    canonical_text,
+    canonicalizing,
+    verdict_sharing,
+)
+from repro.analysis.cardinality import (
+    CardinalityAnalyzer,
+    Interval,
+    cardinality_analyzer,
+)
+from repro.analysis.depgraph import DepGraph, DepNode, build_depgraph
 from repro.analysis.diagnostics import (
     Diagnostic,
     LintError,
@@ -35,19 +59,32 @@ from repro.analysis.reltypes import (
     inferencer_for,
     wildcard,
 )
+from repro.analysis.slice import backward_slice, forward_slice, slice_for
 
 __all__ = [
     "CandidateFilter",
+    "CardinalityAnalyzer",
+    "DepGraph",
+    "DepNode",
     "Diagnostic",
     "INT_TYPE",
+    "Interval",
     "LintError",
     "RelType",
     "Rule",
     "Severity",
     "TypeInferencer",
     "all_rules",
+    "backward_slice",
+    "build_depgraph",
+    "canonical_enabled",
+    "canonical_key",
+    "canonical_text",
+    "canonicalizing",
+    "cardinality_analyzer",
     "check_module",
     "empty_type",
+    "forward_slice",
     "inferencer_for",
     "lint_module",
     "lint_source",
@@ -55,5 +92,7 @@ __all__ = [
     "pruning_enabled",
     "render_diagnostics",
     "rule_by_name",
+    "slice_for",
+    "verdict_sharing",
     "wildcard",
 ]

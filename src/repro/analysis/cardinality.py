@@ -1,0 +1,594 @@
+"""Abstract cardinality interpretation over relational types.
+
+For every relational expression we track an interval ``[lo, hi]`` bounding
+its tuple count in *every* instance at *every* scope — only facts that
+scopes cannot override may contribute: signature multiplicities (``one sig``
+always has exactly one atom), field multiplicities, statically-empty types
+from :mod:`repro.analysis.reltypes`, and the algebra of union / product /
+join / closure over intervals.
+
+From intervals we get a three-valued truth analysis for formulas:
+``True`` means *valid* (holds in every instance at every scope), ``False``
+means *unsatisfiable*, ``None`` means the analysis cannot decide.  That is
+exactly what candidate pruning needs: a repair candidate whose fact became
+statically unsatisfiable, or whose cardinality comparison can never hold,
+is dead without ever reaching the solver.
+
+The analysis never inlines predicate calls: lint memoizes findings per
+paragraph keyed on declaration identity, and inlining would make a fact's
+findings depend on predicate *bodies* the memo key cannot see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloy.nodes import (
+    ArrowType,
+    BinaryExpr,
+    BinOp,
+    Block,
+    BoolBin,
+    CardExpr,
+    CmpOp,
+    Compare,
+    Comprehension,
+    Decl,
+    DeclType,
+    Expr,
+    Formula,
+    FunCall,
+    IdenExpr,
+    ImpliesElse,
+    IntLit,
+    Let,
+    LogicOp,
+    Mult,
+    MultTest,
+    NameExpr,
+    NoneExpr,
+    Not,
+    PredCall,
+    Quant,
+    Quantified,
+    UnaryExpr,
+    UnaryType,
+    UnivExpr,
+    UnOp,
+)
+from repro.alloy.resolver import ModuleInfo
+from repro.analysis.reltypes import TypeInferencer, inferencer_for
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Tuple-count bounds; ``hi is None`` means unbounded above."""
+
+    lo: int = 0
+    hi: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.hi is not None and self.hi < self.lo:
+            object.__setattr__(self, "hi", self.lo)
+
+    @property
+    def is_empty(self) -> bool:
+        """Provably zero tuples in every instance."""
+        return self.hi == 0
+
+    @property
+    def is_nonempty(self) -> bool:
+        """Provably at least one tuple in every instance."""
+        return self.lo >= 1
+
+    def describe(self) -> str:
+        upper = "*" if self.hi is None else str(self.hi)
+        return f"[{self.lo}..{upper}]"
+
+
+TOP = Interval(0, None)
+EMPTY = Interval(0, 0)
+SCALAR = Interval(1, 1)
+
+
+def _add(a: int | None, b: int | None) -> int | None:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _mul(a: int | None, b: int | None) -> int | None:
+    if a == 0 or b == 0:
+        return 0
+    if a is None or b is None:
+        return None
+    return a * b
+
+
+def _min_hi(a: int | None, b: int | None) -> int | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+_MULT_INTERVALS = {
+    Mult.ONE: Interval(1, 1),
+    Mult.LONE: Interval(0, 1),
+    Mult.SOME: Interval(1, None),
+    Mult.SET: TOP,
+    Mult.NO: EMPTY,
+}
+
+_RECURSION_LIMIT = 64
+
+
+class CardinalityAnalyzer:
+    """Interval interpretation for one resolved module."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self._info = info
+        self._types: TypeInferencer = inferencer_for(info)
+        self._sig_memo: dict[str, Interval] = {}
+
+    # -- signatures -----------------------------------------------------------
+
+    def sig_interval(self, name: str, _active: frozenset[str] = frozenset()) -> Interval:
+        """Bounds on a signature's atom count, valid at any scope."""
+        cached = self._sig_memo.get(name)
+        if cached is not None:
+            return cached
+        sig = self._info.sigs.get(name)
+        if sig is None or name in _active:
+            return TOP
+        own = _MULT_INTERVALS.get(sig.mult, TOP)
+        if sig.abstract:
+            # An abstract sig is exactly the disjoint union of its children.
+            if not sig.children:
+                result = EMPTY
+            else:
+                lo, hi = 0, 0
+                for child in sig.children:
+                    inner = self.sig_interval(child, _active | {name})
+                    lo, hi = lo + inner.lo, _add(hi, inner.hi)
+                result = Interval(max(lo, own.lo), _min_hi(hi, own.hi))
+        else:
+            result = own
+        self._sig_memo[name] = result
+        return result
+
+    def _decl_type_interval(self, decl_type: DeclType) -> Interval:
+        """Bounds from a field/function result declaration's multiplicity."""
+        if isinstance(decl_type, UnaryType):
+            rel = self._type_of(decl_type.expr)
+            if rel is not None and rel.arity >= 1 and rel.empty:
+                return EMPTY
+            return _MULT_INTERVALS.get(decl_type.mult, TOP)
+        if isinstance(decl_type, ArrowType):
+            left = self._decl_type_interval(decl_type.left)
+            right = self._decl_type_interval(decl_type.right)
+            if left.is_empty or right.is_empty:
+                return EMPTY
+            return TOP
+        return TOP
+
+    def _field_interval(self, name: str) -> Interval:
+        field = self._info.fields.get(name)
+        if field is None:
+            return TOP
+        owner = self.sig_interval(field.owner)
+        if owner.is_empty:
+            return EMPTY
+        for column in field.columns:
+            if self.sig_interval(column).is_empty and column in self._info.sigs:
+                return EMPTY
+        decl_type = field.decl.type
+        if isinstance(decl_type, UnaryType):
+            # `f: m S` constrains each owner atom to m tuples; totals are the
+            # owner count scaled by the per-atom bounds.
+            per_atom = _MULT_INTERVALS.get(decl_type.mult, TOP)
+            return Interval(
+                per_atom.lo * owner.lo, _mul(per_atom.hi, owner.hi)
+            )
+        return TOP
+
+    # -- expressions ----------------------------------------------------------
+
+    def _type_of(self, expr: Expr):
+        try:
+            return self._types.type_of(expr, {})
+        except Exception:
+            return None
+
+    def interval_of(
+        self, expr: Expr, env: dict[str, Interval] | None = None, _depth: int = 0
+    ) -> Interval:
+        """Tuple-count bounds for a relational expression.
+
+        ``env`` carries binder intervals (quantified variables are single
+        atoms).  Integer-valued expressions get :data:`TOP` — callers that
+        care use :meth:`int_interval`.
+        """
+        if _depth > _RECURSION_LIMIT:
+            return TOP
+        env = env or {}
+        if isinstance(expr, NoneExpr):
+            return EMPTY
+        if isinstance(expr, (UnivExpr, IdenExpr)):
+            # univ/iden span every root signature; the disjoint root sum is
+            # a sound lower bound (ignoring Int atoms only lowers it).
+            lo = 0
+            for sig in self._info.sigs.values():
+                if sig.parent is None:
+                    lo += self.sig_interval(sig.name).lo
+            return Interval(lo, None)
+        if isinstance(expr, IntLit):
+            return SCALAR
+        if isinstance(expr, NameExpr):
+            if expr.name in env:
+                return env[expr.name]
+            if expr.name in self._info.sigs:
+                return self.sig_interval(expr.name)
+            if expr.name in self._info.fields:
+                return self._field_interval(expr.name)
+            fun = self._info.funs.get(expr.name)
+            if fun is not None and not fun.params:
+                return self._decl_type_interval(fun.result)
+            return TOP
+        if isinstance(expr, UnaryExpr):
+            operand = self.interval_of(expr.operand, env, _depth + 1)
+            if expr.op is UnOp.TRANSPOSE:
+                return operand
+            if operand.is_empty and expr.op is UnOp.CLOSURE:
+                return EMPTY
+            # ^r ⊇ r and *r ⊇ ^r, so the operand's lower bound survives.
+            return Interval(operand.lo, None)
+        if isinstance(expr, BinaryExpr):
+            return self._binary_interval(expr, env, _depth)
+        if isinstance(expr, FunCall):
+            fun = self._info.funs.get(expr.name)
+            if fun is not None:
+                # The declared result multiplicity binds any application.
+                result = self._decl_type_interval(fun.result)
+                return Interval(0, result.hi)
+            return self._fallback_interval(expr)
+        if isinstance(expr, Comprehension):
+            hi: int | None = 1
+            inner = dict(env)
+            for decl in expr.decls:
+                bound = self.interval_of(decl.bound, inner, _depth + 1)
+                for name in decl.names:
+                    hi = _mul(hi, bound.hi)
+                    inner[name] = Interval(min(1, bound.lo), 1)
+            return Interval(0, hi)
+        return self._fallback_interval(expr)
+
+    def _binary_interval(
+        self, expr: BinaryExpr, env: dict[str, Interval], depth: int
+    ) -> Interval:
+        rel = self._type_of(expr)
+        if rel is not None and not rel.is_int and rel.empty:
+            return EMPTY
+        if rel is not None and rel.is_int:
+            return TOP
+        left = self.interval_of(expr.left, env, depth + 1)
+        right = self.interval_of(expr.right, env, depth + 1)
+        op = expr.op
+        if op is BinOp.UNION:
+            return Interval(max(left.lo, right.lo), _add(left.hi, right.hi))
+        if op is BinOp.DIFF:
+            if right.hi is None:
+                # Unboundedly many tuples may be removed: no lower bound
+                # survives.
+                return Interval(0, left.hi)
+            return Interval(max(0, left.lo - right.hi), left.hi)
+        if op is BinOp.INTERSECT:
+            return Interval(0, _min_hi(left.hi, right.hi))
+        if op is BinOp.OVERRIDE:
+            return Interval(right.lo, _add(left.hi, right.hi))
+        if op is BinOp.JOIN:
+            if left.is_empty or right.is_empty:
+                return EMPTY
+            return Interval(0, _mul(left.hi, right.hi))
+        if op is BinOp.PRODUCT:
+            return Interval(left.lo * right.lo, _mul(left.hi, right.hi))
+        if op is BinOp.DOM_RESTRICT:
+            return Interval(0, right.hi)
+        if op is BinOp.RAN_RESTRICT:
+            return Interval(0, left.hi)
+        return self._fallback_interval(expr)
+
+    def _fallback_interval(self, expr: Expr) -> Interval:
+        rel = self._type_of(expr)
+        if rel is not None and not rel.is_int and rel.empty:
+            return EMPTY
+        return TOP
+
+    # -- integers -------------------------------------------------------------
+
+    def int_interval(
+        self, expr: Expr, env: dict[str, Interval] | None = None
+    ) -> Interval | None:
+        """Bounds for an integer expression, or ``None`` if not integer-like.
+
+        The engine evaluates cardinalities as exact unbounded counts (no
+        bit-width wraparound), so ``#e >= 0`` really is a tautology here.
+        """
+        if isinstance(expr, IntLit):
+            return Interval(expr.value, expr.value)
+        if isinstance(expr, CardExpr):
+            return self.interval_of(expr.operand, env)
+        if isinstance(expr, BinaryExpr) and expr.op is BinOp.UNION:
+            left = self.int_interval(expr.left, env)
+            right = self.int_interval(expr.right, env)
+            if left is None or right is None:
+                return None
+            return Interval(left.lo + right.lo, _add(left.hi, right.hi))
+        return None
+
+    # -- formulas -------------------------------------------------------------
+
+    def truth(
+        self, formula: Formula, env: dict[str, Interval] | None = None, _depth: int = 0
+    ) -> bool | None:
+        """Three-valued static truth: ``True`` = valid in every instance at
+        every scope, ``False`` = unsatisfiable, ``None`` = undecided."""
+        if _depth > _RECURSION_LIMIT:
+            return None
+        env = env or {}
+        if isinstance(formula, Compare):
+            return self._compare_truth(formula, env)
+        if isinstance(formula, MultTest):
+            return self._mult_truth(formula, env)
+        if isinstance(formula, Not):
+            inner = self.truth(formula.operand, env, _depth + 1)
+            return None if inner is None else not inner
+        if isinstance(formula, BoolBin):
+            return self._bool_truth(formula, env, _depth)
+        if isinstance(formula, ImpliesElse):
+            cond = self.truth(formula.cond, env, _depth + 1)
+            then = self.truth(formula.then, env, _depth + 1)
+            other = self.truth(formula.other, env, _depth + 1)
+            if cond is True:
+                return then
+            if cond is False:
+                return other
+            if then is True and other is True:
+                return True
+            if then is False and other is False:
+                return False
+            return None
+        if isinstance(formula, Quantified):
+            return self._quant_truth(formula, env, _depth)
+        if isinstance(formula, Let):
+            inner = dict(env)
+            inner[formula.name] = self.interval_of(formula.value, env)
+            return self.truth(formula.body, inner, _depth + 1)
+        if isinstance(formula, Block):
+            verdicts = [
+                self.truth(inner, env, _depth + 1) for inner in formula.formulas
+            ]
+            if any(v is False for v in verdicts):
+                return False
+            if all(v is True for v in verdicts):
+                return True
+            return None
+        if isinstance(formula, PredCall):
+            return None
+        return None
+
+    def _bool_truth(
+        self, formula: BoolBin, env: dict[str, Interval], depth: int
+    ) -> bool | None:
+        left = self.truth(formula.left, env, depth + 1)
+        right = self.truth(formula.right, env, depth + 1)
+        op = formula.op
+        if op is LogicOp.AND:
+            if left is False or right is False:
+                return False
+            if left is True and right is True:
+                return True
+            return None
+        if op is LogicOp.OR:
+            if left is True or right is True:
+                return True
+            if left is False and right is False:
+                return False
+            return None
+        if op is LogicOp.IMPLIES:
+            if left is False or right is True:
+                return True
+            if left is True and right is False:
+                return False
+            return None
+        if op is LogicOp.IFF:
+            if left is None or right is None:
+                return None
+            return left == right
+        return None
+
+    def _compare_truth(
+        self, formula: Compare, env: dict[str, Interval]
+    ) -> bool | None:
+        left = self.int_interval(formula.left, env)
+        right = self.int_interval(formula.right, env)
+        if left is not None and right is not None:
+            return _interval_compare(formula.op, left, right)
+        # Relational special cases: a provably empty side decides
+        # subset/equality comparisons.
+        if formula.op in (CmpOp.IN, CmpOp.NOT_IN):
+            operand = self.interval_of(formula.left, env)
+            if operand.is_empty:
+                return formula.op is CmpOp.IN
+        if formula.op in (CmpOp.EQ, CmpOp.NEQ):
+            lhs = self.interval_of(formula.left, env)
+            rhs = self.interval_of(formula.right, env)
+            if lhs.is_empty and rhs.is_empty:
+                return formula.op is CmpOp.EQ
+            if (lhs.is_empty and rhs.is_nonempty) or (
+                rhs.is_empty and lhs.is_nonempty
+            ):
+                return formula.op is CmpOp.NEQ
+        return None
+
+    def _mult_truth(
+        self, formula: MultTest, env: dict[str, Interval]
+    ) -> bool | None:
+        operand = self.interval_of(formula.operand, env)
+        mult = formula.mult
+        if mult is Mult.NO:
+            if operand.is_empty:
+                return True
+            if operand.is_nonempty:
+                return False
+            return None
+        if mult is Mult.SOME:
+            if operand.is_nonempty:
+                return True
+            if operand.is_empty:
+                return False
+            return None
+        if mult is Mult.LONE:
+            if operand.hi is not None and operand.hi <= 1:
+                return True
+            if operand.lo >= 2:
+                return False
+            return None
+        if mult is Mult.ONE:
+            if operand.lo == 1 and operand.hi == 1:
+                return True
+            if operand.is_empty or operand.lo >= 2:
+                return False
+            return None
+        return None
+
+    def _quant_truth(
+        self, formula: Quantified, env: dict[str, Interval], depth: int
+    ) -> bool | None:
+        inner = dict(env)
+        domain_empty = False
+        domain_nonempty = True
+        bindings = SCALAR
+        for decl in formula.decls:
+            bound = self.interval_of(decl.bound, inner, depth + 1)
+            if bound.is_empty:
+                domain_empty = True
+            if not bound.is_nonempty:
+                domain_nonempty = False
+            # `disj` shrinks the binding space (atoms must differ), so only
+            # the upper bound survives for multi-name disjoint decls.
+            lo_factor = 0 if decl.disj and len(decl.names) > 1 else bound.lo
+            for name in decl.names:
+                bindings = Interval(
+                    bindings.lo * lo_factor, _mul(bindings.hi, bound.hi)
+                )
+                inner[name] = self._binder_interval(decl)
+        body = self.truth(formula.body, inner, depth + 1)
+        quant = formula.quant
+        if quant is Quant.ALL:
+            if domain_empty or body is True:
+                return True
+            if body is False and domain_nonempty:
+                return False
+            return None
+        if quant is Quant.SOME:
+            if domain_empty or body is False:
+                return False
+            if body is True and domain_nonempty:
+                return True
+            return None
+        if quant is Quant.NO:
+            if domain_empty or body is False:
+                return True
+            if body is True and domain_nonempty:
+                return False
+            return None
+        if quant is Quant.LONE:
+            if domain_empty or body is False:
+                return True
+            if body is True and bindings.hi is not None and bindings.hi <= 1:
+                return True
+            if body is True and bindings.lo >= 2:
+                return False
+            return None
+        if quant is Quant.ONE:
+            if domain_empty or body is False:
+                return False
+            if body is True and bindings.lo == 1 and bindings.hi == 1:
+                return True
+            if body is True and bindings.lo >= 2:
+                return False
+            return None
+        return None
+
+    @staticmethod
+    def _binder_interval(decl: Decl) -> Interval:
+        """What one bound variable denotes inside the body: a single atom
+        for first-order binders, multiplicity bounds for set binders."""
+        if decl.mult is None or decl.mult is Mult.ONE:
+            return SCALAR
+        return _MULT_INTERVALS.get(decl.mult, TOP)
+
+
+def _interval_compare(op: CmpOp, left: Interval, right: Interval) -> bool | None:
+    """Decide ``left op right`` when the interval orderings allow it."""
+
+    def surely_lt() -> bool:
+        return left.hi is not None and left.hi < right.lo
+
+    def surely_gt() -> bool:
+        return right.hi is not None and right.hi < left.lo
+
+    def surely_lte() -> bool:
+        return left.hi is not None and left.hi <= right.lo
+
+    def surely_gte() -> bool:
+        return right.hi is not None and right.hi <= left.lo
+
+    if op is CmpOp.EQ:
+        if left.lo == left.hi == right.lo == right.hi:
+            return True
+        if surely_lt() or surely_gt():
+            return False
+        return None
+    if op is CmpOp.NEQ:
+        if surely_lt() or surely_gt():
+            return True
+        if left.lo == left.hi == right.lo == right.hi:
+            return False
+        return None
+    if op is CmpOp.LT:
+        if surely_lt():
+            return True
+        if surely_gte():
+            return False
+        return None
+    if op is CmpOp.LTE:
+        if surely_lte():
+            return True
+        if surely_gt():
+            return False
+        return None
+    if op is CmpOp.GT:
+        if surely_gt():
+            return True
+        if surely_lte():
+            return False
+        return None
+    if op is CmpOp.GTE:
+        if surely_gte():
+            return True
+        if surely_lt():
+            return False
+        return None
+    return None
+
+
+def cardinality_analyzer(info: ModuleInfo) -> CardinalityAnalyzer:
+    """The memoized per-module analyzer (mirrors ``inferencer_for``)."""
+    cached = getattr(info, "_cardinality_analyzer", None)
+    if cached is None:
+        cached = CardinalityAnalyzer(info)
+        info._cardinality_analyzer = cached  # type: ignore[attr-defined]
+    return cached

@@ -1,0 +1,257 @@
+"""Whole-spec dependency graph over a resolved module.
+
+The graph has one node per declared unit — signature, field, predicate,
+function, fact, assertion, and command — and a def-use edge ``A → B``
+whenever understanding ``A`` requires ``B``: a predicate names a field, a
+signature extends a parent, a command targets an assertion.  Commands also
+depend on every fact, because Alloy conjoins all facts into every
+command's constraint set.
+
+Two consumers drive the design:
+
+- **Slicing** (:mod:`repro.analysis.slice`): the backward slice of a
+  command is exactly the set of paragraphs its verdict can depend on —
+  the static collector for retrieval-augmented repair.
+- **Recursion detection**: strongly-connected components with more than
+  one member (or a self-loop) are the mutually recursive predicate/function
+  groups that bounded unrolling has to treat specially.
+
+Name references are collected over-approximately: a binder that shadows a
+global of the same name still records an edge to the global.  That keeps
+the graph a sound over-approximation of real dependence, which is the
+property slicing needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alloy.nodes import FunCall, Module, NameExpr, Node, PredCall
+from repro.alloy.resolver import ModuleInfo, resolve_module
+
+_KIND_ORDER = ("sig", "field", "fact", "pred", "fun", "assert", "command")
+
+
+@dataclass(frozen=True, order=True)
+class DepNode:
+    """One unit of the specification, addressable by (kind, name)."""
+
+    kind: str
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.kind} {self.name}"
+
+
+@dataclass
+class DepGraph:
+    """The dependency graph plus its derived structure."""
+
+    nodes: tuple[DepNode, ...]
+    edges: dict[DepNode, frozenset[DepNode]]
+    paragraphs: dict[DepNode, Node] = field(default_factory=dict)
+    """The declaring AST node for each graph node (command nodes map to the
+    :class:`~repro.alloy.nodes.Command`, field nodes to the field decl)."""
+
+    def __post_init__(self) -> None:
+        reverse: dict[DepNode, set[DepNode]] = {n: set() for n in self.nodes}
+        for source, targets in self.edges.items():
+            for target in targets:
+                reverse.setdefault(target, set()).add(source)
+        self._reverse = {n: frozenset(deps) for n, deps in reverse.items()}
+
+    def dependencies(self, node: DepNode) -> frozenset[DepNode]:
+        """Direct def-use successors: what ``node`` needs."""
+        return self.edges.get(node, frozenset())
+
+    def dependents(self, node: DepNode) -> frozenset[DepNode]:
+        """Direct predecessors: what needs ``node``."""
+        return self._reverse.get(node, frozenset())
+
+    def node(self, kind: str, name: str) -> DepNode:
+        candidate = DepNode(kind, name)
+        if candidate not in self.edges:
+            raise KeyError(f"no {kind} named {name!r} in the graph")
+        return candidate
+
+    def find(self, name: str) -> list[DepNode]:
+        """Every node whose name matches, in kind order (``sig`` first)."""
+        hits = [n for n in self.nodes if n.name == name]
+        return sorted(hits, key=lambda n: _KIND_ORDER.index(n.kind))
+
+    def sccs(self) -> list[tuple[DepNode, ...]]:
+        """Strongly-connected components in reverse-topological order
+        (iterative Tarjan: dependencies come before their dependents)."""
+        index: dict[DepNode, int] = {}
+        lowlink: dict[DepNode, int] = {}
+        on_stack: set[DepNode] = set()
+        stack: list[DepNode] = []
+        counter = 0
+        result: list[tuple[DepNode, ...]] = []
+
+        for root in self.nodes:
+            if root in index:
+                continue
+            work = [(root, iter(sorted(self.dependencies(root))))]
+            index[root] = lowlink[root] = counter = counter + 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index:
+                        index[child] = lowlink[child] = counter = counter + 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(sorted(self.dependencies(child)))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: list[DepNode] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member is node:
+                            break
+                    result.append(tuple(sorted(component)))
+        return result
+
+    def recursion_groups(self) -> list[tuple[DepNode, ...]]:
+        """SCCs that actually recurse: more than one member, or a
+        self-loop (a predicate that calls itself)."""
+        groups = []
+        for component in self.sccs():
+            if len(component) > 1:
+                groups.append(component)
+            elif component[0] in self.dependencies(component[0]):
+                groups.append(component)
+        return groups
+
+    def stats(self) -> dict[str, int]:
+        """Node counts per kind plus edge totals, for rendering."""
+        counts = {kind: 0 for kind in _KIND_ORDER}
+        for node in self.nodes:
+            counts[node.kind] += 1
+        counts["edges"] = sum(len(targets) for targets in self.edges.values())
+        counts["recursion_groups"] = len(self.recursion_groups())
+        return counts
+
+
+def _referenced_names(node: Node) -> tuple[set[str], set[str]]:
+    """(names used in expressions, names called as preds/funs) under ``node``."""
+    used: set[str] = set()
+    called: set[str] = set()
+    for child in node.walk():
+        if isinstance(child, NameExpr):
+            used.add(child.name)
+        elif isinstance(child, (PredCall, FunCall)):
+            called.add(child.name)
+    return used, called
+
+
+def build_depgraph(module: Module, info: ModuleInfo | None = None) -> DepGraph:
+    """Construct the def-use graph for one resolved module."""
+    if info is None:
+        info = resolve_module(module)
+
+    nodes: list[DepNode] = []
+    paragraphs: dict[DepNode, Node] = {}
+    by_name: dict[str, DepNode] = {}
+
+    def add(kind: str, name: str, decl: Node) -> DepNode:
+        node = DepNode(kind, name)
+        nodes.append(node)
+        paragraphs[node] = decl
+        return node
+
+    for sig in info.sigs.values():
+        by_name[sig.name] = add("sig", sig.name, sig.decl)
+    for field_info in info.fields.values():
+        node = add("field", field_info.name, field_info.decl)
+        by_name.setdefault(field_info.name, node)
+    fact_nodes: list[tuple[DepNode, Node]] = []
+    for position, fact in enumerate(info.facts):
+        label = fact.name or f"<anonymous #{position}>"
+        node = add("fact", label, fact)
+        fact_nodes.append((node, fact))
+    for pred in info.preds.values():
+        by_name.setdefault(pred.name, add("pred", pred.name, pred))
+    for fun in info.funs.values():
+        by_name.setdefault(fun.name, add("fun", fun.name, fun))
+    assert_nodes: dict[str, DepNode] = {}
+    for assertion in info.asserts.values():
+        assert_nodes[assertion.name] = add("assert", assertion.name, assertion)
+    command_nodes: list[tuple[DepNode, Node]] = []
+    for position, command in enumerate(info.commands):
+        label = command.label or command.target or f"<block #{position}>"
+        node = add("command", f"{command.kind} {label}", command)
+        command_nodes.append((node, command))
+
+    edges: dict[DepNode, set[DepNode]] = {node: set() for node in nodes}
+
+    def link_names(source: DepNode, ast: Node) -> None:
+        used, called = _referenced_names(ast)
+        for name in used | called:
+            target = by_name.get(name)
+            if target is None:
+                continue
+            if target == source and name not in called:
+                # A sig's appended fact naming its own sig is not a
+                # dependency — but a predicate *calling* itself is the
+                # self-loop recursion detection looks for.
+                continue
+            edges[source].add(target)
+
+    for sig in info.sigs.values():
+        source = by_name[sig.name]
+        if sig.parent is not None and sig.parent in by_name:
+            edges[source].add(by_name[sig.parent])
+        if sig.decl.appended is not None:
+            link_names(source, sig.decl.appended)
+    for field_info in info.fields.values():
+        source = DepNode("field", field_info.name)
+        edges[source].add(by_name[field_info.owner])
+        link_names(source, field_info.decl)
+        for column in field_info.columns:
+            target = by_name.get(column)
+            if target is not None:
+                edges[source].add(target)
+    for node, fact in fact_nodes:
+        link_names(node, fact)
+    for pred in info.preds.values():
+        link_names(by_name[pred.name], pred)
+    for fun in info.funs.values():
+        link_names(by_name[fun.name], fun)
+    for assertion in info.asserts.values():
+        link_names(assert_nodes[assertion.name], assertion)
+    for node, command in command_nodes:
+        if command.target is not None:
+            target = assert_nodes.get(command.target) or by_name.get(command.target)
+            if target is not None:
+                edges[node].add(target)
+        if command.block is not None:
+            link_names(node, command.block)
+        for scope in command.sig_scopes:
+            target = by_name.get(scope.sig)
+            if target is not None:
+                edges[node].add(target)
+        # Alloy conjoins every fact into every command, so a command's
+        # verdict depends on each fact's cone whether or not it names it.
+        for fact_node, _ in fact_nodes:
+            edges[node].add(fact_node)
+
+    return DepGraph(
+        nodes=tuple(nodes),
+        edges={node: frozenset(targets) for node, targets in edges.items()},
+        paragraphs=paragraphs,
+    )

@@ -10,15 +10,14 @@ kebab-case name (``disjoint-join``).  Codes are append-only: a rule may be
 retired but its code is never reused, so historical traces and error
 taxonomies stay interpretable.
 
-Severity doubles as policy:
-
-- ``ERROR`` — the construct is semantically dead (an always-empty join, a
-  quantifier over a provably empty domain).  Candidate pruning vetoes
-  mutants that *introduce* one of these.
-- ``WARNING`` — almost certainly unintended (tautological comparison,
-  shadowed binding); prunable when introduced by a mutation.
-- ``INFO`` — hygiene findings (unused declarations); reported, never
-  grounds for pruning a repair candidate.
+Severity is reporting policy (what the CLI and corpus gate escalate);
+pruning eligibility is a *separate*, stricter contract carried by
+:attr:`Rule.prunes`.  A rule may only prune when its finding proves the
+candidate is an infeasible specification — one the search gains nothing
+by solving.  Dead-construct and tautology findings (A2xx/A3xx) do not
+qualify: a repair can contain a dead join or a vacuous quantifier in one
+paragraph and still meet every command's expectation, so vetoing on them
+can discard the very candidate the unpruned search would select.
 """
 
 from __future__ import annotations
@@ -37,8 +36,17 @@ class LintError(AlloyError):
     maps this class to the stable ``spec.lint`` error code.
     """
 
-    def __init__(self, message: str, diagnostics: list["Diagnostic"]) -> None:
-        super().__init__(message, diagnostics[0].pos if diagnostics else None)
+    def __init__(
+        self,
+        message: str,
+        diagnostics: list["Diagnostic"] | None = None,
+        *,
+        pos: SourcePos | None = None,
+    ) -> None:
+        diagnostics = diagnostics or []
+        super().__init__(
+            message, diagnostics[0].pos if diagnostics else pos
+        )
         self.diagnostics = diagnostics
 
 
@@ -70,8 +78,14 @@ class Rule:
     severity: Severity
     description: str
     prunes: bool = False
-    """Whether a candidate *introducing* this finding is semantically dead
-    and may be vetoed before translation/solving."""
+    """Whether a candidate *introducing* this finding may be vetoed before
+    translation/solving.  The contract is semantic, not stylistic: the
+    finding must witness infeasibility of the candidate as a whole (a
+    fact set with no instances, a relation that can never hold a tuple),
+    so the veto cannot change which candidate a search selects — the
+    invariant the ``--no-static-prune`` ablation's byte-identical
+    matrices depend on.  Style and dead-code findings stay reportable
+    but never prune."""
 
 
 @dataclass(frozen=True)
@@ -150,27 +164,31 @@ def rule_by_name(name: str) -> Rule:
 # -- the built-in rule set ----------------------------------------------------
 # Codes are grouped by family: A2xx dead semantics, A3xx suspicious shapes,
 # A4xx hygiene.
+#
+# A2xx/A3xx findings flag constructs that are dead or degenerate *locally*,
+# which is not proof the candidate fails the oracle — a passing repair can
+# carry a vacuous quantifier in an unrelated paragraph (observed on the
+# ARepair benchmark: pruning on A203 changed which fix was selected).  They
+# therefore report but never prune; only the A5xx infeasibility family
+# meets the `Rule.prunes` contract.
 
 DISJOINT_JOIN = register_rule(
     "A201",
     "disjoint-join",
     Severity.ERROR,
     "a join whose column types never overlap: the expression is always empty",
-    prunes=True,
 )
 EMPTY_INTERSECTION = register_rule(
     "A202",
     "empty-intersection",
     Severity.ERROR,
     "an intersection of disjoint types: the expression is always empty",
-    prunes=True,
 )
 VACUOUS_QUANTIFIER = register_rule(
     "A203",
     "vacuous-quantifier",
     Severity.ERROR,
     "a quantifier or comprehension over a statically empty domain",
-    prunes=True,
 )
 CONTRADICTORY_MULT = register_rule(
     "A204",
@@ -178,21 +196,18 @@ CONTRADICTORY_MULT = register_rule(
     Severity.ERROR,
     "a multiplicity constraint that a statically empty operand can never "
     "satisfy (e.g. `some` over an always-empty expression)",
-    prunes=True,
 )
 TAUTOLOGY = register_rule(
     "A301",
     "tautology",
     Severity.WARNING,
     "a formula that is true in every instance (e.g. `e = e`, `no none`)",
-    prunes=True,
 )
 CONTRADICTION = register_rule(
     "A302",
     "contradiction",
     Severity.WARNING,
     "a formula that is false in every instance (e.g. `e != e`)",
-    prunes=True,
 )
 SHADOWED_BINDING = register_rule(
     "A303",
@@ -223,4 +238,42 @@ UNUSED_FUN = register_rule(
     "unused-fun",
     Severity.INFO,
     "a function never applied in any formula",
+)
+
+# A5xx: findings from the abstract cardinality interpretation
+# (:mod:`repro.analysis.cardinality`) — interval bounds on tuple counts
+# that hold in every instance at every scope.
+
+STATICALLY_UNSAT_FACT = register_rule(
+    "A501",
+    "statically-unsat-fact",
+    Severity.ERROR,
+    "a fact whose body is unsatisfiable under any scope: the whole "
+    "specification has no instances",
+    prunes=True,
+)
+STATICALLY_VALID_ASSERT = register_rule(
+    "A502",
+    "statically-valid-assert-body",
+    Severity.WARNING,
+    "an assertion whose body holds in every instance at every scope: the "
+    "check passes vacuously and verifies nothing",
+    # Assertions are oracle paragraphs the repair tools never mutate, so
+    # this finding is reported but never grounds for pruning a candidate.
+)
+EMPTY_DOMAIN_DECL = register_rule(
+    "A503",
+    "empty-domain-decl",
+    Severity.ERROR,
+    "a field or parameter declared over a statically empty domain: the "
+    "relation can never hold a tuple",
+    prunes=True,
+)
+INFEASIBLE_CARD_COMPARE = register_rule(
+    "A504",
+    "infeasible-cardinality-compare",
+    Severity.ERROR,
+    "a cardinality comparison the interval bounds refute in every "
+    "instance (e.g. `#e < 0`, `#one-sig = 0`)",
+    prunes=True,
 )

@@ -42,16 +42,25 @@ from repro.alloy.nodes import (
 )
 from repro.alloy.pretty import print_expr
 from repro.alloy.resolver import ModuleInfo, resolve_module
+from repro.analysis.cardinality import (
+    CardinalityAnalyzer,
+    _interval_compare,
+    cardinality_analyzer,
+)
 from repro.analysis.diagnostics import (
     CONTRADICTION,
     CONTRADICTORY_MULT,
     DISJOINT_JOIN,
+    EMPTY_DOMAIN_DECL,
     EMPTY_INTERSECTION,
+    INFEASIBLE_CARD_COMPARE,
     LintError,
     Diagnostic,
     Rule,
     SHADOWED_BINDING,
     Severity,
+    STATICALLY_UNSAT_FACT,
+    STATICALLY_VALID_ASSERT,
     TAUTOLOGY,
     UNUSED_FIELD,
     UNUSED_FUN,
@@ -152,6 +161,7 @@ class _Linter:
         self._module = module
         self._info = info
         self._types: TypeInferencer = inferencer_for(info)
+        self._cards: CardinalityAnalyzer = cardinality_analyzer(info)
         self._findings: list[Diagnostic] = []
         self._context = ""
         self._used_names: set[str] = set()
@@ -167,11 +177,12 @@ class _Linter:
         """Yield ``(paragraph, context, walk)`` for every cacheable unit."""
         info = self._info
         for fact in info.facts:
-            yield (
-                fact,
-                f"fact {fact.name or '<anonymous>'}",
-                lambda fact=fact: self._formula(fact.body, {}),
-            )
+
+            def walk_fact(fact=fact):
+                self._formula(fact.body, {})
+                self._check_fact_truth(fact)
+
+            yield fact, f"fact {fact.name or '<anonymous>'}", walk_fact
         for pred in info.preds.values():
 
             def walk_pred(pred=pred):
@@ -190,11 +201,12 @@ class _Linter:
 
             yield fun, f"fun {fun.name}", walk_fun
         for assertion in info.asserts.values():
-            yield (
-                assertion,
-                f"assert {assertion.name}",
-                lambda assertion=assertion: self._formula(assertion.body, {}),
-            )
+
+            def walk_assert(assertion=assertion):
+                self._formula(assertion.body, {})
+                self._check_assert_truth(assertion)
+
+            yield assertion, f"assert {assertion.name}", walk_assert
         for command in info.commands:
             if command.block is not None:
                 yield (
@@ -251,6 +263,7 @@ class _Linter:
         self._called = all_called
         self._context = "module"
         self._unused_decls()
+        self._empty_field_domains()
         self._findings.sort(key=lambda d: (d.pos.line, d.pos.column, d.code))
         return self._findings
 
@@ -267,10 +280,44 @@ class _Linter:
         env: dict[str, RelType] = {}
         for decl in params:
             self._expr(decl.bound, env)
-            bound = self._types.type_of(decl.bound, env)
+            bound = self._type_of(decl.bound, env)
+            if bound.empty:
+                rendered = _safe_print(decl.bound) or "<expr>"
+                names = ", ".join(decl.names)
+                self._report(
+                    EMPTY_DOMAIN_DECL,
+                    f"parameter {names} is declared over '{rendered}', "
+                    "which is statically empty",
+                    decl,
+                )
             for name in decl.names:
                 env[name] = bound
         return env
+
+    def _truth(self, formula: Formula) -> bool | None:
+        """Scope-independent three-valued truth; failures stay undecided."""
+        try:
+            return self._cards.truth(formula)
+        except (AlloyError, RecursionError):  # pragma: no cover - safety net
+            return None
+
+    def _check_fact_truth(self, fact) -> None:
+        if self._truth(fact.body) is False:
+            self._report(
+                STATICALLY_UNSAT_FACT,
+                f"fact '{fact.name or '<anonymous>'}' is unsatisfiable "
+                "under any scope: the specification has no instances",
+                fact,
+            )
+
+    def _check_assert_truth(self, assertion) -> None:
+        if self._truth(assertion.body) is True:
+            self._report(
+                STATICALLY_VALID_ASSERT,
+                f"assertion '{assertion.name}' holds in every instance at "
+                "every scope: the check verifies nothing",
+                assertion,
+            )
 
     def _type_of(self, expr: Expr, env: dict[str, RelType]) -> RelType:
         try:
@@ -313,6 +360,10 @@ class _Linter:
     def _compare(self, formula: Compare, env: dict[str, RelType]) -> None:
         left_text = _safe_print(formula.left)
         right_text = _safe_print(formula.right)
+        if left_text is None or left_text != right_text:
+            # Interval-refuted cardinality comparisons (`#e < 0`,
+            # `#one-sig = 0`).  Self-compares are A301/A302 territory.
+            self._check_card_compare(formula, env)
         if left_text is not None and left_text == right_text:
             if formula.op in (CmpOp.EQ, CmpOp.IN, CmpOp.LTE, CmpOp.GTE):
                 self._report(
@@ -328,6 +379,33 @@ class _Linter:
                     "compares an expression with itself and never holds",
                     formula,
                 )
+
+    def _check_card_compare(
+        self, formula: Compare, env: dict[str, RelType]
+    ) -> None:
+        from repro.analysis.cardinality import TOP
+
+        # Binder names widen to TOP so a binder shadowing a signature never
+        # borrows the signature's bounds.
+        ienv = {name: TOP for name in env}
+        try:
+            left = self._cards.int_interval(formula.left, ienv)
+            right = self._cards.int_interval(formula.right, ienv)
+            if left is None or right is None:
+                return
+            verdict = _interval_compare(formula.op, left, right)
+        except (AlloyError, RecursionError):  # pragma: no cover - safety net
+            return
+        if verdict is False:
+            left_text = _safe_print(formula.left) or "<expr>"
+            right_text = _safe_print(formula.right) or "<expr>"
+            self._report(
+                INFEASIBLE_CARD_COMPARE,
+                f"'{left_text} {formula.op.value} {right_text}' can never "
+                f"hold: the bounds are {left.describe()} vs "
+                f"{right.describe()}",
+                formula,
+            )
 
     def _mult_test(self, formula: MultTest, env: dict[str, RelType]) -> None:
         operand = self._type_of(formula.operand, env)
@@ -530,6 +608,24 @@ class _Linter:
                     UNUSED_FUN,
                     f"function '{fun.name}' is never applied",
                     fun,
+                )
+
+    def _empty_field_domains(self) -> None:
+        """A503 for fields declared over statically empty column types."""
+        for field_info in self._info.fields.values():
+            dead = [
+                column
+                for column in field_info.columns
+                if column in self._info.sigs
+                and self._types.sig_type(column).empty
+            ]
+            if dead:
+                self._report(
+                    EMPTY_DOMAIN_DECL,
+                    f"field '{field_info.name}' spans statically empty "
+                    f"signature(s) {', '.join(sorted(set(dead)))}: it can "
+                    "never hold a tuple",
+                    field_info.decl,
                 )
 
 

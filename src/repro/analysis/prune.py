@@ -1,12 +1,17 @@
 """Static pruning of repair candidates.
 
-A candidate patch that *introduces* a semantically dead construct — a join
-that can never produce tuples, a quantifier over a provably empty domain, a
-tautological replacement — cannot change the meaning of the specification in
-a useful way, so translating and solving it is wasted budget.
+A candidate patch that *introduces* a statically provable infeasibility —
+a fact set with no instances under any scope, a relation declared over an
+empty domain, a cardinality constraint the interval bounds refute — is a
+semantic dead end the search gains nothing by solving.
 :class:`CandidateFilter` diffs a candidate's lint findings against the
 original module's and vetoes candidates whose *new* findings come from
-pruning-eligible rules (:attr:`~repro.analysis.diagnostics.Rule.prunes`).
+pruning-eligible rules (:attr:`~repro.analysis.diagnostics.Rule.prunes`,
+the A5xx cardinality family).  Merely *dead* constructs (A2xx/A3xx: empty
+joins, vacuous quantifiers, tautologies) are reported but never veto — a
+passing repair can carry one in an unrelated paragraph, and vetoing it
+would change which candidate the search selects, breaking the
+byte-identical-matrix contract of the ``--no-static-prune`` ablation.
 
 The diff is keyed on :meth:`Diagnostic.key`, which ignores source positions:
 mutations shift line numbers without changing meanings, and pre-existing
@@ -21,6 +26,7 @@ without touching every tool signature.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -30,6 +36,11 @@ from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.lint import lint_module
 
 _STATE = threading.local()
+
+_BASELINE_MEMO = threading.local()
+
+_BASELINE_MEMO_LIMIT = 256
+"""Cap on the per-thread baseline memo (entries pin module ASTs)."""
 
 
 def pruning_enabled() -> bool:
@@ -55,12 +66,16 @@ class CandidateFilter:
     once) and consulted for every candidate the generators produce.
     """
 
-    def __init__(self, module: Module, info: ModuleInfo | None = None) -> None:
+    def __init__(
+        self,
+        module: Module,
+        info: ModuleInfo | None = None,
+        *,
+        rules: frozenset[str] | None = None,
+    ) -> None:
         if info is None:
             info = resolve_module(module)
-        self._baseline: frozenset[tuple[str, str, str]] = frozenset(
-            d.key() for d in lint_module(module, info)
-        )
+        self._baseline = _baseline_findings(module, info, rules)
 
     def veto(
         self, candidate: Module, info: ModuleInfo | None = None
@@ -85,6 +100,38 @@ class CandidateFilter:
                 continue
             return diagnostic
         return None
+
+
+def _baseline_findings(
+    module: Module, info: ModuleInfo, rules: frozenset[str] | None
+) -> frozenset[tuple[str, str, str]]:
+    """The module's own lint findings, memoized per (module identity,
+    rule-set).
+
+    ICEBAR and the selector drive several inner tools over the same task
+    module, and each builds its own :class:`CandidateFilter`; the memo
+    makes every build after the first free and counts the reuse under
+    ``analysis.baseline_lint_reuse``.
+    """
+    memo = getattr(_BASELINE_MEMO, "entries", None)
+    if memo is None:
+        memo = _BASELINE_MEMO.entries = OrderedDict()
+    key = (id(module), rules)
+    entry = memo.get(key)
+    if entry is not None and entry[0] is module:
+        memo.move_to_end(key)
+        from repro import obs
+
+        obs.counter("analysis.baseline_lint_reuse").inc()
+        return entry[1]
+    findings = lint_module(
+        module, info, rules=set(rules) if rules is not None else None
+    )
+    baseline = frozenset(d.key() for d in findings)
+    memo[key] = (module, baseline)
+    if len(memo) > _BASELINE_MEMO_LIMIT:
+        memo.popitem(last=False)
+    return baseline
 
 
 def record_pruned(diagnostic: Diagnostic) -> None:

@@ -238,8 +238,20 @@ class TypeInferencer:
 
     def _unary_type(self, expr: UnaryExpr, env: dict[str, RelType]) -> RelType:
         operand = self.type_of(expr.operand, env)
-        if operand.arity != 2:
-            return wildcard(2)
+        if operand.arity != 2 or any(len(p) != 2 for p in operand.products):
+            # Transpose/closure of a non-binary operand has no relational
+            # meaning, and a malformed binary type (mixed-length products
+            # from an ill-arity union) would crash the closure fixpoint.
+            # Raise a *classified* error (`spec.lint`) with the operator's
+            # position: candidate ASTs reach this code without passing the
+            # resolver, and the lint engine degrades it to a wildcard.
+            from repro.analysis.diagnostics import LintError
+
+            raise LintError(
+                f"'{expr.op.value}' requires a well-formed binary operand "
+                f"(got arity {operand.arity})",
+                pos=expr.pos,
+            )
         if expr.op is UnOp.TRANSPOSE:
             return RelType(
                 arity=2,

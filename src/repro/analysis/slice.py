@@ -1,0 +1,62 @@
+"""Forward and backward slices over the dependency graph.
+
+A *backward* slice from a node is everything it transitively depends on —
+for a command, the exact set of paragraphs its verdict can read, which is
+the context a retrieval-augmented repair prompt should quote.  A *forward*
+slice is everything that transitively depends on the node — the impact set
+of editing one paragraph: every command outside ``forward_slice(edited)``
+is guaranteed to keep its verdict.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.depgraph import DepGraph, DepNode
+
+_KIND_ORDER = {"sig": 0, "field": 1, "fact": 2, "pred": 3, "fun": 4, "assert": 5, "command": 6}
+
+
+def _reachable(start: DepNode, step) -> frozenset[DepNode]:
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in step(node):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return frozenset(seen)
+
+
+def backward_slice(graph: DepGraph, node: DepNode) -> frozenset[DepNode]:
+    """``node`` plus everything it transitively depends on."""
+    return _reachable(node, graph.dependencies)
+
+
+def forward_slice(graph: DepGraph, node: DepNode) -> frozenset[DepNode]:
+    """``node`` plus everything that transitively depends on it."""
+    return _reachable(node, graph.dependents)
+
+
+def slice_for(graph: DepGraph, name: str, *, direction: str = "backward") -> frozenset[DepNode]:
+    """Slice from the first node matching ``name`` (kind order: sig first).
+
+    Raises :class:`KeyError` when no node carries the name, so CLI callers
+    can map it to a usage error.
+    """
+    matches = graph.find(name)
+    if not matches:
+        raise KeyError(f"no paragraph named {name!r} in the module")
+    walker = backward_slice if direction == "backward" else forward_slice
+    return walker(graph, matches[0])
+
+
+def render_slice(nodes: frozenset[DepNode], *, root: DepNode | None = None) -> str:
+    """One-line rendering: ``kind name`` entries sorted by kind then name,
+    with the slice root (if given) excluded from the listing."""
+    members = sorted(
+        (n for n in nodes if n != root),
+        key=lambda n: (_KIND_ORDER.get(n.kind, 99), n.name),
+    )
+    if not members:
+        return "(nothing)"
+    return ", ".join(f"{n.kind} {n.name}" for n in members)

@@ -190,6 +190,15 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
         "repair.candidates/s in `repro profile`)",
     )
     parser.add_argument(
+        "--no-canon",
+        action="store_true",
+        help="disable semantic candidate deduplication (the ablation arm; "
+        "every candidate reaches the solver instead of replaying the "
+        "cached verdict of its canonical equivalence class — outcomes are "
+        "byte-identical either way, compare analysis.dedup_hits in "
+        "`repro profile`)",
+    )
+    parser.add_argument(
         "--shard-timeout",
         type=_timeout_arg,
         default=None,
@@ -216,8 +225,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    analyze = sub.add_parser("analyze", help="run a specification's commands")
-    analyze.add_argument("file")
+    analyze = sub.add_parser(
+        "analyze",
+        help="run a specification's commands and render its static "
+        "analysis (dependency graph, command slices, cardinality "
+        "findings)",
+    )
+    analyze.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="a .als file path or a registered ground-truth model name",
+    )
+    analyze.add_argument(
+        "--all-models",
+        action="store_true",
+        help="static-only analysis of every registered ground-truth model "
+        "(no commands are executed; exits non-zero on any A5xx finding)",
+    )
 
     repair = sub.add_parser("repair", help="repair one faulty specification")
     repair.add_argument("file")
@@ -238,6 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="evaluate candidates from scratch instead of through the "
         "shared incremental solve session",
+    )
+    repair.add_argument(
+        "--no-canon",
+        action="store_true",
+        help="disable semantic candidate deduplication (solve every "
+        "candidate instead of replaying canonical-class verdicts)",
     )
 
     lint = sub.add_parser(
@@ -411,6 +442,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate candidates from scratch in job executions instead "
         "of through the shared incremental solve session",
     )
+    serve.add_argument(
+        "--no-canon",
+        action="store_true",
+        help="disable semantic candidate deduplication in job executions",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit one repair job to a running service daemon"
@@ -488,18 +524,93 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_analyze(args) -> int:
-    from repro.analyzer import Analyzer
+def _print_static_analysis(source: str) -> int:
+    """The static section of ``repro analyze``: dependency-graph shape,
+    one backward slice per command, and the A5xx cardinality findings.
+    Returns the number of findings so ``--all-models`` can gate on it."""
+    from repro.alloy.parser import parse_module
+    from repro.alloy.resolver import resolve_module
+    from repro.analysis import (
+        build_depgraph,
+        backward_slice,
+        lint_module,
+        render_diagnostics,
+    )
+    from repro.analysis.slice import render_slice
 
-    with open(args.file) as handle:
-        source = handle.read()
+    module = parse_module(source)
+    info = resolve_module(module)
+    graph = build_depgraph(module, info)
+    stats = graph.stats()
+    counts = ", ".join(
+        f"{stats[kind]} {kind}" for kind in
+        ("sig", "field", "fact", "pred", "fun", "assert", "command")
+        if stats[kind]
+    )
+    print(f"dependency graph: {counts}; {stats['edges']} edges")
+    groups = graph.recursion_groups()
+    if groups:
+        rendered = "; ".join(
+            ", ".join(str(member) for member in group) for group in groups
+        )
+        print(f"recursion groups: {rendered}")
+    for node in graph.nodes:
+        if node.kind != "command":
+            continue
+        cone = backward_slice(graph, node)
+        print(f"slice[{node.name}]: {render_slice(cone, root=node)}")
+    findings = [d for d in lint_module(module, info) if d.code.startswith("A5")]
+    if findings:
+        print("cardinality findings:")
+        print(render_diagnostics(findings))
+    else:
+        print("cardinality findings: none")
+    return len(findings)
+
+
+def _cmd_analyze(args) -> int:
+    import os
+
+    from repro.analyzer import Analyzer
+    from repro.benchmarks.models import registry as model_registry
+
+    if args.all_models:
+        # Corpus sweep: static analysis only (running every model's
+        # commands is the analyzer's job, not a lint gate's).
+        flagged = 0
+        for model in model_registry.all_models():
+            print(f"== {model.name}")
+            flagged += _print_static_analysis(model.source)
+        if flagged:
+            print(f"{flagged} cardinality finding(s)", file=sys.stderr)
+            return EXIT_FAILURE
+        return EXIT_OK
+    if args.file is None:
+        print(
+            "error: pass a spec or --all-models", file=sys.stderr
+        )
+        return EXIT_USAGE
+    if os.path.exists(args.file):
+        with open(args.file) as handle:
+            source = handle.read()
+    else:
+        try:
+            source = model_registry.get_model(args.file).source
+        except KeyError:
+            print(
+                f"error: {args.file!r}: no such file or registered model",
+                file=sys.stderr,
+            )
+            return EXIT_INPUT
     analyzer = Analyzer(source)
     for result in analyzer.execute_all():
         marker = "" if result.meets_expectation else "  (UNEXPECTED)"
         print(f"{result.kind} {result.name}: {'SAT' if result.sat else 'UNSAT'}{marker}")
         if result.instance is not None:
             print(result.instance.describe(analyzer.info))
-    return 0
+    print()
+    _print_static_analysis(source)
+    return EXIT_OK
 
 
 def _cmd_repair(args) -> int:
@@ -533,10 +644,14 @@ def _cmd_repair(args) -> int:
     except ValueError:
         print(f"unknown technique {technique!r}", file=sys.stderr)
         return 2
-    from repro.analysis import pruning
+    from repro.analysis import canonicalizing, pruning, verdict_sharing
     from repro.analyzer.session import incremental
 
-    with pruning(not args.no_static_prune), incremental(not args.no_incremental):
+    # verdict_sharing lets composite techniques (ICEBAR, the selector)
+    # replay evidence and verdicts across their inner tools' oracles.
+    with pruning(not args.no_static_prune), incremental(
+        not args.no_incremental
+    ), canonicalizing(not args.no_canon), verdict_sharing():
         result = tool.repair(task)
     print(f"status: {result.status.value} ({result.detail})")
     if result.candidate_source:
@@ -562,6 +677,7 @@ def _matrices(args):
         listener=listener,
         static_prune=not getattr(args, "no_static_prune", False),
         incremental=not getattr(args, "no_incremental", False),
+        canonical=not getattr(args, "no_canon", False),
         shard_timeout=getattr(args, "shard_timeout", None),
         schedule=getattr(args, "schedule", "fifo"),
     )
@@ -620,6 +736,7 @@ def _cmd_experiment(args) -> int:
             verbose=args.verbose,
             static_prune=not args.no_static_prune,
             incremental=not args.no_incremental,
+            canonical=not args.no_canon,
             shard_timeout=args.shard_timeout,
             schedule=args.schedule,
         )
@@ -818,6 +935,7 @@ def _service_config(args):
         use_store=not args.no_store,
         static_prune=not args.no_static_prune,
         incremental=not args.no_incremental,
+        canonical=not args.no_canon,
     )
 
 

@@ -86,6 +86,11 @@ class ShardTask:
     incremental solve session (:mod:`repro.analyzer.session`).  Installed
     ambiently around the shard like ``static_prune``; never affects
     outcomes — only how long cells take."""
+    canonical: bool = True
+    """Whether the oracle deduplicates semantically equivalent candidates
+    by canonical form (:mod:`repro.analysis.canon`).  Installed ambiently
+    around the shard like ``incremental``; never affects outcomes — only
+    how many verdicts reach the solver."""
 
 
 @dataclass
@@ -120,12 +125,19 @@ def execute_shard(task: ShardTask) -> ShardResult:
     for the duration (thread-local, so pool threads never interleave) and
     the result carries the spans and metric snapshot.
     """
+    from repro.analysis.canon import canonicalizing, verdict_sharing
     from repro.analysis.prune import pruning
     from repro.analyzer.session import incremental
 
+    # verdict_sharing: one oracle cache for all of this shard's techniques
+    # (same spec, same commands) — BeAFix's evidence and verdicts replay
+    # for ATR and any inner tools.  Lookups are gated on the canonical
+    # switch, so installing it unconditionally keeps --no-canon inert.
     with pruning(task.static_prune), incremental(
         task.incremental
-    ), chaos.install(task.chaos, salt=task.spec.spec_id) as scope:
+    ), canonicalizing(task.canonical), verdict_sharing(), chaos.install(
+        task.chaos, salt=task.spec.spec_id
+    ) as scope:
         if not task.trace:
             result = _execute_shard_cells(task)
         else:

@@ -53,6 +53,7 @@ def generate_report(
     verbose: bool = False,
     static_prune: bool = True,
     incremental: bool = True,
+    canonical: bool = True,
     shard_timeout: float | None = None,
     schedule: str = "fifo",
 ) -> StudyReport:
@@ -72,6 +73,7 @@ def generate_report(
             listener=listener, trace=trace,
             trace_out=derive_trace_out(trace_out, trace, "arepair", seed),
             static_prune=static_prune, incremental=incremental,
+            canonical=canonical,
             shard_timeout=shard_timeout, schedule=schedule,
         )
     )
@@ -82,6 +84,7 @@ def generate_report(
             listener=listener, trace=trace,
             trace_out=derive_trace_out(trace_out, trace, "alloy4fun", seed),
             static_prune=static_prune, incremental=incremental,
+            canonical=canonical,
             shard_timeout=shard_timeout, schedule=schedule,
         )
     )

@@ -107,6 +107,13 @@ class RunConfig:
     outcomes are bit-identical with it on or off, so both modes may share
     cached results (the ``--no-incremental`` ablation only changes how
     long cells take)."""
+    canonical: bool = True
+    """Deduplicate semantically equivalent candidates by canonical form
+    (:mod:`repro.analysis.canon`) so the oracle solves one representative
+    per equivalence class.  Like ``incremental`` — and unlike
+    ``static_prune`` — *not* part of the cache key: replayed verdicts keep
+    the oracle-budget traversal byte-identical, so both modes share cached
+    results (the ``--no-canon`` ablation only changes solver work)."""
     shard_timeout: float | None = None
     """Wall-clock seconds one shard (one spec's pending cells) may take.
     Overdue shards record a ``shard.timeout`` failure and ``"timeout"``
@@ -376,6 +383,7 @@ def _run(config: RunConfig) -> ResultMatrix:
                     trace=tracing,
                     static_prune=config.static_prune,
                     incremental=config.incremental,
+                    canonical=config.canonical,
                     shard_timeout=config.shard_timeout,
                     chaos=config.chaos,
                 )

@@ -269,6 +269,7 @@ _PROFILE_COLUMNS = [
     ("typed", "analysis.pruned_typed"),
     ("iters", "repair.iterations"),
     ("oracle", "repair.oracle_calls"),
+    ("dedup", "analysis.dedup_hits"),
     ("solves", "sat.solves"),
     ("conflicts", "sat.conflicts"),
     ("llm.req", "llm.requests"),
@@ -353,6 +354,8 @@ def render_profile(data: TraceData) -> str:
         ("analyzer.commands", "analyzer commands"),
         ("analyzer.instances", "instances enumerated"),
         ("analysis.pruned_typed", "candidates pruned statically"),
+        ("analysis.dedup_hits", "oracle verdicts replayed (dedup)"),
+        ("analysis.baseline_lint_reuse", "baseline lint memo reuses"),
         ("analysis.lint_findings", "lint findings on LLM proposals"),
         ("llm.requests", "LLM requests"),
         ("llm.prompt_tokens", "LLM prompt tokens (est)"),
@@ -385,6 +388,18 @@ def render_profile(data: TraceData) -> str:
                     )
                 ],
             )
+        )
+
+    dedup = data.counter_total("analysis.dedup_hits")
+    oracle = data.counter_total("repair.oracle_calls")
+    if dedup and oracle:
+        # The dedup headline: what fraction of oracle queries never
+        # reached the solver because a canonically-equal candidate had
+        # already been judged (compare against a --no-canon run).
+        sections.append("")
+        sections.append(
+            f"Semantic dedup: {int(dedup)} of {int(oracle)} oracle "
+            f"queries replayed ({100 * dedup / oracle:.1f}% hit rate)"
         )
 
     if data.gauges:

@@ -11,6 +11,7 @@ ground truth, which the tools never see.
 from __future__ import annotations
 
 import enum
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
@@ -22,6 +23,12 @@ from repro.runtime.errors import classify_exception
 from repro.alloy.parser import parse_module
 from repro.alloy.pretty import print_module
 from repro.alloy.resolver import ModuleInfo, resolve_module
+from repro.analysis.canon import (
+    canonical_enabled,
+    canonical_key,
+    record_dedup_hit,
+    shared_verdicts,
+)
 from repro.analyzer.analyzer import Analyzer, CommandResult
 from repro.analyzer.instance import Instance
 from repro.analyzer.session import OracleSession, incremental_enabled
@@ -106,8 +113,19 @@ class PropertyOracle:
     def __init__(self, task: RepairTask) -> None:
         self._task = task
         self.queries = 0
+        self.solver_checks = 0
+        """Verdicts actually computed by the solver pipeline; ``queries``
+        minus the dedup-cache replays."""
         self._session: OracleSession | None = None
         self._session_failed = False
+        self._verdict_cache: dict[str, tuple[bool, list[CommandResult]]] = {}
+        self._task_fingerprint = hashlib.sha256(
+            task.source.encode("utf-8", "replace")
+        ).hexdigest()
+        """Namespaces this oracle's entries in the shard-shared cache
+        (:func:`repro.analysis.canon.verdict_sharing`): verdicts are a pure
+        function of (task commands+expectations, candidate semantics), and
+        the commands and expectations are determined by the task source."""
 
     def expected_outcome(self, command) -> bool:
         if command.expect is not None:
@@ -140,8 +158,52 @@ class PropertyOracle:
         instances.  Structurally divergent candidates — and every
         instance-producing query below — use the from-scratch Analyzer,
         which keeps repair outcomes identical whether the session is on or
-        off (the ``--no-incremental`` ablation)."""
+        off (the ``--no-incremental`` ablation).
+
+        Semantic dedup: when :func:`canonicalizing` is active, candidates
+        hash to their canonical form and only one representative per
+        equivalence class reaches the solver — later members replay the
+        cached verdict.  ``queries`` still increments on a replay, so the
+        tools' oracle-budget traversal (and therefore every matrix cell)
+        is byte-identical under the ``--no-canon`` ablation; only
+        ``solver_checks`` and wall-clock drop.  Inside a
+        :func:`~repro.analysis.canon.verdict_sharing` scope (installed per
+        shard by the executor) the cache is additionally shared across
+        *tools*: BeAFix's verdicts replay for the canonically-equal
+        candidates ATR's templates re-derive, keyed by the task
+        fingerprint so distinct tasks never collide.
+
+        Under an active chaos scope the replay is suppressed entirely:
+        fault sites trigger per solver invocation, so skipping real solves
+        would shift the deterministic fault schedule away from the
+        ``--no-canon`` arm.  Chaos drills measure resilience, not
+        throughput — they pay for the full solver stream."""
         self.queries += 1
+        cache: dict | None = None
+        cache_key: object = None
+        if canonical_enabled() and chaos.active() is None:
+            key = canonical_key(module, self._task.info)
+            if key is not None:
+                shared = shared_verdicts()
+                if shared is not None:
+                    cache = shared
+                    cache_key = ("verdict", self._task_fingerprint, key)
+                else:
+                    cache = self._verdict_cache
+                    cache_key = key
+                cached = cache.get(cache_key)
+                if cached is not None:
+                    record_dedup_hit()
+                    return cached
+        verdict = self._evaluate_uncached(module)
+        if cache is not None:
+            cache[cache_key] = verdict
+        return verdict
+
+    def _evaluate_uncached(
+        self, module: Module
+    ) -> tuple[bool, list[CommandResult]]:
+        self.solver_checks += 1
         session = self._ensure_session()
         if session is not None:
             try:
@@ -199,7 +261,43 @@ class PropertyOracle:
         For a failing ``check`` (or an unexpectedly satisfiable ``run``) the
         evidence is the offending instances; an unsatisfiable-but-expected-sat
         command yields no instances (nothing to show).
+
+        Inside a :func:`~repro.analysis.canon.verdict_sharing` scope the
+        evidence is shared across tools: every technique in a shard opens
+        with this exact query on the task module, and the analyzer is
+        deterministic, so the second tool replays the first's instances.
+        Unlike verdicts, instances depend on the module's *encoding*, so
+        the key is the exact printed text — canonical equality is not
+        enough to share them.  Replays advance ``queries`` by the same
+        per-command count as the original run, keeping every tool's
+        budget traversal byte-identical under ``--no-canon``.
         """
+        cache: dict | None = None
+        cache_key: object = None
+        if canonical_enabled() and chaos.active() is None:
+            cache = shared_verdicts()
+            if cache is not None:
+                try:
+                    text = print_module(module)
+                except Exception:
+                    cache = None
+                else:
+                    cache_key = (
+                        "evidence",
+                        self._task_fingerprint,
+                        hashlib.sha256(
+                            text.encode("utf-8", "replace")
+                        ).hexdigest(),
+                        max_instances,
+                    )
+                    entry = cache.get(cache_key)
+                    if entry is not None:
+                        evidence, skipped_queries = entry
+                        self.queries += skipped_queries
+                        if skipped_queries:
+                            record_dedup_hit(skipped_queries)
+                        return evidence
+        queries_before = self.queries
         try:
             analyzer = Analyzer(module)
         except (AlloyError, RecursionError):
@@ -213,6 +311,8 @@ class PropertyOracle:
                 continue
             if result.sat != self.expected_outcome(command) and result.sat:
                 evidence.append((command, result.instances))
+        if cache is not None:
+            cache[cache_key] = (evidence, self.queries - queries_before)
         return evidence
 
     def witnesses(self, module: Module, max_instances: int = 3) -> list[Instance]:

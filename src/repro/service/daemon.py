@@ -111,6 +111,10 @@ class ServiceConfig:
     """Evaluate repair candidates through the shared incremental solve
     session.  Like ``RunConfig.incremental``, not part of the store recipe:
     the ablation only changes job latency, never cell payloads."""
+    canonical: bool = True
+    """Deduplicate semantically equivalent candidates before they reach
+    the solver.  Like ``incremental``, not part of the store recipe: the
+    ablation only changes job latency, never cell payloads."""
     chaos: FaultPlan | None = None
     """Fault-injection plan installed around every job execution and
     store flush — how ``repro chaos --service`` drills the live daemon."""
@@ -452,6 +456,7 @@ class ReproService:
             seed=record.spec.seed,
             static_prune=self.config.static_prune,
             incremental=self.config.incremental,
+            canonical=self.config.canonical,
             shard_timeout=self.config.job_timeout,
             chaos=self.config.chaos,
         )

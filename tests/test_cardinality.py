@@ -1,0 +1,192 @@
+"""Abstract cardinality interpretation and the A5xx lint rules."""
+
+from repro.alloy.nodes import CmpOp
+from repro.alloy.parser import parse_expr, parse_formula, parse_module
+from repro.alloy.resolver import resolve_module
+from repro.analysis import Interval, cardinality_analyzer, lint_module
+from repro.analysis.cardinality import EMPTY, SCALAR, TOP, _interval_compare
+
+SHAPES = """
+abstract sig Node { next: lone Node, links: set Node }
+one sig Root extends Node {}
+sig Leaf extends Node {}
+some sig Busy { owns: one Leaf }
+abstract sig Ghost {}
+run {} for 3
+"""
+
+
+def analyzer_for(source):
+    module = parse_module(source)
+    info = resolve_module(module)
+    return cardinality_analyzer(info), info
+
+
+class TestInterval:
+    def test_describe(self):
+        assert Interval(0, None).describe() == "[0..*]"
+        assert Interval(1, 1).describe() == "[1..1]"
+
+    def test_hi_clamped_to_lo(self):
+        assert Interval(3, 1) == Interval(3, 3)
+
+    def test_empty_and_nonempty(self):
+        assert Interval(0, 0).is_empty
+        assert Interval(1, None).is_nonempty
+        assert not Interval(0, None).is_empty
+        assert not Interval(0, None).is_nonempty
+
+
+class TestSigIntervals:
+    def test_multiplicities(self):
+        cards, _ = analyzer_for(SHAPES)
+        assert cards.sig_interval("Root") == Interval(1, 1)
+        assert cards.sig_interval("Busy") == Interval(1, None)
+        assert cards.sig_interval("Leaf") == Interval(0, None)
+
+    def test_abstract_without_children_is_empty(self):
+        cards, _ = analyzer_for(SHAPES)
+        assert cards.sig_interval("Ghost") == EMPTY
+
+    def test_abstract_is_sum_of_children(self):
+        cards, _ = analyzer_for(SHAPES)
+        # Node = Root + Leaf (disjoint), so Root alone forces an atom.
+        node = cards.sig_interval("Node")
+        assert node.lo >= 1
+        assert node.hi is None
+
+
+class TestExprIntervals:
+    def _interval(self, text):
+        cards, _ = analyzer_for(SHAPES)
+        return cards.interval_of(parse_expr(text), {})
+
+    def test_none_is_empty(self):
+        assert self._interval("none") == EMPTY
+
+    def test_union_maxes_lo_and_adds_hi(self):
+        # Overlap is not tracked, so the union's lo is a max, not a sum.
+        union = self._interval("Root + Busy")
+        assert union.lo == 1
+        assert union.hi is None
+
+    def test_intersection_of_disjoint_sigs_is_empty(self):
+        assert self._interval("Root & Busy") == EMPTY
+
+    def test_difference_with_unbounded_right_drops_lo(self):
+        assert self._interval("Root - Busy") == Interval(0, 1)
+
+    def test_difference_with_bounded_right_keeps_slack(self):
+        # Busy - Root: at least one Busy atom survives removing ≤1 atom...
+        # except nothing guarantees two atoms, so lo = max(0, 1-1) = 0.
+        assert self._interval("Busy - Root") == Interval(0, None)
+
+    def test_product_multiplies(self):
+        assert self._interval("Root -> Root") == Interval(1, 1)
+
+    def test_lone_field_has_no_lower_bound(self):
+        assert self._interval("next").lo == 0
+
+    def test_one_field_lo_scales_with_owner(self):
+        # owns: one Leaf over `some sig Busy` — at least one tuple.
+        assert self._interval("owns").lo >= 1
+
+    def test_join_propagates_empty(self):
+        assert self._interval("Ghost.links") == EMPTY
+
+
+class TestTruth:
+    def _truth(self, text):
+        cards, _ = analyzer_for(SHAPES)
+        return cards.truth(parse_formula(text), {})
+
+    def test_some_one_sig_is_true(self):
+        assert self._truth("some Root") is True
+
+    def test_no_one_sig_is_false(self):
+        assert self._truth("no Root") is False
+
+    def test_unknown_stays_unknown(self):
+        assert self._truth("some Leaf") is None
+
+    def test_card_tautology(self):
+        assert self._truth("#Root = 1") is True
+
+    def test_card_contradiction(self):
+        assert self._truth("#Root > 1") is False
+
+    def test_quantifier_over_empty_domain(self):
+        assert self._truth("all g: Ghost | some g") is True
+        assert self._truth("some g: Ghost | some g") is False
+
+
+class TestIntervalCompare:
+    def test_disjoint_ranges_decide(self):
+        assert _interval_compare(
+            CmpOp.LT, Interval(0, 1), Interval(5, 9)
+        ) is True
+        assert _interval_compare(
+            CmpOp.GT, Interval(0, 1), Interval(5, 9)
+        ) is False
+
+    def test_overlap_stays_unknown(self):
+        assert _interval_compare(CmpOp.EQ, TOP, SCALAR) is None
+
+    def test_in_is_never_decided(self):
+        assert _interval_compare(
+            CmpOp.IN, Interval(1, 1), Interval(1, 1)
+        ) is None
+
+
+def findings(source):
+    module = parse_module(source)
+    info = resolve_module(module)
+    return [d for d in lint_module(module, info) if d.code.startswith("A5")]
+
+
+class TestA5xxRules:
+    def test_a501_statically_unsat_fact(self):
+        found = findings(
+            "one sig Root {}\nfact bad { no Root }\nrun {} for 3\n"
+        )
+        assert [d.code for d in found] == ["A501"]
+        assert found[0].rule.prunes
+
+    def test_a502_statically_valid_assert(self):
+        found = findings(
+            "sig S {}\nassert triv { #S >= 0 }\ncheck triv for 3\n"
+        )
+        assert [d.code for d in found] == ["A502"]
+        assert not found[0].rule.prunes
+
+    def test_a503_empty_parameter_domain(self):
+        found = findings(
+            "abstract sig E {}\nsig S {}\n"
+            "pred p[x: E] { some S }\npred q { some x: S | p[x] }\n"
+            "run q for 3\n"
+        )
+        assert "A503" in [d.code for d in found]
+
+    def test_a503_empty_field_domain(self):
+        found = findings(
+            "abstract sig E {}\nsig S { f: set E }\nrun {} for 3\n"
+        )
+        assert "A503" in [d.code for d in found]
+
+    def test_a504_infeasible_compare(self):
+        found = findings(
+            "one sig Root {}\npred p { #Root > 1 }\nrun p for 3\n"
+        )
+        assert [d.code for d in found] == ["A504"]
+
+    def test_feasible_compare_is_clean(self):
+        assert findings("sig S {}\npred p { #S > 1 }\nrun p for 3\n") == []
+
+    def test_binder_shadowing_a_sig_gets_no_bounds(self):
+        # A binder named after a one-sig must not borrow the sig's [1..1]
+        # bounds: inside the quantifier the name means the binder.
+        found = findings(
+            "one sig Root {}\nsig S {}\n"
+            "pred p { some Root: S | #Root > 1 }\nrun p for 3\n"
+        )
+        assert [d.code for d in found] == []

@@ -45,6 +45,31 @@ class TestAnalyzeCommand:
         out = capsys.readouterr().out
         assert "UNEXPECTED" in out
 
+    def test_analyze_renders_static_section(self, spec_file, capsys):
+        assert main(["analyze", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "dependency graph:" in out
+        assert "slice[run nonEmpty]:" in out
+        assert "cardinality findings: none" in out
+
+    def test_analyze_accepts_model_name(self, capsys):
+        assert main(["analyze", "addr"]) == 0
+        out = capsys.readouterr().out
+        assert "dependency graph:" in out
+
+    def test_analyze_all_models_is_static_only(self, capsys):
+        assert main(["analyze", "--all-models"]) == 0
+        out = capsys.readouterr().out
+        assert "== addr" in out
+        assert "SAT" not in out
+
+    def test_analyze_without_target_is_usage_error(self, capsys):
+        assert main(["analyze"]) == 2
+
+    def test_analyze_unknown_target_is_input_error(self, capsys):
+        assert main(["analyze", "no-such-model"]) == 3
+        assert "no such file" in capsys.readouterr().err
+
 
 class TestRepairCommand:
     def test_repair_with_beafix(self, faulty_file, capsys):

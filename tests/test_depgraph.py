@@ -1,0 +1,160 @@
+"""Whole-spec dependency graph and slicing."""
+
+import pytest
+
+from repro.alloy.parser import parse_module
+from repro.alloy.resolver import resolve_module
+from repro.analysis import (
+    DepNode,
+    backward_slice,
+    build_depgraph,
+    forward_slice,
+    slice_for,
+)
+from repro.analysis.slice import render_slice
+
+SPEC = """
+abstract sig Node { next: lone Node }
+one sig Root extends Node {}
+sig Leaf extends Node {}
+fact acyclic { no n: Node | n in n.^next }
+pred nonEmpty { some Node }
+fun roots: set Node { Node - Node.next }
+assert NoSelf { all n: Node | n not in n.next }
+run nonEmpty for 3
+check NoSelf for 3
+"""
+
+RECURSIVE = """
+sig Node { next: lone Node }
+pred even[n: Node] { no n.next or odd[n.next] }
+pred odd[n: Node] { some n.next and even[n.next] }
+pred self { some n: Node | self2[n] }
+pred self2[n: Node] { some n.next implies self2[n.next] else some n }
+run self for 3
+"""
+
+
+def graph_for(source):
+    module = parse_module(source)
+    info = resolve_module(module)
+    return build_depgraph(module, info)
+
+
+class TestBuildDepgraph:
+    def test_one_node_per_paragraph(self):
+        graph = graph_for(SPEC)
+        kinds = {}
+        for node in graph.nodes:
+            kinds[node.kind] = kinds.get(node.kind, 0) + 1
+        assert kinds == {
+            "sig": 3,
+            "field": 1,
+            "fact": 1,
+            "pred": 1,
+            "fun": 1,
+            "assert": 1,
+            "command": 2,
+        }
+
+    def test_sig_depends_on_parent(self):
+        graph = graph_for(SPEC)
+        root = graph.node("sig", "Root")
+        assert graph.node("sig", "Node") in graph.dependencies(root)
+
+    def test_field_depends_on_owner_and_columns(self):
+        graph = graph_for(SPEC)
+        deps = graph.dependencies(graph.node("field", "next"))
+        assert graph.node("sig", "Node") in deps
+
+    def test_command_depends_on_every_fact(self):
+        graph = graph_for(SPEC)
+        run = graph.node("command", "run nonEmpty")
+        assert graph.node("fact", "acyclic") in graph.dependencies(run)
+
+    def test_check_targets_its_assertion(self):
+        graph = graph_for(SPEC)
+        check = graph.node("command", "check NoSelf")
+        assert graph.node("assert", "NoSelf") in graph.dependencies(check)
+
+    def test_node_lookup_raises_on_unknown(self):
+        graph = graph_for(SPEC)
+        with pytest.raises(KeyError):
+            graph.node("pred", "nope")
+
+    def test_find_orders_sig_first(self):
+        module = parse_module("sig a {}\npred a2 { some a }\nrun a2 for 3")
+        graph = build_depgraph(module, resolve_module(module))
+        hits = graph.find("a")
+        assert hits and hits[0].kind == "sig"
+
+    def test_stats_shape(self):
+        stats = graph_for(SPEC).stats()
+        assert stats["sig"] == 3
+        assert stats["command"] == 2
+        assert stats["edges"] > 0
+        assert stats["recursion_groups"] == 0
+
+
+class TestRecursionGroups:
+    def test_mutual_recursion_is_one_group(self):
+        graph = graph_for(RECURSIVE)
+        groups = graph.recursion_groups()
+        members = {frozenset(group) for group in groups}
+        assert (
+            frozenset({DepNode("pred", "even"), DepNode("pred", "odd")})
+            in members
+        )
+
+    def test_self_loop_is_a_group(self):
+        graph = graph_for(RECURSIVE)
+        members = {frozenset(group) for group in graph.recursion_groups()}
+        assert frozenset({DepNode("pred", "self2")}) in members
+
+    def test_sccs_are_reverse_topological(self):
+        graph = graph_for(SPEC)
+        position = {}
+        for index, component in enumerate(graph.sccs()):
+            for node in component:
+                position[node] = index
+        for source, targets in graph.edges.items():
+            for target in targets:
+                assert position[target] < position[source]
+
+
+class TestSlicing:
+    def test_backward_slice_of_command_is_its_cone(self):
+        graph = graph_for(SPEC)
+        cone = backward_slice(graph, graph.node("command", "run nonEmpty"))
+        assert graph.node("fact", "acyclic") in cone
+        assert graph.node("sig", "Node") in cone
+        # The other command is never part of this command's cone.
+        assert graph.node("command", "check NoSelf") not in cone
+
+    def test_forward_slice_of_sig_reaches_commands(self):
+        graph = graph_for(SPEC)
+        impact = forward_slice(graph, graph.node("sig", "Node"))
+        assert graph.node("command", "run nonEmpty") in impact
+        assert graph.node("command", "check NoSelf") in impact
+
+    def test_slice_for_unknown_name_raises(self):
+        graph = graph_for(SPEC)
+        with pytest.raises(KeyError):
+            slice_for(graph, "nothing")
+
+    def test_slice_for_directions_differ(self):
+        graph = graph_for(SPEC)
+        back = slice_for(graph, "acyclic")
+        fwd = slice_for(graph, "acyclic", direction="forward")
+        assert graph.node("command", "run nonEmpty") in fwd
+        assert graph.node("command", "run nonEmpty") not in back
+
+    def test_render_slice_sorted_and_root_excluded(self):
+        graph = graph_for(SPEC)
+        root = graph.node("command", "run nonEmpty")
+        rendered = render_slice(backward_slice(graph, root), root=root)
+        assert "command run nonEmpty" not in rendered
+        assert rendered.index("sig Node") < rendered.index("fact acyclic")
+
+    def test_render_empty_slice(self):
+        assert render_slice(frozenset()) == "(nothing)"

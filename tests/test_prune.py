@@ -22,6 +22,18 @@ pred q { some A & B }
 run p for 3
 run q for 3
 """
+"""Introduces dead constructs (A202/A204) — reported, but NOT veto
+grounds: a repair can carry a dead paragraph and still pass the oracle."""
+
+INFEASIBLE_CANDIDATE = """
+sig A {}
+sig B { f: set A }
+pred p { some B.f }
+run p for 3
+fact bogus { #A < 0 }
+"""
+"""Introduces a statically unsatisfiable fact (A501/A504): no instances
+under any scope, so the candidate can never meet a run expectation."""
 
 CLEAN = """
 sig A {}
@@ -43,13 +55,23 @@ class TestCandidateFilter:
         # The baseline module itself (A201/A204 and all) passes untouched.
         assert filt.veto(module, info) is None
 
-    def test_new_dead_construct_vetoes(self):
+    def test_new_infeasibility_vetoes(self):
         module, info = modinfo(CLEAN)
         filt = CandidateFilter(module, info)
-        candidate, candidate_info = modinfo(DEAD_CANDIDATE)
+        candidate, candidate_info = modinfo(INFEASIBLE_CANDIDATE)
         diagnostic = filt.veto(candidate, candidate_info)
         assert diagnostic is not None
         assert diagnostic.rule.prunes
+        assert diagnostic.code.startswith("A5")
+
+    def test_new_dead_construct_does_not_veto(self):
+        # A202/A204 findings are heuristic: the candidate might still be
+        # the repair the oracle would select (observed on ARepair), so
+        # they must never prune.
+        module, info = modinfo(CLEAN)
+        filt = CandidateFilter(module, info)
+        candidate, candidate_info = modinfo(DEAD_CANDIDATE)
+        assert filt.veto(candidate, candidate_info) is None
 
     def test_info_findings_never_veto(self):
         module, info = modinfo(CLEAN)
@@ -62,7 +84,7 @@ class TestCandidateFilter:
     def test_ambient_switch_disables_veto(self):
         module, info = modinfo(CLEAN)
         filt = CandidateFilter(module, info)
-        candidate, candidate_info = modinfo(DEAD_CANDIDATE)
+        candidate, candidate_info = modinfo(INFEASIBLE_CANDIDATE)
         with pruning(False):
             assert filt.veto(candidate, candidate_info) is None
         assert filt.veto(candidate, candidate_info) is not None
@@ -79,7 +101,7 @@ class TestCandidateFilter:
     def test_record_pruned_counts_by_rule(self):
         module, info = modinfo(CLEAN)
         filt = CandidateFilter(module, info)
-        candidate, candidate_info = modinfo(DEAD_CANDIDATE)
+        candidate, candidate_info = modinfo(INFEASIBLE_CANDIDATE)
         diagnostic = filt.veto(candidate, candidate_info)
         registry = obs.MetricsRegistry()
         with obs.scope(obs.Tracer(), registry):

@@ -157,3 +157,58 @@ class TestMemoization:
         info_a, _ = infer()
         info_b, _ = infer()
         assert inferencer_for(info_a) is not inferencer_for(info_b)
+
+
+class TestIllArityUnaryOps:
+    """Transpose/closure of a non-binary operand raises a classified
+    LintError instead of crashing the closure fixpoint (candidate ASTs
+    reach the inferencer without passing the resolver)."""
+
+    def test_transpose_of_unary_raises_lint_error(self):
+        from repro.analysis import LintError
+
+        _, ti = infer()
+        with pytest.raises(LintError):
+            ti.type_of(parse_expr("~Node"))
+
+    def test_closure_of_mixed_arity_union_raises_lint_error(self):
+        from repro.analysis import LintError
+
+        _, ti = infer()
+        # Dir.entries + Dir unions arity 1 into an arity-2 slot: the
+        # products are mixed-length, which used to IndexError inside
+        # the closure walk.
+        with pytest.raises(LintError):
+            ti.type_of(parse_expr("^(Dir.entries + Dir)"))
+
+    def test_lint_error_carries_source_position(self):
+        from repro.analysis import LintError
+
+        _, ti = infer()
+        with pytest.raises(LintError) as excinfo:
+            ti.type_of(parse_expr("~Node"))
+        assert excinfo.value.pos is not None
+
+    def test_lint_error_is_classified(self):
+        from repro.analysis import LintError
+        from repro.runtime.errors import classify_exception
+
+        assert classify_exception(LintError("x")) == "spec.lint"
+
+    def test_candidate_lint_survives_ill_arity_closure(self):
+        # The lint engine's AlloyError net catches the LintError and
+        # degrades the expression to a wildcard: candidate vetting stays
+        # total even on ASTs a mutation made ill-typed.  The resolver
+        # rejects this source, so splice the expression in after the
+        # fact — exactly how a mutated candidate reaches lint.
+        from repro.alloy.nodes import MultTest
+        from repro.alloy.parser import parse_module
+        from repro.analysis import lint_module
+
+        module = parse_module(
+            "sig A {}\nsig B { f: set A }\npred p { some B.f }\nrun p for 3\n"
+        )
+        info = resolve_module(module)
+        [test] = [n for n in module.walk() if isinstance(n, MultTest)]
+        test.operand = parse_expr("^(B.f + B)")
+        lint_module(module, info)
