@@ -136,6 +136,33 @@ class FaultPlan:
         payload = int.from_bytes(digest[8:12], "big")
         return fraction, payload
 
+    def to_json(self) -> dict:
+        """A JSON projection that :meth:`from_json` round-trips exactly —
+        how a drill hands the identical plan to a subprocess replica."""
+        return {
+            "seed": self.seed,
+            "sites": {
+                name: {
+                    "probability": config.probability,
+                    "max_fires": config.max_fires,
+                    "start_after": config.start_after,
+                }
+                for name, config in self.sites
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "FaultPlan":
+        sites = {
+            name: SiteConfig(
+                probability=float(entry.get("probability", 1.0)),
+                max_fires=entry.get("max_fires"),
+                start_after=int(entry.get("start_after", 0)),
+            )
+            for name, entry in dict(data.get("sites", {})).items()
+        }
+        return cls(seed=int(data["seed"]), sites=sites)
+
     def digest(self) -> str:
         """A stable fingerprint, folded into result-cache keys: a chaos
         run must never collide with — or be served from — a clean one."""

@@ -10,10 +10,14 @@ Commands:
 - ``repro validate-corpus`` — check the ground-truth model corpus.
 - ``repro trace <file.jsonl>`` — summarize a trace: top spans, slowest cells.
 - ``repro profile <file.jsonl>...`` — per-technique metric rollup.
-- ``repro serve`` — the repair service daemon (jobs over a unix socket).
-- ``repro submit | jobs`` — clients for a running daemon.
-- ``repro loadgen`` — drive a synthetic client fleet, report availability.
-- ``repro chaos [--service]`` — fault-injection drills (engine or daemon).
+- ``repro serve`` — the repair service daemon (jobs over a unix socket);
+  ``--cluster-dir`` runs it as one replica of a lease-fenced fleet.
+- ``repro submit | jobs`` — clients for a running daemon (a comma-separated
+  ``--socket`` list fails over across replicas).
+- ``repro loadgen`` — drive a synthetic client fleet, report availability;
+  ``--replicas N`` hosts and load-balances a whole cluster.
+- ``repro chaos [--service|--cluster]`` — fault-injection drills (engine,
+  daemon, or replicated tier with a mid-job ``kill -9``).
 
 Experiment commands accept ``--scale`` (fraction of the Alloy4Fun benchmark,
 default 0.05 for laptop-friendly runs; 1.0 is the paper-sized benchmark),
@@ -370,6 +374,14 @@ def build_parser() -> argparse.ArgumentParser:
         "breakers, drain/resume (report defaults to "
         "service-chaos-report.json)",
     )
+    chaos.add_argument(
+        "--cluster",
+        action="store_true",
+        help="drill a replicated service tier: kill -9 a random replica "
+        "mid-job under the full fault plan and assert zero lost jobs, no "
+        "double commits, and fencing monotonicity (report defaults to "
+        "cluster-chaos-report.json)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -382,7 +394,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--benchmark", choices=["arepair", "alloy4fun"], default="arepair"
     )
-    serve.add_argument("--scale", type=_scale_arg, default=0.05)
+    serve.add_argument(
+        "--scale",
+        type=_scale_arg,
+        default=None,
+        help="corpus scale; default: the benchmark's full service corpus "
+        "(1.0 for arepair, 0.05 for alloy4fun)",
+    )
     serve.add_argument("--seed", type=_seed_arg, default=0)
     serve.add_argument(
         "--workers", type=_jobs_arg, default=2, help="warm worker threads"
@@ -447,11 +465,58 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable semantic candidate deduplication in job executions",
     )
+    serve.add_argument(
+        "--cluster-dir",
+        default=None,
+        metavar="DIR",
+        help="shared cluster directory: run this daemon as one replica of "
+        "a fleet (ledger-journaled jobs, fenced leases, shared store, "
+        "durable cluster-wide quotas)",
+    )
+    serve.add_argument(
+        "--replica-id",
+        default=None,
+        metavar="NAME",
+        help="this replica's name in the cluster (default: r<pid>)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="lease lifetime without renewal before peers adopt the job",
+    )
+    serve.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease renewal interval (default: lease-ttl / 3)",
+    )
+    serve.add_argument(
+        "--chaos-plan",
+        default=None,
+        metavar="FILE.json",
+        help="install a serialized fault plan (FaultPlan.to_json) around "
+        "job executions and store flushes — how the cluster drill ships "
+        "one plan to every subprocess replica",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit one repair job to a running service daemon"
     )
-    submit.add_argument("--socket", default="repro.sock")
+    submit.add_argument(
+        "--socket",
+        default="repro.sock",
+        help="daemon socket; a comma-separated list enables failover "
+        "across replicas",
+    )
+    submit.add_argument(
+        "--retry-seed",
+        type=_seed_arg,
+        default=0,
+        help="seed for the deterministic reconnect/failover backoff jitter",
+    )
     submit.add_argument(
         "--spec",
         default=None,
@@ -495,7 +560,18 @@ def build_parser() -> argparse.ArgumentParser:
     jobs = sub.add_parser(
         "jobs", help="list a running daemon's jobs (or --stats)"
     )
-    jobs.add_argument("--socket", default="repro.sock")
+    jobs.add_argument(
+        "--socket",
+        default="repro.sock",
+        help="daemon socket; a comma-separated list enables failover "
+        "across replicas",
+    )
+    jobs.add_argument(
+        "--retry-seed",
+        type=_seed_arg,
+        default=0,
+        help="seed for the deterministic reconnect/failover backoff jitter",
+    )
     jobs.add_argument(
         "--stats",
         action="store_true",
@@ -512,12 +588,24 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--benchmark", choices=["arepair", "alloy4fun"], default="arepair"
     )
-    loadgen.add_argument("--scale", type=_scale_arg, default=0.05)
+    loadgen.add_argument(
+        "--scale",
+        type=_scale_arg,
+        default=0.05,
+        help="corpus scale for the hosted daemon(s)",
+    )
     loadgen.add_argument("--seed", type=_seed_arg, default=0)
     loadgen.add_argument("--workers", type=_jobs_arg, default=4)
     loadgen.add_argument("--max-queue", type=_jobs_arg, default=16)
     loadgen.add_argument(
         "--techniques", type=_techniques_arg, default=None, metavar="A,B,..."
+    )
+    loadgen.add_argument(
+        "--replicas",
+        type=_jobs_arg,
+        default=1,
+        help="host this many daemon replicas against a shared cluster "
+        "directory and spread the client fleet across their sockets",
     )
 
     sub.add_parser("validate-corpus", help="check the ground-truth models")
@@ -893,6 +981,20 @@ def _cmd_chaos(args) -> int:
         for name in sorted(SITES):
             print(f"{name:<{width}}  {SITES[name]}")
         return EXIT_OK
+    if args.cluster:
+        from repro.service.drill import (
+            render_cluster_report,
+            run_cluster_drills,
+        )
+
+        report = run_cluster_drills(
+            seed=args.seed, sites=args.sites, scale=args.scale
+        )
+        report_path = args.report or "cluster-chaos-report.json"
+        write_report(Path(report_path), report)
+        print(render_cluster_report(report))
+        print(f"(report written to {report_path})", file=sys.stderr)
+        return EXIT_OK if report["ok"] else EXIT_FAILURE
     if args.service:
         from repro.service.drill import (
             render_service_report,
@@ -917,6 +1019,26 @@ def _cmd_chaos(args) -> int:
     return EXIT_OK if report["ok"] else EXIT_FAILURE
 
 
+def _service_scale(scale, benchmark: str) -> float:
+    """An explicit ``--scale`` is honored for either benchmark; the
+    default is the benchmark's full service corpus (all of arepair, the
+    standard 5% slice of alloy4fun)."""
+    if scale is not None:
+        return scale
+    return 0.05 if benchmark == "alloy4fun" else 1.0
+
+
+def _load_chaos_plan(path: str | None):
+    if path is None:
+        return None
+    import json
+    from pathlib import Path
+
+    from repro.chaos.plan import FaultPlan
+
+    return FaultPlan.from_json(json.loads(Path(path).read_text()))
+
+
 def _service_config(args):
     from repro.service.daemon import ServiceConfig
 
@@ -924,7 +1046,7 @@ def _service_config(args):
     return ServiceConfig(
         socket=args.socket,
         benchmark=args.benchmark,
-        scale=args.scale if args.benchmark == "alloy4fun" else 1.0,
+        scale=_service_scale(args.scale, args.benchmark),
         seed=args.seed,
         workers=args.workers,
         max_queue=args.max_queue,
@@ -936,6 +1058,11 @@ def _service_config(args):
         static_prune=not args.no_static_prune,
         incremental=not args.no_incremental,
         canonical=not args.no_canon,
+        chaos=_load_chaos_plan(args.chaos_plan),
+        cluster_dir=args.cluster_dir,
+        replica_id=args.replica_id,
+        lease_ttl=args.lease_ttl,
+        lease_heartbeat=args.heartbeat,
     )
 
 
@@ -992,7 +1119,9 @@ def _cmd_submit(args) -> int:
             tenant=args.tenant,
             priority=args.priority,
         )
-    client = ServiceClient(args.socket)
+    client = ServiceClient(
+        [s for s in args.socket.split(",") if s], retry_seed=args.retry_seed
+    )
     if args.no_retry:
         outcome = client.submit(spec, watch=not args.no_watch)
     else:
@@ -1029,7 +1158,9 @@ def _cmd_jobs(args) -> int:
 
     from repro.service.client import ServiceClient
 
-    client = ServiceClient(args.socket)
+    client = ServiceClient(
+        [s for s in args.socket.split(",") if s], retry_seed=args.retry_seed
+    )
     if args.stats:
         print(json.dumps(client.stats(), indent=2, sort_keys=True))
         return EXIT_OK
@@ -1070,6 +1201,7 @@ def _cmd_loadgen(args) -> int:
             clients=args.clients,
             jobs_per_client=args.jobs_per_client,
             techniques=args.techniques or DEFAULT_TECHNIQUES,
+            replicas=args.replicas,
         )
     print(json.dumps(ledger, indent=2, sort_keys=True))
     return EXIT_OK if ledger["ok"] else EXIT_FAILURE

@@ -22,23 +22,54 @@ solvers wedge, LLM backends flap, and load spikes.  The pieces:
   so a restarted daemon resumes them;
 - :mod:`repro.service.client` — the blocking socket client behind
   ``repro submit`` / ``repro jobs``;
-- :mod:`repro.service.loadgen` — the synthetic-client load harness;
+- :mod:`repro.service.lease` — fenced, heartbeat-renewed job leases: the
+  ownership layer that makes ``repro serve --cluster-dir`` replicas safe
+  to ``kill -9`` (monotonic fencing tokens, deterministic jitter,
+  expiry-driven adoption);
+- :mod:`repro.service.ledger` — the append-only, replayable cluster job
+  journal and the fenced shared result-store mirror
+  (:class:`~repro.service.ledger.ClusterStore`): at-most-once commits,
+  at-least-once execution;
+- :mod:`repro.service.loadgen` — the synthetic-client load harness
+  (``--replicas N`` spreads the fleet across a hosted cluster);
 - :mod:`repro.service.drill` — ``repro chaos --service``: the 9-site
   fault-injection drills run *against the live daemon*, asserting the
   availability SLO (no lost jobs, no corrupted results, bounded queue
-  latency) in a byte-stable report.
+  latency) in a byte-stable report; ``repro chaos --cluster`` adds the
+  replicated-tier drills (mid-job ``kill -9`` failover, lease edge
+  cases).
 
 Heavy modules (daemon, drill — they pull in the experiment engine) are
 imported lazily by the CLI; importing :mod:`repro.service` itself stays
 cheap.
 """
 
-from repro.service.admission import Admission, AdmissionController, TokenBucket
+from repro.service.admission import (
+    Admission,
+    AdmissionController,
+    QuotaStore,
+    SharedTokenBucket,
+    TokenBucket,
+)
 from repro.service.breaker import (
     BreakerClient,
     BreakerConfig,
     BreakerOpenError,
     CircuitBreaker,
+)
+from repro.service.ledger import (
+    LEDGER_SCHEMA,
+    ClusterFold,
+    ClusterStore,
+    DuplicateCommitError,
+    JobLedger,
+    StaleWriterError,
+)
+from repro.service.lease import (
+    Lease,
+    LeaseError,
+    LeaseLostError,
+    LeaseManager,
 )
 from repro.service.protocol import (
     PROTOCOL_SCHEMA,
@@ -59,13 +90,25 @@ __all__ = [
     "BreakerConfig",
     "BreakerOpenError",
     "CircuitBreaker",
+    "ClusterFold",
+    "ClusterStore",
+    "DuplicateCommitError",
+    "JobLedger",
     "JobSpec",
     "JobState",
+    "LEDGER_SCHEMA",
+    "Lease",
+    "LeaseError",
+    "LeaseLostError",
+    "LeaseManager",
     "PROTOCOL_SCHEMA",
     "ProtocolError",
+    "QuotaStore",
     "STATE_SCHEMA",
     "STORE_SCHEMA",
     "ServiceError",
+    "SharedTokenBucket",
+    "StaleWriterError",
     "TokenBucket",
     "decode_message",
     "encode_message",

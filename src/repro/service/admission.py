@@ -14,13 +14,27 @@ that grows until memory dies.  Two gates run in order:
 Like the breakers, the clock is injected so tests and drills are
 deterministic: with a fake clock the whole controller is a pure function
 of the call sequence.
+
+In cluster mode the buckets move out of process memory into a
+:class:`QuotaStore` — one schema-stamped file in the shared cluster
+directory, mutated under the cluster lock — so a tenant's budget survives
+replica restarts and is enforced across the whole fleet: N replicas
+draining one bucket admit no more than one replica would.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
+
+from repro.runtime.errors import CacheCorruptionError
+from repro.runtime.persist import atomic_write_json, load_json
+from repro.service.lease import file_lock
+
+QUOTA_SCHEMA = "repro-cluster-quota/1"
+"""Schema of the shared per-tenant quota file; bump on shape change."""
 
 _HORIZON = 3600.0
 """Cap on any retry-after answer: an unrefillable bucket still gets a
@@ -74,6 +88,116 @@ class TokenBucket:
         return self._tokens
 
 
+class QuotaStore:
+    """Tenant bucket levels persisted in the shared cluster directory.
+
+    The file holds ``{tenant: {"tokens": float, "updated": float}}``
+    against the **wall clock** (cluster state cannot use a process-local
+    monotonic clock).  Reads tolerate corruption as a miss — a torn write
+    resets tenants to full buckets, which admits at most one burst more
+    than intended and never wedges admission.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.root = Path(root)
+        self.path = self.root / "quotas.json"
+        self._lock_path = self.root / ".cluster.lock"
+        self.clock = clock
+        self.resets = 0
+
+    def _load_locked(self) -> dict:
+        if not self.path.exists():
+            return {}
+        try:
+            payload = load_json(self.path, schema=QUOTA_SCHEMA)
+            return {str(t): dict(row) for t, row in payload.items()}
+        except (CacheCorruptionError, AttributeError):
+            self.resets += 1
+            return {}
+
+    def debit(
+        self,
+        tenant: str,
+        cost: float,
+        capacity: float,
+        refill_rate: float,
+    ) -> float:
+        """Refill-then-debit one tenant's bucket atomically cluster-wide.
+
+        Returns 0.0 on success, else seconds until enough tokens exist —
+        the same contract as :meth:`TokenBucket.acquire`.
+        """
+        now = self.clock()
+        with file_lock(self._lock_path):
+            quotas = self._load_locked()
+            row = quotas.get(tenant, {})
+            tokens = float(row.get("tokens", capacity))
+            updated = float(row.get("updated", now))
+            elapsed = max(0.0, now - updated)
+            if refill_rate > 0:
+                tokens = min(capacity, tokens + elapsed * refill_rate)
+            if tokens >= cost:
+                tokens -= cost
+                wait = 0.0
+            elif refill_rate <= 0:
+                wait = _HORIZON
+            else:
+                wait = min(_HORIZON, (cost - tokens) / refill_rate)
+            quotas[tenant] = {"tokens": round(tokens, 9), "updated": now}
+            atomic_write_json(self.path, quotas, schema=QUOTA_SCHEMA)
+        return wait
+
+    def available(self, tenant: str, capacity: float) -> float:
+        with file_lock(self._lock_path):
+            row = self._load_locked().get(tenant)
+        if row is None:
+            return capacity
+        return float(row.get("tokens", capacity))
+
+    def snapshot(self) -> dict:
+        with file_lock(self._lock_path):
+            quotas = self._load_locked()
+        return {
+            "tenants": sorted(quotas),
+            "resets": self.resets,
+        }
+
+
+class SharedTokenBucket:
+    """A :class:`TokenBucket`-shaped view over one tenant's row in a
+    :class:`QuotaStore` — what :class:`AdmissionController` hands out in
+    cluster mode."""
+
+    def __init__(
+        self,
+        store: QuotaStore,
+        tenant: str,
+        capacity: float,
+        refill_rate: float,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if refill_rate < 0:
+            raise ValueError(f"refill_rate must be >= 0, got {refill_rate}")
+        self.store = store
+        self.tenant = tenant
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+
+    def acquire(self, cost: float = 1.0) -> float:
+        return self.store.debit(
+            self.tenant, cost, self.capacity, self.refill_rate
+        )
+
+    @property
+    def available(self) -> float:
+        return self.store.available(self.tenant, self.capacity)
+
+
 @dataclass(frozen=True)
 class Admission:
     """One admission verdict."""
@@ -94,6 +218,7 @@ class AdmissionController:
         bucket_refill: float = 4.0,
         queue_retry_after: float = 0.25,
         clock: Callable[[], float] = time.monotonic,
+        quota_store: QuotaStore | None = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -102,16 +227,25 @@ class AdmissionController:
         self.bucket_refill = bucket_refill
         self.queue_retry_after = queue_retry_after
         self._clock = clock
-        self._buckets: dict[str, TokenBucket] = {}
+        self.quota_store = quota_store
+        self._buckets: dict[str, TokenBucket | SharedTokenBucket] = {}
         self.admitted = 0
         self.rejected: dict[str, int] = {}
 
-    def bucket_for(self, tenant: str) -> TokenBucket:
+    def bucket_for(self, tenant: str) -> TokenBucket | SharedTokenBucket:
         bucket = self._buckets.get(tenant)
         if bucket is None:
-            bucket = TokenBucket(
-                self.bucket_capacity, self.bucket_refill, clock=self._clock
-            )
+            if self.quota_store is not None:
+                bucket = SharedTokenBucket(
+                    self.quota_store,
+                    tenant,
+                    self.bucket_capacity,
+                    self.bucket_refill,
+                )
+            else:
+                bucket = TokenBucket(
+                    self.bucket_capacity, self.bucket_refill, clock=self._clock
+                )
             self._buckets[tenant] = bucket
         return bucket
 
@@ -140,9 +274,12 @@ class AdmissionController:
         return Admission(admitted=False, reason=reason, retry_after=retry_after)
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "max_queue": self.max_queue,
             "admitted": self.admitted,
             "rejected": dict(sorted(self.rejected.items())),
             "tenants": sorted(self._buckets),
         }
+        if self.quota_store is not None:
+            snap["durable_quotas"] = self.quota_store.snapshot()
+        return snap

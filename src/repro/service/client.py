@@ -5,13 +5,27 @@ socket, one request, read frames until done.  The retry loop in
 :meth:`ServiceClient.submit_retrying` implements the client half of the
 backpressure contract — honor ``retry_after`` exactly, never hammer — and
 is what the load generator drives at fleet scale.
+
+Replication makes transport failure routine rather than fatal, so the
+client carries two recovery behaviours (both deterministic under
+``retry_seed``, following the :class:`~repro.runtime.retry.RetryPolicy`
+jitter contract):
+
+- **failover** — constructed with several socket paths, it rotates to the
+  next live replica whenever connecting to the current one fails;
+- **mid-stream reconnect** — if a watched submission's event stream dies
+  (the daemon was killed), the client falls back to polling ``status``
+  with seeded exponential backoff until the job reaches a terminal state
+  on *some* replica, instead of surfacing a raw ``ConnectionError``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import socket
 import time
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.service.protocol import (
     JobSpec,
@@ -36,6 +50,9 @@ class SubmitOutcome:
     error: str | None = None
     rejections: list[dict] = field(default_factory=list)
     """Every ``reject`` frame seen along the way (reason + retry_after)."""
+    reconnected: bool = False
+    """The watch stream died and the outcome was recovered via ``status``
+    polls (possibly against a different replica)."""
 
     @property
     def rejected(self) -> bool:
@@ -43,26 +60,73 @@ class SubmitOutcome:
 
 
 class ServiceClient:
-    """One connection-per-request client for a daemon socket."""
+    """One connection-per-request client for one or more daemon sockets."""
 
-    def __init__(self, socket_path: str, timeout: float = 120.0) -> None:
-        self.socket_path = socket_path
+    def __init__(
+        self,
+        socket_path: str | Iterable[str],
+        timeout: float = 120.0,
+        retry_seed: int = 0,
+        reconnect_attempts: int = 60,
+        sleep=time.sleep,
+    ) -> None:
+        if isinstance(socket_path, str):
+            paths: tuple[str, ...] = (socket_path,)
+        else:
+            paths = tuple(socket_path)
+        if not paths:
+            raise ValueError("need at least one socket path")
+        self.socket_paths = paths
         self.timeout = timeout
+        self.retry_seed = retry_seed
+        self.reconnect_attempts = reconnect_attempts
+        self._sleep = sleep
+        self._active = 0
+        self.failovers = 0
+        """Times the active socket rotated to another replica."""
+        self.reconnects = 0
+        """Times a dead watch stream was recovered via status polling."""
+
+    @property
+    def socket_path(self) -> str:
+        """The socket currently preferred (kept for single-socket callers)."""
+        return self.socket_paths[self._active]
 
     # -- transport ------------------------------------------------------------
 
+    def _backoff(self, attempt: int) -> float:
+        """Seeded exponential backoff: base doubling capped at 1s, scaled
+        by a deterministic factor in [0.5, 1.0) — same contract as
+        :class:`repro.runtime.retry.RetryPolicy` with ``jitter_seed``."""
+        digest = hashlib.sha256(
+            f"{self.retry_seed}:{attempt}".encode()
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64
+        return min(1.0, 0.05 * (2 ** min(attempt, 5))) * (0.5 + 0.5 * unit)
+
     def _connect(self) -> socket.socket:
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(self.timeout)
-        try:
-            sock.connect(self.socket_path)
-        except OSError as error:
-            sock.close()
-            raise ServiceError(
-                f"cannot reach service at {self.socket_path}: {error}",
-                context={"socket": self.socket_path},
-            ) from error
-        return sock
+        """Connect to the active replica, failing over across the ring;
+        raises only when *every* socket refuses."""
+        last_error: OSError | None = None
+        for offset in range(len(self.socket_paths)):
+            index = (self._active + offset) % len(self.socket_paths)
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.socket_paths[index])
+            except OSError as error:
+                sock.close()
+                last_error = error
+                continue
+            if offset:
+                self._active = index
+                self.failovers += 1
+            return sock
+        raise ServiceError(
+            f"cannot reach service at any of {list(self.socket_paths)}: "
+            f"{last_error}",
+            context={"sockets": list(self.socket_paths)},
+        ) from last_error
 
     def _request(self, message: dict, n_frames: int = 1) -> list[dict]:
         """Send one frame, read ``n_frames`` responses, close."""
@@ -70,6 +134,23 @@ class ServiceClient:
             sock.sendall(encode_message(message))
             reader = sock.makefile("rb")
             return [self._read_frame(reader) for _ in range(n_frames)]
+
+    def _request_reconnecting(self, message: dict) -> dict:
+        """One request, retried with seeded backoff while the transport is
+        down — ``repro jobs`` against a restarting daemon waits it out
+        instead of dying on the first refused connect."""
+        last: ServiceError | None = None
+        for attempt in range(self.reconnect_attempts):
+            try:
+                return self._request(message)[0]
+            except ServiceError as error:
+                last = error
+                self._sleep(self._backoff(attempt))
+        raise ServiceError(
+            f"service unreachable after {self.reconnect_attempts} attempts: "
+            f"{last}",
+            context={"sockets": list(self.socket_paths)},
+        ) from last
 
     @staticmethod
     def _read_frame(reader) -> dict:
@@ -81,61 +162,105 @@ class ServiceClient:
     # -- operations -----------------------------------------------------------
 
     def ping(self) -> dict:
-        return self._request({"op": "ping"})[0]
+        return self._request_reconnecting({"op": "ping"})
 
     def jobs(self) -> list[dict]:
-        frame = self._request({"op": "jobs"})[0]
+        frame = self._request_reconnecting({"op": "jobs"})
         return frame.get("jobs", [])
 
     def stats(self) -> dict:
-        return self._request({"op": "stats"})[0].get("stats", {})
+        return self._request_reconnecting({"op": "stats"}).get("stats", {})
 
     def status(self, job_id: str) -> dict:
-        return self._request({"op": "status", "job_id": job_id})[0]
+        return self._request_reconnecting({"op": "status", "job_id": job_id})
 
     def drain(self, grace: float = 5.0) -> dict:
         return self._request({"op": "drain", "grace": grace})[0]
 
     def submit(self, spec: JobSpec, watch: bool = True) -> SubmitOutcome:
         """One submission attempt.  With ``watch`` the connection stays
-        open streaming state events until the terminal frame."""
-        with self._connect() as sock:
-            sock.sendall(
-                encode_message(
-                    {"op": "submit", "job": spec.to_json(), "watch": watch}
+        open streaming state events until the terminal frame; if the
+        stream dies after the ack, the outcome is recovered via status
+        polling rather than raised as a transport error."""
+        outcome: SubmitOutcome | None = None
+        try:
+            with self._connect() as sock:
+                sock.sendall(
+                    encode_message(
+                        {"op": "submit", "job": spec.to_json(), "watch": watch}
+                    )
                 )
-            )
-            reader = sock.makefile("rb")
-            first = self._read_frame(reader)
-            if first.get("type") == "reject":
-                return SubmitOutcome(accepted=False, rejections=[first])
-            if first.get("type") == "error":
-                raise ServiceError(
-                    first.get("message", "submission failed"),
-                    context={"code": first.get("code")},
+                reader = sock.makefile("rb")
+                first = self._read_frame(reader)
+                if first.get("type") == "reject":
+                    return SubmitOutcome(accepted=False, rejections=[first])
+                if first.get("type") == "error":
+                    raise ServiceError(
+                        first.get("message", "submission failed"),
+                        context={"code": first.get("code")},
+                    )
+                if first.get("type") != "ack":
+                    raise ProtocolError(
+                        f"expected ack, got {first.get('type')!r}"
+                    )
+                outcome = SubmitOutcome(
+                    accepted=True,
+                    job_id=first.get("job_id"),
+                    state=first.get("state"),
                 )
-            if first.get("type") != "ack":
-                raise ProtocolError(
-                    f"expected ack, got {first.get('type')!r}"
-                )
-            outcome = SubmitOutcome(
-                accepted=True,
-                job_id=first.get("job_id"),
-                state=first.get("state"),
-            )
-            if not watch:
-                return outcome
-            while True:
-                frame = self._read_frame(reader)
-                if frame.get("type") != "event":
-                    continue
-                outcome.state = frame.get("state")
-                if outcome.state in ("done", "failed", "cancelled"):
-                    outcome.outcomes = frame.get("outcomes", {})
-                    outcome.failures = frame.get("failures", [])
-                    outcome.from_store = bool(frame.get("from_store"))
-                    outcome.error = frame.get("error")
+                if not watch:
                     return outcome
+                while True:
+                    frame = self._read_frame(reader)
+                    if frame.get("type") != "event":
+                        continue
+                    outcome.state = frame.get("state")
+                    if outcome.state in ("done", "failed", "cancelled"):
+                        outcome.outcomes = frame.get("outcomes", {})
+                        outcome.failures = frame.get("failures", [])
+                        outcome.from_store = bool(frame.get("from_store"))
+                        outcome.error = frame.get("error")
+                        return outcome
+        except (ServiceError, OSError) as error:
+            if outcome is None or outcome.job_id is None or not watch:
+                raise
+            # The daemon died (or was killed) mid-stream.  The job was
+            # acked, so *some* replica owns it — recover by polling.
+            return self._watch_via_status(outcome, error)
+
+    def _watch_via_status(
+        self, outcome: SubmitOutcome, cause: Exception
+    ) -> SubmitOutcome:
+        self.reconnects += 1
+        outcome.reconnected = True
+        assert outcome.job_id is not None
+        unknown = 0
+        for attempt in range(self.reconnect_attempts):
+            self._sleep(self._backoff(attempt))
+            try:
+                frame = self._request(
+                    {"op": "status", "job_id": outcome.job_id}
+                )[0]
+            except (ServiceError, OSError):
+                continue
+            if frame.get("type") == "error":
+                # A restarted or peer replica may briefly not know the
+                # job until it replays the ledger / adopts it.
+                unknown += 1
+                continue
+            outcome.state = frame.get("state")
+            if outcome.state in ("done", "failed", "cancelled"):
+                outcome.outcomes = frame.get("outcomes", {})
+                outcome.failures = frame.get("failures", [])
+                outcome.from_store = bool(frame.get("from_store"))
+                outcome.error = frame.get("error")
+                return outcome
+        raise ServiceError(
+            f"watch stream for {outcome.job_id} died ({cause}) and "
+            f"{self.reconnect_attempts} status polls did not reach a "
+            f"terminal state ({unknown} answered unknown-job)",
+            context={"job_id": outcome.job_id},
+        ) from cause
 
     def submit_retrying(
         self,

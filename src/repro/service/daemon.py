@@ -59,9 +59,16 @@ from repro.experiments.executor import (
 from repro.llm.prompts import RepairHints
 from repro.repair import registry
 from repro.runtime.errors import CacheCorruptionError
+from repro.runtime.guard import capture_failure
 from repro.runtime.persist import atomic_write_json, load_json
-from repro.service.admission import AdmissionController
+from repro.service.admission import AdmissionController, QuotaStore
 from repro.service.breaker import BreakerConfig, CircuitBreaker
+from repro.service.lease import HeartbeatLoop
+from repro.service.ledger import (
+    ClusterStore,
+    DuplicateCommitError,
+    StaleWriterError,
+)
 from repro.service.protocol import (
     PROTOCOL_SCHEMA,
     STATE_SCHEMA,
@@ -120,6 +127,19 @@ class ServiceConfig:
     store flush — how ``repro chaos --service`` drills the live daemon."""
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     allow_adhoc: bool = True
+    cluster_dir: str | None = None
+    """Shared cluster directory.  Set ⇒ this daemon is one replica of a
+    fleet: jobs are journaled in the shared ledger, owned via fenced
+    leases, committed to the shared store mirror, and rate-limited by
+    cluster-wide durable quotas (:mod:`repro.service.ledger`)."""
+    replica_id: str | None = None
+    """This replica's name in the cluster; default ``r<pid>``."""
+    lease_ttl: float = 5.0
+    """Seconds a lease lives without renewal before peers may adopt."""
+    lease_heartbeat: float | None = None
+    """Renewal interval; default ``lease_ttl / 3``."""
+    reclaim_interval: float = 0.5
+    """How often the health loop scans for orphaned jobs to adopt."""
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -128,11 +148,40 @@ class ServiceConfig:
             raise ValueError(
                 f"job_timeout must be > 0, got {self.job_timeout}"
             )
+        if self.lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {self.lease_ttl}")
+        if self.reclaim_interval <= 0:
+            raise ValueError(
+                f"reclaim_interval must be > 0, got {self.reclaim_interval}"
+            )
+
+    @property
+    def clustered(self) -> bool:
+        return self.cluster_dir is not None
+
+    def resolved_replica_id(self) -> str:
+        if self.replica_id is not None:
+            return self.replica_id
+        return f"r{os.getpid()}"
 
     def resolved_state_path(self) -> Path:
         if self.state_path is not None:
             return Path(self.state_path)
         return Path(f"{self.socket}.state.json")
+
+
+def store_recipe(config: ServiceConfig) -> dict:
+    """Everything that changes cell *values* — the key both the local
+    :class:`ResultStore` and the shared cluster mirror are filed under, so
+    a chaos daemon never poisons (or borrows from) a clean one's store,
+    and every replica of one cluster agrees on the file."""
+    return {
+        "b": config.benchmark,
+        "s": config.seed,
+        "sc": config.scale,
+        "sp": config.static_prune,
+        "ch": config.chaos.digest() if config.chaos else None,
+    }
 
 
 class ResultStore:
@@ -146,13 +195,7 @@ class ResultStore:
     """
 
     def __init__(self, config: ServiceConfig) -> None:
-        recipe = {
-            "b": config.benchmark,
-            "s": config.seed,
-            "sc": config.scale,
-            "sp": config.static_prune,
-            "ch": config.chaos.digest() if config.chaos else None,
-        }
+        recipe = store_recipe(config)
         digest = hashlib.sha256(
             json.dumps(recipe, sort_keys=True).encode()
         ).hexdigest()[:12]
@@ -243,12 +286,38 @@ class ReproService:
                 config.benchmark, seed=config.seed, scale=config.scale
             )
         }
-        self.store = ResultStore(config) if config.use_store else None
+        self.replica_id = config.resolved_replica_id()
+        self.cluster: ClusterStore | None = None
+        self._heartbeat: HeartbeatLoop | None = None
+        quota_store: QuotaStore | None = None
+        if config.clustered:
+            # The shared mirror replaces the local store: two replicas
+            # must never race last-write-wins on one local store file.
+            assert config.cluster_dir is not None
+            self.cluster = ClusterStore(
+                Path(config.cluster_dir),
+                self.replica_id,
+                store_recipe(config),
+                ttl=config.lease_ttl,
+                heartbeat=config.lease_heartbeat,
+                jitter_seed=config.seed,
+                chaos_plan=config.chaos,
+            )
+            self._heartbeat = HeartbeatLoop(
+                self.cluster.leases, on_lost=self._on_lease_lost
+            )
+            quota_store = QuotaStore(Path(config.cluster_dir))
+        self.store = (
+            ResultStore(config)
+            if config.use_store and not config.clustered
+            else None
+        )
         self.admission = AdmissionController(
             max_queue=config.max_queue,
             bucket_capacity=config.bucket_capacity,
             bucket_refill=config.bucket_refill,
             clock=clock,
+            quota_store=quota_store,
         )
         self.breakers = {
             "llm": CircuitBreaker("llm", config.breaker, clock=clock),
@@ -276,6 +345,14 @@ class ReproService:
         self.started = threading.Event()
         self.resumed_jobs = 0
         """Jobs re-enqueued from the drain checkpoint at startup."""
+        self.adopted_jobs = 0
+        """Orphaned cluster jobs this replica took over."""
+        self.lease_losses = 0
+        """Held leases the heartbeat discovered were fenced away."""
+        self.state_corruptions = 0
+        """Corrupt/truncated drain checkpoints survived at startup."""
+        self.state_failures: list[dict] = []
+        """The :class:`FailureRecord` payloads behind those corruptions."""
 
     # -- public surface -------------------------------------------------------
 
@@ -303,13 +380,18 @@ class ReproService:
         self._loop = asyncio.get_running_loop()
         self._done = asyncio.Event()
         self._install_signal_handlers()
-        self._resume_from_checkpoint()
+        if self.cluster is None:
+            # Cluster replicas have no private checkpoint: the shared
+            # ledger *is* the durable state, and peers adopt drained jobs.
+            self._resume_from_checkpoint()
         socket_path = Path(self.config.socket)
         if socket_path.exists():
             socket_path.unlink()
         server = await asyncio.start_unix_server(
             self._handle_connection, path=str(socket_path)
         )
+        if self._heartbeat is not None:
+            self._heartbeat.start()
         health = asyncio.ensure_future(self._health_loop())
         self.started.set()
         try:
@@ -318,6 +400,8 @@ class ReproService:
             health.cancel()
             server.close()
             await server.wait_closed()
+            if self._heartbeat is not None:
+                self._heartbeat.stop()
             self._checkpoint()
             self.pool.stop()
             with contextlib.suppress(OSError):
@@ -372,12 +456,46 @@ class ReproService:
             )
         if job_id is None:
             self._seq += 1
-            job_id = f"job-{self._seq:06d}"
+            job_id = (
+                f"job-{self.replica_id}-{self._seq:06d}"
+                if self.config.clustered
+                else f"job-{self._seq:06d}"
+            )
         record = JobRecord(
             job_id=job_id, spec=spec, submitted_at=self.clock()
         )
         self._jobs[job_id] = record
-        if (
+        if self.cluster is not None:
+            # Journal the submission and take the lease in one atomic
+            # cluster-lock step: the job is durable before it is acked.
+            lease = self.cluster.register(job_id, spec.to_json())
+            record.lease_token = lease.token
+            if spec.benchmark != "adhoc":
+                row = self.cluster.lookup(spec.spec_id)
+                if all(t in row for t in spec.techniques):
+                    # Shared-mirror fast path: every cell already
+                    # committed by some replica.
+                    record.from_store = True
+                    record.started_at = record.finished_at = (
+                        record.submitted_at
+                    )
+                    record.outcomes = {
+                        t: dict(row[t]) for t in spec.techniques
+                    }
+                    record.state = JobState.DONE
+                    with contextlib.suppress(
+                        StaleWriterError, DuplicateCommitError
+                    ):
+                        self.cluster.commit(
+                            job_id,
+                            spec.spec_id,
+                            record.outcomes,
+                            lease.token,
+                            executed=False,
+                        )
+                    self._publish(record)
+                    return record, ack_frame(job_id, record.state)
+        elif (
             self.store is not None
             and spec.benchmark != "adhoc"
             and not self.store.missing(spec.spec_id, spec.techniques)
@@ -420,8 +538,13 @@ class ReproService:
     def _cost(self, spec: JobSpec) -> float:
         """Longest-first estimate: historical per-cell seconds from the
         store when available, else the source-size proxy."""
-        if self.store is not None and spec.benchmark != "adhoc":
-            row = self.store.cells.get(spec.spec_id, {})
+        if spec.benchmark != "adhoc":
+            if self.cluster is not None:
+                row = self.cluster.lookup(spec.spec_id)
+            elif self.store is not None:
+                row = self.store.cells.get(spec.spec_id, {})
+            else:
+                row = {}
             known = sum(cell.get("elapsed", 0.0) for cell in row.values())
             if known > 0:
                 return known
@@ -465,10 +588,20 @@ class ReproService:
         """Worker-thread entry: run the job's missing cells as one shard."""
         self._mark_running(record)
         techniques = record.spec.techniques
-        if self.store is not None and record.spec.benchmark != "adhoc":
-            techniques = self.store.missing(
-                record.spec.spec_id, record.spec.techniques
-            )
+        if record.spec.benchmark != "adhoc":
+            if self.cluster is not None:
+                self.cluster.mark_running(
+                    record.job_id, record.lease_token
+                )
+                techniques = self.cluster.missing(
+                    record.spec.spec_id, record.spec.techniques
+                )
+            elif self.store is not None:
+                techniques = self.store.missing(
+                    record.spec.spec_id, record.spec.techniques
+                )
+        elif self.cluster is not None:
+            self.cluster.mark_running(record.job_id, record.lease_token)
         if not techniques:
             return None  # everything landed in the store since admission
         return execute_shard(self._task_for(record, techniques))
@@ -516,8 +649,17 @@ class ReproService:
         if record.started_at is None:
             record.started_at = record.finished_at
         if error is not None:
+            message = f"[{type(error).__name__}] {error}"
+            if self.cluster is not None:
+                try:
+                    self.cluster.commit_failed(
+                        record.job_id, record.lease_token, message
+                    )
+                except (StaleWriterError, DuplicateCommitError):
+                    self._settle_from_ledger(record)
+                    return
             record.state = JobState.FAILED
-            record.error = f"[{type(error).__name__}] {error}"
+            record.error = message
             self._publish(record)
             return
         if result is not None:
@@ -528,14 +670,82 @@ class ReproService:
             record.failures = [f.to_json() for f in result.failures]
             self._feed_breakers(record, result)
         record.outcomes = self._assemble_outcomes(record, result)
+        if self.cluster is not None:
+            # The at-most-once boundary: a stale or duplicate commit is
+            # rejected under the cluster lock, and the record settles
+            # from whatever the winning replica committed instead.
+            try:
+                self.cluster.commit(
+                    record.job_id,
+                    record.spec.spec_id,
+                    record.outcomes,
+                    record.lease_token,
+                    executed=result is not None,
+                    chaos_events=(
+                        [e for e in result.chaos_events]
+                        if result is not None
+                        else []
+                    ),
+                    merge_store=record.spec.benchmark != "adhoc",
+                )
+            except (StaleWriterError, DuplicateCommitError):
+                self._settle_from_ledger(record)
+                return
         record.state = JobState.DONE
         self._publish(record)
+
+    def _settle_from_ledger(self, record: JobRecord) -> None:
+        """This replica's commit was fenced or duplicate: the job belongs
+        to (or was finished by) another replica.  Settle the local record
+        from the ledger so watchers still get the committed — and
+        therefore byte-identical — payload."""
+        assert self.cluster is not None
+        view = self.cluster.fold().jobs.get(record.job_id)
+        if view is not None and view.terminal:
+            self._apply_ledger_terminal(record, view)
+            return
+        if self._loop is not None and not self._loop.is_closed():
+            try:
+                self._loop.create_task(self._await_ledger_terminal(record))
+                return
+            except RuntimeError:  # pragma: no cover - shutdown race
+                pass
+        # No loop to wait on (shutdown): leave the record non-terminal;
+        # the drain journaling hands the job to the surviving replicas.
+
+    def _apply_ledger_terminal(self, record: JobRecord, view) -> None:
+        if record.terminal:
+            return
+        record.finished_at = self.clock()
+        if record.started_at is None:
+            record.started_at = record.finished_at
+        if view.state == "done":
+            record.outcomes = {
+                t: dict(cell) for t, cell in view.outcomes.items()
+            }
+            record.state = JobState.DONE
+        else:
+            record.state = JobState.FAILED
+            record.error = view.error or "failed on another replica"
+        self._publish(record)
+
+    async def _await_ledger_terminal(self, record: JobRecord) -> None:
+        assert self.cluster is not None
+        while not record.terminal:
+            await asyncio.sleep(0.05)
+            view = self.cluster.fold().jobs.get(record.job_id)
+            if view is not None and view.terminal:
+                self._apply_ledger_terminal(record, view)
+                return
 
     def _assemble_outcomes(self, record: JobRecord, result) -> dict:
         """Cell payloads for every requested technique: fresh results
         first, store cells for anything computed earlier."""
         cells: dict[str, dict] = {}
         fresh = result.outcomes if result is not None else {}
+        mirror: dict = {}
+        if self.cluster is not None and record.spec.benchmark != "adhoc":
+            mirror = self.cluster.lookup(record.spec.spec_id)
         for technique in record.spec.techniques:
             outcome = fresh.get(technique)
             if outcome is not None:
@@ -548,11 +758,9 @@ class ReproService:
                     "error_code": outcome.error_code,
                 }
                 continue
-            stored = (
-                self.store.lookup(record.spec.spec_id, technique)
-                if self.store is not None
-                else None
-            )
+            stored = mirror.get(technique)
+            if stored is None and self.store is not None:
+                stored = self.store.lookup(record.spec.spec_id, technique)
             if stored is not None:
                 cells[technique] = dict(stored)
         return cells
@@ -593,9 +801,50 @@ class ReproService:
     # -- health ---------------------------------------------------------------
 
     async def _health_loop(self) -> None:
+        last_reclaim = time.monotonic()
         while True:
             await asyncio.sleep(0.1)
             self._reap_wedged()
+            if (
+                self.cluster is not None
+                and time.monotonic() - last_reclaim
+                >= self.config.reclaim_interval
+            ):
+                last_reclaim = time.monotonic()
+                self._reclaim_orphans()
+
+    def _on_lease_lost(self, job_id: str) -> None:
+        """Heartbeat callback (heartbeat thread): a held lease was fenced
+        away.  Only counted — the commit path enforces the fence."""
+        self.lease_losses += 1
+
+    def _reclaim_orphans(self) -> None:
+        """Adopt every orphaned cluster job (expired lease, drained, or
+        torn submission) and run it through the same ``execute_shard``
+        path, so a failed-over cell is byte-identical to an
+        uninterrupted one."""
+        assert self.cluster is not None
+        if self._draining:
+            return
+        for job_id, payload, lease in self.cluster.adopt_orphans():
+            try:
+                spec = JobSpec.from_json(payload)
+            except ProtocolError:
+                continue
+            record = self._jobs.get(job_id)
+            if record is not None and record.terminal:
+                continue
+            if record is None:
+                record = JobRecord(
+                    job_id=job_id, spec=spec, submitted_at=self.clock()
+                )
+                self._jobs[job_id] = record
+            record.adopted = True
+            record.lease_token = lease.token
+            self.adopted_jobs += 1
+            self.pool.submit(
+                record, priority=spec.priority, cost=self._cost(spec)
+            )
 
     def _reap_wedged(self) -> None:
         for record in self.pool.reap_wedged():
@@ -613,13 +862,23 @@ class ReproService:
 
     def _checkpoint(self) -> None:
         """Flush the store and write every non-terminal job to the state
-        file — the drain half of the kill-and-resume contract."""
+        file — the drain half of the kill-and-resume contract.
+
+        Cluster replicas have no private state file: the handoff is a
+        ``drained`` journal record plus a lease release per pending job,
+        and the surviving replicas' reclaim scans adopt them.
+        """
         self._drain_results()
         self.pool.drain_pending()
+        pending_records = [
+            record for record in self._jobs.values() if not record.terminal
+        ]
+        if self.cluster is not None:
+            self.cluster.drain([r.job_id for r in pending_records])
+            return
         pending = [
             {"job_id": record.job_id, "spec": record.spec.to_json()}
-            for record in self._jobs.values()
-            if not record.terminal
+            for record in pending_records
         ]
         state_path = self.config.resolved_state_path()
         if pending:
@@ -641,9 +900,15 @@ class ReproService:
         try:
             payload = load_json(state_path, schema=STATE_SCHEMA)
             entries = list(payload["jobs"])
-        except (CacheCorruptionError, KeyError, TypeError):
-            # An unreadable checkpoint must not block startup; the jobs it
-            # held will be resubmitted by their clients.
+        except (CacheCorruptionError, KeyError, TypeError) as error:
+            # Corruption is a miss, never a crash: an unreadable
+            # checkpoint must not block startup.  Record the loss — it
+            # surfaces in `repro jobs --stats` — and start fresh; the
+            # jobs it held will be resubmitted by their clients.
+            self.state_corruptions += 1
+            self.state_failures.append(
+                capture_failure("service.resume", error).to_json()
+            )
             with contextlib.suppress(OSError):
                 state_path.unlink()
             return
@@ -712,15 +977,16 @@ class ReproService:
     async def _dispatch(self, message: dict, writer) -> None:
         op = message.get("op")
         if op == "ping":
-            await self._send(
-                writer,
-                {
-                    "type": "pong",
-                    "schema": PROTOCOL_SCHEMA,
-                    "benchmark": self.config.benchmark,
-                    "draining": self._draining,
-                },
-            )
+            pong = {
+                "type": "pong",
+                "schema": PROTOCOL_SCHEMA,
+                "benchmark": self.config.benchmark,
+                "draining": self._draining,
+                "replica": self.replica_id,
+            }
+            if self.config.clustered:
+                pong["cluster_dir"] = self.config.cluster_dir
+            await self._send(writer, pong)
         elif op == "submit":
             await self._op_submit(message, writer)
         elif op == "status":
@@ -782,18 +1048,57 @@ class ReproService:
         job_id = message.get("job_id")
         record = self._jobs.get(job_id) if isinstance(job_id, str) else None
         if record is None:
-            await self._send(
-                writer,
-                error_frame(
-                    f"unknown job {job_id!r}", code="service.unknown_job"
-                ),
+            frame = (
+                self._ledger_status(job_id)
+                if self.cluster is not None and isinstance(job_id, str)
+                else None
             )
+            if frame is None:
+                frame = error_frame(
+                    f"unknown job {job_id!r}", code="service.unknown_job"
+                )
+            await self._send(writer, frame)
             return
         frame = {"type": "status", **record.summary()}
         if record.terminal:
             frame["outcomes"] = record.outcomes
             frame["failures"] = record.failures
         await self._send(writer, frame)
+
+    _LEDGER_STATES = {
+        "submitted": "queued",
+        "leased": "queued",
+        "drained": "queued",
+        "running": "running",
+        "done": "done",
+        "failed": "failed",
+    }
+
+    def _ledger_status(self, job_id: str) -> dict | None:
+        """Answer ``status`` for a job this replica never saw locally, from
+        the shared ledger — what lets a failed-over client finish its
+        watch against any surviving replica."""
+        assert self.cluster is not None
+        view = self.cluster.fold().jobs.get(job_id)
+        if view is None:
+            return None
+        frame = {
+            "type": "status",
+            "job_id": job_id,
+            "state": self._LEDGER_STATES.get(view.state, "queued"),
+            "from_ledger": True,
+        }
+        if view.adoptions:
+            frame["adopted"] = True
+        if view.state == "done":
+            frame["outcomes"] = {
+                t: dict(cell) for t, cell in view.outcomes.items()
+            }
+            frame["failures"] = []
+            frame["from_store"] = not view.executed
+        elif view.state == "failed":
+            frame["error"] = view.error
+        return frame
 
     # -- introspection --------------------------------------------------------
 
@@ -805,13 +1110,15 @@ class ReproService:
             wait = record.queue_wait
             if wait is not None:
                 waits.append(wait)
-        return {
+        stats = {
             "benchmark": self.config.benchmark,
             "draining": self._draining,
             "queued": self.pool.queued(),
             "running": self.pool.running(),
             "jobs_by_state": dict(sorted(states.items())),
             "resumed_jobs": self.resumed_jobs,
+            "state_corruptions": self.state_corruptions,
+            "state_failures": list(self.state_failures),
             "admission": self.admission.snapshot(),
             "breakers": {
                 name: breaker.snapshot()
@@ -829,6 +1136,18 @@ class ReproService:
                 "p99": round(percentile(waits, 0.99), 6),
             },
         }
+        if self.cluster is not None:
+            stats["cluster"] = {
+                **self.cluster.snapshot(),
+                "adopted_jobs": self.adopted_jobs,
+                "lease_losses": self.lease_losses,
+                "heartbeats": (
+                    self._heartbeat.beats
+                    if self._heartbeat is not None
+                    else 0
+                ),
+            }
+        return stats
 
 
 class ServiceHandle:

@@ -24,6 +24,20 @@ contracts under injected faults; these prove the *service's*:
   outcomes to a direct execution; a third incarnation serves the same
   jobs straight from the result store.
 
+``repro chaos --cluster`` drills the *replicated* tier on top of these:
+
+- **cluster-lease** — fake-clock edge cases of the lease/fencing layer:
+  boundary-inclusive expiry, exactly-one-winner adoption of an orphan,
+  stale-writer rejection at the shared store, torn-tail tolerance of the
+  job ledger, and quota durability across controller restarts;
+- **cluster-failover** — two ``repro serve`` subprocess replicas share a
+  cluster directory; the whole corpus is submitted under the full fault
+  plan, then a seeded victim replica is ``kill -9``'d the moment it has
+  a job mid-execution.  The SLO: zero lost jobs (the survivor adopts and
+  re-executes every orphan), zero double-committed cells, a strictly
+  monotonic fencing-token trail, and every committed cell bit-identical
+  to an uninterrupted direct engine execution under the same plan.
+
 Reports follow the chaos-report contract: canonical JSON, no timestamps,
 durations, or counts that depend on thread timing — two same-seed runs
 are byte-identical (CI pins this with a double-run ``cmp``).
@@ -31,18 +45,38 @@ are byte-identical (CI pins this with a double-run ``cmp``).
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
 from repro.chaos.harness import DrillResult, _events_by_site, _temp_cache
 from repro.chaos.plan import SITES, FaultPlan, SiteConfig
 from repro.experiments.executor import ShardTask, execute_shard
+from repro.service.admission import QuotaStore
 from repro.service.breaker import BreakerConfig, CircuitBreaker
 from repro.service.client import ServiceClient
 from repro.service.daemon import ServiceConfig, ServiceHandle
+from repro.service.ledger import (
+    ClusterFold,
+    ClusterStore,
+    DuplicateCommitError,
+    JobLedger,
+    StaleWriterError,
+)
+from repro.service.lease import LeaseError, LeaseManager
 from repro.service.loadgen import plan_jobs, run_load
-from repro.service.protocol import JobSpec
+from repro.service.protocol import (
+    CLUSTER_REPORT_SCHEMA,
+    JobSpec,
+    ServiceError,
+)
 
 SERVICE_CHAOS_SCHEMA = "repro-service-chaos/1"
 """Stamped into every service chaos report; bump on any shape change."""
@@ -651,6 +685,525 @@ def drain_resume_drill(seed: int, scale: float) -> DrillResult:
         },
     }
     return drill
+
+
+CLUSTER_REPLICAS = ("r0", "r1")
+"""The failover drill's fleet: one victim, one survivor."""
+
+CLUSTER_LEASE_TTL = 1.0
+"""Short enough that failover completes in a couple of seconds."""
+
+
+def cluster_lease_drill(seed: int) -> DrillResult:
+    """Fake-clock edge cases of the lease, ledger, and quota layers —
+    every scenario fully deterministic, no processes, no sleeps."""
+    drill = DrillResult(name="cluster-lease")
+    now = [float(seed % 1000)]
+    clock = lambda: now[0]  # noqa: E731 - the whole drill shares one clock
+    with tempfile.TemporaryDirectory(prefix="repro-lease-") as tmp:
+        root = Path(tmp)
+
+        # Boundary-inclusive expiry: alive strictly before ``expires_at``,
+        # expired the exact instant ``now == expires_at``.
+        m1 = LeaseManager(root / "l", "r1", ttl=5.0, clock=clock)
+        m2 = LeaseManager(root / "l", "r2", ttl=5.0, clock=clock)
+        lease = m1.acquire("job-a")
+        if m1.is_expired(lease, lease.expires_at - 1e-6):
+            drill.violations.append("lease expired before its boundary")
+        if not m1.is_expired(lease, lease.expires_at):
+            drill.violations.append(
+                "lease not expired exactly at expires_at (must be "
+                "boundary-inclusive)"
+            )
+
+        # Adoption race: with the lease expired, two would-be adopters
+        # contend and exactly one wins; the loser sees the winner's fresh
+        # lease and raises instead of double-owning.
+        now[0] = lease.expires_at
+        winners = []
+        for manager in (m2, m1):
+            try:
+                winners.append(manager.adopt("job-a"))
+            except LeaseError:
+                pass
+        if len(winners) != 1:
+            drill.violations.append(
+                f"{len(winners)} adopters won the same orphan (want 1)"
+            )
+        elif winners[0].token <= lease.token:
+            drill.violations.append(
+                "adoption did not advance the fencing token: "
+                f"{winners[0].token} <= {lease.token}"
+            )
+
+        # Stale-writer fencing at the shared store: the original owner's
+        # commit (token t1) must be rejected after adoption (token t2),
+        # leaving the mirror untouched; the adopter's commit lands.
+        recipe = {"drill": "cluster-lease", "seed": seed}
+        cs1 = ClusterStore(root / "c", "r1", recipe, ttl=5.0, clock=clock)
+        cs2 = ClusterStore(root / "c", "r2", recipe, ttl=5.0, clock=clock)
+        stale = cs1.register("job-1", {"spec_id": "S1"})
+        cs1.mark_running("job-1", stale.token)
+        now[0] += 5.0
+        adopted = cs2.adopt_orphans()
+        if [job_id for job_id, _, _ in adopted] != ["job-1"]:
+            drill.violations.append(
+                f"expected to adopt exactly job-1, got {adopted}"
+            )
+        cell = {"rep": 1, "tm": 0.25, "sm": 0.5, "status": "correct"}
+        try:
+            cs1.commit("job-1", "S1", {"ATR": dict(cell)}, stale.token)
+            drill.violations.append("stale writer's commit was accepted")
+        except StaleWriterError:
+            pass
+        if cs1.lookup("S1"):
+            drill.violations.append(
+                "fenced commit leaked cells into the shared store"
+            )
+        if adopted:
+            cs2.commit(
+                "job-1", "S1", {"ATR": dict(cell)}, adopted[0][2].token
+            )
+        if cs1.lookup("S1").get("ATR") != cell:
+            drill.violations.append(
+                "the adopter's committed cell is missing from the store"
+            )
+        try:
+            cs2.commit("job-1", "S1", {"ATR": dict(cell)}, 10**9)
+            drill.violations.append("double commit was accepted")
+        except DuplicateCommitError:
+            pass
+
+        # Torn tail: garbage appended by a dying replica is one skippable
+        # line; the next append's leading newline seals it off.
+        ledger_path = cs1.ledger.path
+        with ledger_path.open("ab") as handle:
+            handle.write(b'{"event":"done","job_id":"job-torn"')
+        cs1.journal("running", "job-1", token=0)
+        reader = JobLedger(ledger_path, cs1.ledger.lock_path)
+        records = reader.replay()
+        if reader.corrupt_lines != 1:
+            drill.violations.append(
+                f"torn tail produced {reader.corrupt_lines} corrupt "
+                "line(s), want exactly 1"
+            )
+        if "job-torn" in {r.get("job_id") for r in records}:
+            drill.violations.append("a torn record was treated as real")
+        fold = ClusterFold()
+        for record in records:
+            fold.apply(record)
+        if fold.double_committed():
+            drill.violations.append(
+                f"double-committed jobs: {fold.double_committed()}"
+            )
+        if not fold.tokens_monotonic():
+            drill.violations.append(
+                f"fencing tokens not strictly monotonic: {fold.tokens}"
+            )
+        if fold.fenced_commits != 1:
+            drill.violations.append(
+                f"{fold.fenced_commits} fenced audit record(s), want 1"
+            )
+
+        # Quota durability: a debit by one controller is visible to a
+        # fresh one (daemon restart), and a corrupt file is a miss.
+        quotas = QuotaStore(root / "c", clock=clock)
+        if quotas.debit("t1", 1.5, capacity=2.0, refill_rate=0.0) != 0.0:
+            drill.violations.append("first debit within capacity refused")
+        reborn = QuotaStore(root / "c", clock=clock)
+        if reborn.available("t1", capacity=2.0) != 0.5:
+            drill.violations.append(
+                "tenant balance did not survive a controller restart: "
+                f"{reborn.available('t1', capacity=2.0)}"
+            )
+        if reborn.debit("t1", 1.0, capacity=2.0, refill_rate=0.0) <= 0.0:
+            drill.violations.append("over-capacity debit was not refused")
+        quotas.path.write_text("not json")
+        if reborn.debit("t1", 1.0, capacity=2.0, refill_rate=0.0) != 0.0:
+            drill.violations.append(
+                "corrupt quota file did not reset to a full bucket"
+            )
+        if reborn.resets != 1:
+            drill.violations.append(
+                f"quota corruption reset counter is {reborn.resets}, want 1"
+            )
+    drill.detail = {
+        "boundary_inclusive": True,
+        "adoption_winners": 1,
+        "fenced_commits": 1,
+        "torn_lines_tolerated": 1,
+        "quota_durable": True,
+    }
+    return drill
+
+
+def _spawn_replica(
+    replica: str,
+    sock_dir: Path,
+    cluster_dir: Path,
+    seed: int,
+    scale: float,
+    plan_path: Path | None,
+) -> subprocess.Popen:
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--socket", str(sock_dir / f"{replica}.sock"),
+        "--benchmark", "arepair",
+        "--scale", str(scale),
+        "--seed", str(seed),
+        "--workers", "2",
+        "--max-queue", "64",
+        "--bucket-capacity", "64",
+        "--bucket-refill", "64",
+        "--no-job-timeout",
+        "--state", str(sock_dir / f"{replica}.state.json"),
+        "--cluster-dir", str(cluster_dir),
+        "--replica-id", replica,
+        "--lease-ttl", str(CLUSTER_LEASE_TTL),
+    ]
+    if plan_path is not None:
+        command += ["--chaos-plan", str(plan_path)]
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    log = (sock_dir / f"{replica}.log").open("wb")
+    return subprocess.Popen(
+        command, env=env, stdout=log, stderr=subprocess.STDOUT
+    )
+
+
+def _failover_worker(
+    index: int,
+    spec: JobSpec,
+    ring: list[str],
+    results: dict,
+    errors: list[str],
+) -> None:
+    """Submit one job with full recovery: ring failover on refused
+    connects, whole-submission retry on pre-ack transport errors (a
+    duplicate job for the same spec is fine — first commit wins), and
+    status-poll reconnection after a mid-watch kill."""
+    client = ServiceClient(ring, retry_seed=index, reconnect_attempts=600)
+    last: Exception | None = None
+    for _ in range(10):
+        try:
+            outcome = client.submit_retrying(
+                spec, watch=True, max_attempts=120
+            )
+        except (ServiceError, OSError) as error:
+            last = error
+            time.sleep(0.2)
+            continue
+        results[spec.spec_id] = outcome
+        return
+    errors.append(f"{spec.spec_id}: {type(last).__name__}: {last}")
+
+
+def cluster_failover_drill(
+    seed: int, requested: set[str], scale: float
+) -> DrillResult:
+    """Kill -9 a replica mid-job; assert the cluster's four invariants:
+    zero lost jobs, zero double commits, monotonic fencing tokens, and
+    byte-identical committed cells versus direct execution."""
+    drill = DrillResult(name="cluster-failover")
+    active = sorted(requested & set(AVAILABILITY_SITES))
+    plan = (
+        FaultPlan(
+            seed=seed,
+            sites={site: AVAILABILITY_SITES[site] for site in active},
+        )
+        if active
+        else None
+    )
+    digest = hashlib.sha256(f"{seed}:victim".encode()).digest()
+    victim = CLUSTER_REPLICAS[
+        int.from_bytes(digest[:4], "big") % len(CLUSTER_REPLICAS)
+    ]
+    survivor = next(r for r in CLUSTER_REPLICAS if r != victim)
+
+    with _temp_cache(), _socket_dir() as tmp:
+        sock_dir = Path(tmp)
+        cluster_dir = sock_dir / "cluster"
+        plan_path = None
+        if plan is not None:
+            plan_path = sock_dir / "plan.json"
+            plan_path.write_text(json.dumps(plan.to_json()))
+        spec_ids = sorted(
+            _reference_service(seed, scale, plan).jobs_corpus_ids()
+        )
+        sockets = {
+            replica: str(sock_dir / f"{replica}.sock")
+            for replica in CLUSTER_REPLICAS
+        }
+        procs = {
+            replica: _spawn_replica(
+                replica, sock_dir, cluster_dir, seed, scale, plan_path
+            )
+            for replica in CLUSTER_REPLICAS
+        }
+        results: dict[str, object] = {}
+        errors: list[str] = []
+        orphaned: list[str] = []
+        try:
+            for replica in CLUSTER_REPLICAS:
+                ServiceClient(sockets[replica], reconnect_attempts=120).ping()
+
+            threads = []
+            for index, spec_id in enumerate(spec_ids):
+                primary = CLUSTER_REPLICAS[index % len(CLUSTER_REPLICAS)]
+                ring = [sockets[primary]] + [
+                    sockets[r] for r in CLUSTER_REPLICAS if r != primary
+                ]
+                spec = JobSpec(
+                    benchmark="arepair",
+                    spec_id=spec_id,
+                    techniques=AVAILABILITY_TECHNIQUES,
+                    seed=seed,
+                    tenant=f"tenant-{index % 3}",
+                )
+                thread = threading.Thread(
+                    target=_failover_worker,
+                    args=(index, spec, ring, results, errors),
+                    name=f"failover-{spec_id}",
+                    daemon=True,
+                )
+                thread.start()
+                threads.append(thread)
+
+            # Watch the shared ledger (lock-free incremental reads) for
+            # the first job the victim starts *executing*, then SIGKILL
+            # it mid-run — no drain, no checkpoint, no goodbye.
+            watcher = JobLedger(
+                cluster_dir / "ledger.jsonl", cluster_dir / ".cluster.lock"
+            )
+            killed = False
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if any(
+                    record.get("event") == "running"
+                    and record.get("replica") == victim
+                    for record in watcher.poll()
+                ):
+                    os.kill(procs[victim].pid, signal.SIGKILL)
+                    procs[victim].wait()
+                    killed = True
+                    break
+                time.sleep(0.01)
+            if not killed:
+                drill.violations.append(
+                    f"victim {victim} never journaled a running job"
+                )
+
+            # The victim's non-terminal jobs at the instant of death are
+            # the orphans the survivor is obliged to adopt.
+            fold_at_kill = ClusterFold()
+            for record in watcher.replay():
+                fold_at_kill.apply(record)
+            orphaned = sorted(
+                view.job_id
+                for view in fold_at_kill.non_terminal()
+                if view.owner == victim
+            )
+
+            for thread in threads:
+                thread.join(timeout=600.0)
+            if any(thread.is_alive() for thread in threads):
+                drill.violations.append(
+                    "client worker(s) still waiting after 600s"
+                )
+            try:
+                ServiceClient(sockets[survivor]).drain(grace=10.0)
+                procs[survivor].wait(timeout=60.0)
+            except (ServiceError, OSError, subprocess.TimeoutExpired) as error:
+                drill.violations.append(
+                    f"survivor drain failed: {type(error).__name__}: {error}"
+                )
+        finally:
+            for proc in procs.values():
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+
+        ledger = JobLedger(
+            cluster_dir / "ledger.jsonl", cluster_dir / ".cluster.lock"
+        )
+        records = ledger.replay()
+        fold = ClusterFold()
+        for record in records:
+            fold.apply(record)
+
+        # Invariant 1: zero lost jobs — every journaled job is terminal
+        # and none FAILED (faults degrade cells, never kill jobs).
+        lost = sorted(view.job_id for view in fold.non_terminal())
+        if lost:
+            drill.violations.append(f"lost (non-terminal) jobs: {lost}")
+        failed = sorted(
+            view.job_id
+            for view in fold.jobs.values()
+            if view.state == "failed"
+        )
+        if failed:
+            drill.violations.append(f"FAILED jobs after failover: {failed}")
+
+        # Invariant 2: at-most-once — no job carries two terminal records.
+        if fold.double_committed():
+            drill.violations.append(
+                f"double-committed jobs: {fold.double_committed()}"
+            )
+
+        # Invariant 3: the fencing-token trail is strictly monotonic.
+        if not fold.tokens_monotonic():
+            drill.violations.append(
+                f"fencing tokens not strictly monotonic: {fold.tokens}"
+            )
+        if orphaned and not any(
+            view.adoptions for view in fold.jobs.values()
+        ):
+            drill.violations.append(
+                f"victim left orphans {orphaned} but nothing was adopted"
+            )
+
+        # Invariant 4: committed cells are byte-identical to an
+        # uninterrupted direct execution under the same fault plan.  The
+        # first ``done`` record per spec is always a full execution (the
+        # store mirror can only satisfy later duplicates), so its cells
+        # and fault schedule must both match the reference exactly.
+        committed: dict[str, dict] = {}
+        committed_events: dict[str, list] = {}
+        for record in records:
+            if record.get("event") != "done":
+                continue
+            spec_id = record.get("spec_id")
+            if spec_id and spec_id not in committed:
+                committed[spec_id] = record.get("outcomes", {})
+                committed_events[spec_id] = record.get("chaos", [])
+        missing = sorted(set(spec_ids) - set(committed))
+        if missing:
+            drill.violations.append(f"specs never committed: {missing}")
+        if errors:
+            drill.violations.append(f"client-visible errors: {errors[:3]}")
+        undone = sorted(
+            spec_id
+            for spec_id in results
+            if getattr(results[spec_id], "state", None) != "done"
+        )
+        if undone:
+            drill.violations.append(f"clients saw non-done jobs: {undone}")
+
+    cluster_payload = {
+        spec_id: _cells_payload(committed[spec_id])
+        for spec_id in sorted(committed)
+        if spec_id in set(spec_ids)
+    }
+    with _temp_cache():
+        reference_payload, reference_events = _reference_execution(
+            spec_ids,
+            _reference_service(seed, scale, plan),
+            AVAILABILITY_TECHNIQUES,
+            seed,
+            plan,
+        )
+    if cluster_payload != reference_payload:
+        diverging = sorted(
+            spec_id
+            for spec_id in reference_payload
+            if cluster_payload.get(spec_id) != reference_payload[spec_id]
+        )
+        drill.violations.append(
+            "failed-over cells diverge from direct execution for "
+            f"{diverging}"
+        )
+    client_payload = {
+        spec_id: _cells_payload(getattr(outcome, "outcomes", {}))
+        for spec_id, outcome in sorted(results.items())
+        if getattr(outcome, "state", None) == "done"
+    }
+    for spec_id, cells in client_payload.items():
+        if cells != reference_payload.get(spec_id):
+            drill.violations.append(
+                f"client-observed cells diverge for {spec_id}"
+            )
+            break
+    cluster_events = [
+        event
+        for spec_id in sorted(committed_events)
+        for event in committed_events[spec_id]
+    ]
+    if _events_by_site(cluster_events) != _events_by_site(reference_events):
+        drill.violations.append(
+            "cluster fault schedule diverges from the reference run: "
+            f"{_events_by_site(cluster_events)} != "
+            f"{_events_by_site(reference_events)}"
+        )
+    drill.detail = {
+        "replicas": list(CLUSTER_REPLICAS),
+        "victim": victim,
+        "sites": active,
+        "jobs": len(spec_ids),
+        "techniques": list(AVAILABILITY_TECHNIQUES),
+        "events_by_site": _events_by_site(cluster_events),
+        "payload": {
+            spec_id: cluster_payload[spec_id]
+            for spec_id in sorted(cluster_payload)
+        },
+    }
+    return drill
+
+
+def run_cluster_drills(
+    seed: int = 0,
+    sites=None,
+    scale: float = 0.05,
+) -> dict:
+    """Run the replicated-tier drills and assemble the report."""
+    requested = set(sites) if sites is not None else set(SITES)
+    unknown = requested - set(SITES)
+    if unknown:
+        raise ValueError(
+            f"unknown injection site(s): {', '.join(sorted(unknown))}"
+        )
+    drills = [
+        cluster_lease_drill(seed),
+        cluster_failover_drill(seed, requested, scale),
+    ]
+    violations = sum(len(drill.violations) for drill in drills)
+    return {
+        "schema": CLUSTER_REPORT_SCHEMA,
+        "seed": seed,
+        "scale": scale,
+        "sites": sorted(requested),
+        "replicas": len(CLUSTER_REPLICAS),
+        "drills": [drill.to_json() for drill in drills],
+        "violations": violations,
+        "ok": violations == 0,
+    }
+
+
+def render_cluster_report(report: dict) -> str:
+    """The human-readable summary printed by ``repro chaos --cluster``."""
+    lines = [
+        f"CLUSTER CHAOS — seed={report['seed']} "
+        f"scale={report['scale']:g} replicas={report['replicas']} "
+        f"sites={len(report['sites'])}"
+    ]
+    for drill in report["drills"]:
+        if drill["skipped"]:
+            status = "SKIP"
+        else:
+            status = "ok" if drill["ok"] else "FAIL"
+        lines.append(f"  [{status:>4}] {drill['name']}")
+        for violation in drill["violations"]:
+            lines.append(f"         - {violation}")
+    verdict = (
+        "failover invariants held"
+        if report["ok"]
+        else f"{report['violations']} violation(s)"
+    )
+    lines.append(f"  {verdict}")
+    return "\n".join(lines)
 
 
 def run_service_drills(

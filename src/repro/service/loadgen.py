@@ -21,7 +21,7 @@ priority/longest-first queue all see realistic contention.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.repair import registry
 from repro.service.client import ServiceClient, SubmitOutcome
@@ -122,21 +122,48 @@ def run_load(
     techniques: tuple[str, ...] = DEFAULT_TECHNIQUES,
     max_attempts: int = 60,
     handle: ServiceHandle | None = None,
+    replicas: int = 1,
 ) -> dict:
     """Drive a client fleet and return the availability ledger.
 
     With ``handle`` the fleet targets an existing daemon (and leaves it
     running); otherwise a daemon is hosted for the duration and drained
-    at the end.
+    at the end.  With ``replicas > 1`` a cluster of that many daemons is
+    hosted against a shared cluster directory, the client fleet is spread
+    round-robin across the replica sockets (each client keeps the full
+    ring for failover), and the result ledger reports per-replica
+    availability.
     """
     for technique in techniques:
         if not registry.is_registered(technique):
             raise ValueError(f"unknown technique {technique!r}")
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if replicas > 1 and handle is not None:
+        raise ValueError("a replica fleet is always self-hosted")
     owned = handle is None
-    if handle is None:
-        handle = ServiceHandle.start(config)
-    service = handle.service
+    handles: list[ServiceHandle]
+    if handle is not None:
+        handles = [handle]
+    elif replicas == 1:
+        handles = [ServiceHandle.start(config)]
+    else:
+        cluster_dir = config.cluster_dir or f"{config.socket}.cluster"
+        handles = [
+            ServiceHandle.start(
+                replace(
+                    config,
+                    socket=f"{config.socket}.{i}",
+                    cluster_dir=cluster_dir,
+                    replica_id=f"r{i}",
+                )
+            )
+            for i in range(replicas)
+        ]
+    service = handles[0].service
+    sockets = [h.socket for h in handles]
     spec_ids = sorted(service.jobs_corpus_ids())
+    fleet: list[ServiceClient] = []
     try:
         assignments = plan_jobs(
             spec_ids,
@@ -147,15 +174,19 @@ def run_load(
             config.seed,
         )
         ledgers = [ClientLedger() for _ in range(clients)]
+        for c in range(clients):
+            # Spread primaries round-robin; keep the whole ring so a
+            # client fails over when its primary dies or drains.
+            start = c % len(sockets)
+            fleet.append(
+                ServiceClient(
+                    sockets[start:] + sockets[:start], retry_seed=c
+                )
+            )
         threads = [
             threading.Thread(
                 target=_client_worker,
-                args=(
-                    ledgers[c],
-                    ServiceClient(handle.socket),
-                    assignments[c],
-                    max_attempts,
-                ),
+                args=(ledgers[c], fleet[c], assignments[c], max_attempts),
                 name=f"loadgen-c{c}",
                 daemon=True,
             )
@@ -165,10 +196,16 @@ def run_load(
             thread.start()
         for thread in threads:
             thread.join()
-        stats = ServiceClient(handle.socket).stats()
+        stats = ServiceClient(handles[0].socket).stats()
+        replica_stats = (
+            [ServiceClient(h.socket).stats() for h in handles]
+            if len(handles) > 1
+            else [stats]
+        )
     finally:
         if owned:
-            handle.drain()
+            for h in reversed(handles):
+                h.drain()
     total = ClientLedger()
     for ledger in ledgers:
         total.attempted += ledger.attempted
@@ -182,9 +219,33 @@ def run_load(
         for reason, count in ledger.rejections.items():
             total.rejections[reason] = total.rejections.get(reason, 0) + count
     lost = total.accepted - total.done - total.failed
+    per_replica = []
+    for i, h in enumerate(handles):
+        mine = [
+            ledgers[c] for c in range(clients) if c % len(sockets) == i
+        ]
+        per_replica.append(
+            {
+                "replica": h.service.replica_id,
+                "socket": sockets[i],
+                "clients": len(mine),
+                "attempted": sum(l.attempted for l in mine),
+                "accepted": sum(l.accepted for l in mine),
+                "done": sum(l.done for l in mine),
+                "failed": sum(l.failed for l in mine),
+                "jobs_by_state": replica_stats[i].get("jobs_by_state", {}),
+                "adopted_jobs": replica_stats[i]
+                .get("cluster", {})
+                .get("adopted_jobs", 0),
+            }
+        )
     return {
         "clients": clients,
         "jobs_per_client": jobs_per_client,
+        "replica_count": len(handles),
+        "replicas": per_replica,
+        "client_failovers": sum(cl.failovers for cl in fleet),
+        "client_reconnects": sum(cl.reconnects for cl in fleet),
         "attempted": total.attempted,
         "accepted": total.accepted,
         "done": total.done,

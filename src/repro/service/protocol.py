@@ -40,6 +40,9 @@ STATE_SCHEMA = "repro-service-state/1"
 STORE_SCHEMA = "repro-service-store/1"
 """Schema of the incremental result store the daemon flushes cells to."""
 
+CLUSTER_REPORT_SCHEMA = "repro-cluster-chaos/1"
+"""Schema of the ``repro chaos --cluster`` drill report."""
+
 
 class ServiceError(ReproError):
     """The service layer failed outside any single job."""
@@ -162,6 +165,13 @@ class JobRecord:
     submitted_at: float = 0.0
     started_at: float | None = None
     finished_at: float | None = None
+    adopted: bool = False
+    """This replica took the job over from a dead or drained peer (cluster
+    mode only) — the cells are still byte-identical, but operators want to
+    see failovers."""
+    lease_token: int = 0
+    """The fencing token under which this replica owns the job (0 outside
+    cluster mode)."""
 
     @property
     def terminal(self) -> bool:
@@ -187,6 +197,8 @@ class JobRecord:
             "techniques": list(self.spec.techniques),
             "from_store": self.from_store,
         }
+        if self.adopted:
+            payload["adopted"] = True
         if self.error is not None:
             payload["error"] = self.error
         return payload
